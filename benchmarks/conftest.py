@@ -1,0 +1,47 @@
+"""Shared fixtures for the experiment benchmarks.
+
+``REPRO_SCALE`` (default 0.5) scales every workload's "reference input"
+— 1.0 reproduces the full-size experiments, smaller values keep CI
+fast.  All figure/table data is cached per scale so the pytest-benchmark
+timings measure one well-defined piece of work each.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.5"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Persist a reproduced table under benchmarks/results/ (so the
+    artifacts survive pytest's output capturing)."""
+
+    def _record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def figure10(scale):
+    from repro.harness import build_figure10
+
+    return build_figure10(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def figure11(scale):
+    from repro.harness import build_figure11
+
+    return build_figure11(scale=scale)

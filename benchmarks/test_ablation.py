@@ -1,0 +1,97 @@
+"""Benchmark: ablations of the design choices DESIGN.md calls out.
+
+Not a paper table, but each knob isolates one design decision the paper
+motivates: semi-strong updates (§3.2), context-sensitive resolution
+(§3.3) and heap cloning (§4.1).  The metric is the full Usher
+configuration's static instrumentation (propagations, checks): smaller
+is better, so disabling a feature must never *reduce* it.
+"""
+
+import pytest
+
+from repro.harness import build_ablation, format_ablation
+
+ABLATION_WORKLOADS = ("181.mcf", "188.ammp", "300.twolf", "254.gap")
+
+
+@pytest.fixture(scope="module")
+def rows(scale):
+    return build_ablation(
+        scale=min(scale, 0.3), workload_names=ABLATION_WORKLOADS
+    )
+
+
+class TestAblations:
+    def test_semi_strong_updates_help(self, rows):
+        """Disabling semi-strong updates must not reduce instrumentation
+        and must strictly increase it somewhere (Figure 6's point)."""
+        helped = 0
+        for row in rows:
+            base_p, base_c = row.metrics["baseline"]
+            off_p, off_c = row.metrics["no_semi_strong"]
+            assert off_p >= base_p and off_c >= base_c, row.benchmark
+            if (off_p, off_c) != (base_p, base_c):
+                helped += 1
+        assert helped >= 1
+
+    def test_context_sensitivity_helps(self, rows):
+        helped = 0
+        for row in rows:
+            base_p, base_c = row.metrics["baseline"]
+            ctx0_p, ctx0_c = row.metrics["ctx0"]
+            assert ctx0_p >= base_p and ctx0_c >= base_c, row.benchmark
+            if (ctx0_p, ctx0_c) != (base_p, base_c):
+                helped += 1
+        # 181.mcf's two make_arc call sites need matched call/returns.
+        assert helped >= 1
+
+    def test_deeper_context_no_worse(self, rows):
+        for row in rows:
+            base_p, base_c = row.metrics["baseline"]
+            ctx2_p, ctx2_c = row.metrics["ctx2"]
+            assert ctx2_p <= base_p and ctx2_c <= base_c, row.benchmark
+
+    def test_summary_resolver_no_worse_than_k1(self, rows):
+        """The tabulation (unbounded context) is at least as precise as
+        the paper's 1-callsite configuration."""
+        for row in rows:
+            base_p, base_c = row.metrics["baseline"]
+            sum_p, sum_c = row.metrics["summary"]
+            assert sum_p <= base_p and sum_c <= base_c, row.benchmark
+
+    def test_heap_cloning_helps_clone_heavy_workloads(self, rows):
+        """Merging wrapper objects (no cloning) must not reduce
+        instrumentation, and must hurt 181.mcf, whose hot arcs share an
+        allocation wrapper with the fogged tombstone arcs."""
+        helped = 0
+        for row in rows:
+            base_p, base_c = row.metrics["baseline"]
+            off_p, off_c = row.metrics["no_heap_cloning"]
+            assert off_p >= base_p and off_c >= base_c, row.benchmark
+            if (off_p, off_c) != (base_p, base_c):
+                helped += 1
+        assert helped >= 1
+        mcf = next(r for r in rows if r.benchmark == "181.mcf")
+        assert mcf.metrics["no_heap_cloning"] > mcf.metrics["baseline"]
+
+
+class TestAblationBenchmarks:
+    def test_ablation_regeneration(self, benchmark, rows, record_table):
+        def regenerate():
+            return {row.benchmark: row.metrics for row in rows}
+
+        data = benchmark(regenerate)
+        assert len(data) == len(ABLATION_WORKLOADS)
+        text = format_ablation(rows)
+        record_table("ablation", text)
+        print()
+        print("=== Ablations (static propagations p / checks c of full Usher) ===")
+        print(text)
+
+    def test_one_variant_analysis(self, benchmark):
+        from repro.harness.ablation import _analyze
+        from repro.workloads import workload
+
+        source = workload("300.twolf").source(0.2)
+        result = benchmark(_analyze, source, "300.twolf", "no_semi_strong")
+        assert result.static_checks("usher") >= 0

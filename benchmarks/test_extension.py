@@ -1,0 +1,91 @@
+"""Benchmark: the array initialization-loop extension (beyond paper).
+
+The paper's conclusion lists "new techniques for handling arrays and
+heap objects" as future work; this experiment measures what the
+implemented technique buys over full Usher on the bundled workloads,
+whose fog is dominated by exactly the memset-by-loop idiom it targets.
+"""
+
+import pytest
+
+from repro.api import analyze_source
+from repro.runtime import DEFAULT_COST_MODEL
+from repro.workloads import WORKLOADS
+
+#: Workloads with at least one canonical initialization loop.
+EXTENSION_WORKLOADS = (
+    "176.gcc",
+    "179.art",
+    "183.equake",
+    "253.perlbmk",
+    "255.vortex",
+    "256.bzip2",
+)
+
+
+@pytest.fixture(scope="module")
+def comparison(scale):
+    rows = {}
+    for w in WORKLOADS:
+        analysis = analyze_source(
+            w.source(min(scale, 0.3)), w.name, configs=["usher", "usher_ext"]
+        )
+        rows[w.name] = {
+            "usher": analysis.slowdown("usher"),
+            "usher_ext": analysis.slowdown("usher_ext"),
+            "cuts": analysis.results["usher_ext"].vfg.stats.array_init_cuts,
+            "warnings_ext": len(analysis.run("usher_ext").warning_set()),
+            "has_bug": w.has_true_bug,
+        }
+    return rows
+
+
+class TestExtension:
+    def test_extension_never_slower(self, comparison):
+        for name, row in comparison.items():
+            assert row["usher_ext"] <= row["usher"] + 0.5, name
+
+    def test_extension_finds_init_loops(self, comparison):
+        matched = [n for n, row in comparison.items() if row["cuts"] > 0]
+        assert len(matched) >= 4, matched
+
+    def test_extension_reduces_average_overhead(self, comparison):
+        base = sum(r["usher"] for r in comparison.values())
+        ext = sum(r["usher_ext"] for r in comparison.values())
+        assert ext < base
+
+    def test_detection_unchanged(self, comparison):
+        for name, row in comparison.items():
+            if row["has_bug"]:
+                assert row["warnings_ext"] >= 1, name
+            else:
+                assert row["warnings_ext"] == 0, name
+
+    def test_print_comparison(self, comparison, record_table):
+        lines = [
+            f"{'benchmark':14s}{'usher':>10s}{'usher_ext':>11s}{'cuts':>6s}"
+        ]
+        for name, row in sorted(comparison.items()):
+            lines.append(
+                f"{name:14s}{row['usher']:>9.1f}%{row['usher_ext']:>10.1f}%"
+                f"{row['cuts']:>6d}"
+            )
+        text = "\n".join(lines)
+        record_table("extension", text)
+        print()
+        print("=== Array-init extension (beyond paper): slowdown % ===")
+        print(text)
+
+
+class TestExtensionBenchmarks:
+    def test_extension_analysis_cost(self, benchmark):
+        from repro.workloads import workload
+
+        source = workload("253.perlbmk").source(0.2)
+
+        def analyze():
+            return analyze_source(
+                source, "253.perlbmk", configs=["usher_ext"]
+            ).static_checks("usher_ext")
+
+        benchmark(analyze)

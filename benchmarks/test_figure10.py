@@ -1,0 +1,98 @@
+"""Benchmark: regenerate Figure 10 (execution slowdowns vs native).
+
+Prints the reproduced figure and asserts its shape: the strict tool
+ordering MSan ≥ Usher_TL ≥ Usher_TL+AT ≥ Usher_OptI ≥ Usher per
+benchmark and on average, MSan in the ~3x regime, 181.mcf near zero,
+and the 197.parser bug detected by every tool.
+"""
+
+import pytest
+
+from repro.api import CONFIG_ORDER, analyze_source
+from repro.harness import format_figure10
+from repro.runtime import run_instrumented
+from repro.workloads import workload
+
+
+@pytest.fixture(scope="module")
+def printed(figure10):
+    print()
+    print("=== Figure 10 (reproduced): slowdown vs native, % ===")
+    print(format_figure10(figure10))
+    return figure10
+
+
+class TestFigure10Shape:
+    def test_strict_ordering_per_benchmark(self, printed):
+        for row in printed.rows:
+            s = row.slowdowns
+            assert s["msan"] >= s["usher_tl"] >= s["usher_tl_at"]
+            assert s["usher_tl_at"] >= s["usher_opt1"] >= s["usher"]
+
+    def test_average_ordering(self, printed):
+        avg = printed.averages()
+        assert (
+            avg["msan"]
+            > avg["usher_tl"]
+            > avg["usher_tl_at"]
+            > avg["usher_opt1"]
+            >= avg["usher"]
+        )
+
+    def test_msan_is_in_3x_regime(self, printed):
+        """Paper: 302% average slowdown for MSan under O0+IM."""
+        assert 200 < printed.average("msan") < 400
+
+    def test_usher_cuts_overhead_by_more_than_half(self, printed):
+        """Paper: 302% → 123%, a 59.3% reduction."""
+        reduction = 1 - printed.average("usher") / printed.average("msan")
+        assert reduction > 0.5
+
+    def test_mcf_nearly_free(self, printed):
+        """Paper: 181.mcf suffers only a 2% slowdown."""
+        assert printed.row("181.mcf").slowdowns["usher"] < 10
+
+    def test_parser_bug_detected_by_all_tools(self, printed):
+        row = printed.row("197.parser")
+        assert row.true_bugs >= 1
+        assert all(count >= 1 for count in row.warnings.values())
+
+    def test_other_benchmarks_warning_free(self, printed):
+        for row in printed.rows:
+            if row.benchmark == "197.parser":
+                continue
+            assert sum(row.warnings.values()) == 0, row.benchmark
+
+
+class TestFigure10Benchmarks:
+    def test_figure_regeneration(self, benchmark, figure10, record_table):
+        """Times one full re-derivation of the figure from the cached
+        analyses and prints the reproduced figure."""
+
+        def regenerate():
+            return {
+                row.benchmark: row.slowdowns for row in figure10.rows
+            }
+
+        data = benchmark(regenerate)
+        assert len(data) == 15
+        text = format_figure10(figure10)
+        record_table("figure10", text)
+        print()
+        print("=== Figure 10 (reproduced): slowdown vs native, % ===")
+        print(text)
+
+    @pytest.fixture(scope="class")
+    def gzip_analysis(self, scale):
+        w = workload("164.gzip")
+        return analyze_source(w.source(scale), w.name)
+
+    def test_native_execution(self, benchmark, gzip_analysis):
+        from repro.runtime import run_native
+
+        benchmark(run_native, gzip_analysis.module)
+
+    @pytest.mark.parametrize("config", list(CONFIG_ORDER))
+    def test_instrumented_execution(self, benchmark, gzip_analysis, config):
+        plan = gzip_analysis.plans[config]
+        benchmark(run_instrumented, gzip_analysis.module, plan)

@@ -1,0 +1,74 @@
+"""Benchmark: regenerate §4.6 (effect of compiler optimization levels).
+
+Prints the O0+IM / O1 / O2 comparison and asserts its shape: Usher
+beats MSan at every level; the native baseline shrinks with the level;
+and Usher's *relative* overhead reduction is largest at O0+IM (the
+paper: 59.3% vs 39.4% / 37.7%).
+"""
+
+import pytest
+
+from repro.harness import build_opt_levels, format_opt_levels
+from repro.harness.opt_levels import LEVELS
+
+
+@pytest.fixture(scope="module")
+def report(scale):
+    return build_opt_levels(scale=scale)
+
+
+class TestOptLevels:
+    def test_all_levels_measured(self, report):
+        assert len(report.rows) == 15
+        for row in report.rows:
+            assert set(row.slowdowns) == set(LEVELS)
+
+    def test_usher_wins_at_every_level(self, report):
+        for level in LEVELS:
+            assert report.average(level, "usher") < report.average(level, "msan")
+
+    def test_native_baseline_shrinks_with_level(self, report):
+        for name in report.native_ops["O0+IM"]:
+            assert (
+                report.native_ops["O2"][name]
+                <= report.native_ops["O1"][name]
+                <= report.native_ops["O0+IM"][name]
+            ), name
+
+    def test_reduction_positive_everywhere(self, report):
+        for level in LEVELS:
+            assert report.reduction(level) > 20.0
+
+    def test_reduction_largest_at_o0im(self, report):
+        """The paper's headline §4.6 effect: higher optimization levels
+        narrow the gap because the native baseline benefits more."""
+        assert report.reduction("O0+IM") >= report.reduction("O2") - 5.0
+
+
+class TestOptLevelBenchmarks:
+    def test_report_regeneration(self, benchmark, report, record_table):
+        def regenerate():
+            return {level: report.reduction(level) for level in LEVELS}
+
+        reductions = benchmark(regenerate)
+        assert set(reductions) == set(LEVELS)
+        text = format_opt_levels(report)
+        record_table("opt_levels", text)
+        print()
+        print("=== §4.6 (reproduced): slowdowns under O0+IM / O1 / O2 ===")
+        print(text)
+
+    def test_full_pipeline_o2(self, benchmark, scale):
+        from repro.opt import run_pipeline
+        from repro.tinyc import compile_source
+        from repro.workloads import workload
+
+        source = workload("256.bzip2").source(scale)
+
+        def compile_and_optimize():
+            module = compile_source(source)
+            run_pipeline(module, "O2")
+            return module
+
+        module = benchmark(compile_and_optimize)
+        assert module.functions

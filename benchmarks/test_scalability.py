@@ -1,0 +1,39 @@
+"""Benchmark: analysis scalability on generated programs.
+
+Table 1's claim that the whole analysis is "reasonably lightweight"
+(seconds, not minutes) is exercised by timing the full static pipeline
+on random programs of growing size.
+"""
+
+import pytest
+
+from repro.core import UsherConfig, prepare_module, run_usher
+from repro.opt import run_pipeline
+from repro.tinyc import compile_source
+from repro.workloads import GeneratorParams, generate_program
+
+
+def analyze_generated(seed: int, factor: int):
+    params = GeneratorParams().scaled(factor)
+    module = compile_source(generate_program(seed, params))
+    run_pipeline(module, "O0+IM")
+    prepared = prepare_module(module)
+    return run_usher(prepared, UsherConfig.full())
+
+
+class TestScalability:
+    @pytest.mark.parametrize("factor", [1, 2, 4])
+    def test_analysis_time_grows_gracefully(self, benchmark, factor):
+        result = benchmark.pedantic(
+            analyze_generated, args=(11, factor), iterations=1, rounds=3
+        )
+        assert result.plan is not None
+
+    def test_large_program_analyzable_in_seconds(self):
+        import time
+
+        start = time.perf_counter()
+        result = analyze_generated(5, 6)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 30.0
+        assert result.vfg.num_nodes > 100

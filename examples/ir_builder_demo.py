@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Using the library below the TinyC front end: IRBuilder + analyses.
+
+Downstream users embedding the analysis (e.g. from another language
+front end) construct IR directly.  This demo builds a small program
+with :class:`IRBuilder` — a producer/consumer pair communicating
+through a heap record where one field is forgotten — then runs the
+whole Usher pipeline on it and prints what each phase found.
+
+Run:  python examples/ir_builder_demo.py
+"""
+
+from repro.core import UsherConfig, build_msan_plan, prepare_module, run_usher
+from repro.ir import Const, IRBuilder, Var, module_to_str, verify_module
+from repro.runtime import run_instrumented, run_native
+
+
+def build_module():
+    b = IRBuilder()
+
+    # def produce(seed) { msg := malloc(2); msg[0] := seed; return msg; }
+    # (field 1 — the "checksum" — is forgotten)
+    b.start_function("produce", ["seed"])
+    msg = b.fresh_temp("msg")
+    b.alloc(msg, "produce::msg", initialized=False, kind="heap", size=2)
+    b.store(msg, Var("seed"))  # field 0
+    b.ret(msg)
+
+    # def consume(m) { if m[1] goto bad else good }
+    b.start_function("consume", ["m"])
+    checksum_addr = b.fresh_temp("ca")
+    b.gep(checksum_addr, Var("m"), 1)
+    checksum = b.fresh_temp("ck")
+    b.load(checksum, checksum_addr)
+    bad = b.new_block("bad")
+    good = b.new_block("good")
+    b.branch(checksum, bad.label, good.label)  # uses the forgotten field
+    b.position_at(bad)
+    b.ret(Const(1))
+    b.position_at(good)
+    b.ret(Const(0))
+
+    # def main() { m := produce(7); output(consume(m)); ret 0 }
+    b.start_function("main")
+    m = b.fresh_temp("m")
+    b.call(m, "produce", [Const(7)])
+    status = b.fresh_temp("st")
+    b.call(status, "consume", [m])
+    b.output(status)
+    b.ret(Const(0))
+
+    module = b.finish()
+    verify_module(module)
+    return module
+
+
+def main() -> None:
+    module = build_module()
+    print("Hand-built IR:")
+    print(module_to_str(module))
+
+    native = run_native(module)
+    print(f"\nnative run: outputs={native.outputs}, "
+          f"oracle bug sites={sorted(native.true_bug_set())}")
+
+    prepared = prepare_module(module)
+    print(f"allocation wrappers: {sorted(prepared.pointers.wrappers)}")
+
+    result = run_usher(prepared, UsherConfig.full())
+    msan = build_msan_plan(module)
+    print(f"\nMSan : {msan.describe()}")
+    print(f"Usher: {result.plan.describe()}")
+
+    report = run_instrumented(module, result.plan)
+    by_uid = module.instr_by_uid()
+    for uid in sorted(report.warning_set()):
+        instr = by_uid[uid]
+        func = instr.block.function.name
+        print(f"WARNING: undefined value used at `{instr}` in {func}()")
+
+
+if __name__ == "__main__":
+    main()

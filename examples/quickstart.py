@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: detect a use of an undefined value, cheaply.
+
+Compiles a small TinyC program containing a classic C bug — a local
+read before it is assigned on one path — then compares MSan-style full
+instrumentation against Usher's guided instrumentation: both detect the
+bug, Usher with a fraction of the shadow work.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.api import analyze_source
+from repro.runtime import DEFAULT_COST_MODEL
+
+SOURCE = """
+global limit;
+
+def clamp(v) {
+  var result;              // BUG: undefined when v is in range
+  if (v > limit) { result = limit; }
+  if (v < 0) { result = 0; }
+  return result;           // returns garbage for 0 <= v <= limit
+}
+
+def main() {
+  limit = 100;
+  var i = 0, acc = 0;
+  while (i < 5) {
+    acc = acc + clamp(i * 60);
+    i = i + 1;
+  }
+  output(acc);             // the garbage reaches an output -> checked
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    print("Compiling and analyzing under O0+IM (the paper's setting)...")
+    analysis = analyze_source(SOURCE, "quickstart")
+
+    native = analysis.run_native()
+    print(f"native execution: {native.native_ops} ops, outputs={native.outputs}")
+    print(f"ground truth: undefined values used at {sorted(native.true_bug_set())}\n")
+
+    by_uid = analysis.module.instr_by_uid()
+    for config in ("msan", "usher"):
+        plan = analysis.plans[config]
+        report = analysis.run(config)
+        slowdown = DEFAULT_COST_MODEL.slowdown_percent(report)
+        print(f"[{config}]")
+        print(f"  static instrumentation: {plan.count_propagations()} shadow "
+              f"propagations, {plan.count_checks()} checks")
+        print(f"  modelled slowdown: {slowdown:.1f}%")
+        for uid in sorted(report.warning_set()):
+            instr = by_uid[uid]
+            func = instr.block.function.name
+            print(f"  WARNING: use of undefined value at `{instr}` in {func}()")
+        print()
+
+    msan, usher = analysis.run("msan"), analysis.run("usher")
+    saved = 1 - DEFAULT_COST_MODEL.shadow_work(usher) / DEFAULT_COST_MODEL.shadow_work(msan)
+    print(f"Usher found the same bug with {saved:.0%} less shadow work.")
+
+
+if __name__ == "__main__":
+    main()

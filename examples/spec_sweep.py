@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""SPEC-workload sweep: a miniature Figure 10 + Figure 11.
+
+Runs the 15 SPEC2000-shaped workloads through MSan and all four Usher
+configurations and prints the reproduced figures.  ``--scale`` trades
+fidelity for speed (1.0 = the reference inputs of the benchmarks).
+
+Run:  python examples/spec_sweep.py [--scale 0.25] [--level O0+IM]
+"""
+
+import argparse
+
+from repro.harness import (
+    build_figure10,
+    build_figure11,
+    format_figure10,
+    format_figure11,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload input scale (1.0 = reference)")
+    parser.add_argument("--level", default="O0+IM",
+                        choices=["O0", "O0+IM", "O1", "O2"],
+                        help="compiler optimization pipeline")
+    args = parser.parse_args()
+
+    print(f"Running all 15 workloads at scale {args.scale} under {args.level}...")
+    figure10 = build_figure10(scale=args.scale, level=args.level)
+    print()
+    print("Execution-time slowdown vs native (Figure 10):")
+    print(format_figure10(figure10))
+
+    averages = figure10.averages()
+    reduction = 100 * (1 - averages["usher"] / averages["msan"])
+    print()
+    print(f"Usher reduces MSan's average overhead by {reduction:.1f}%")
+
+    parser_row = figure10.row("197.parser")
+    tools = [c for c, n in parser_row.warnings.items() if n > 0]
+    print(f"197.parser's genuine bug detected by: {', '.join(tools)}")
+
+    print()
+    print("Static instrumentation normalized to MSan (Figure 11):")
+    print(format_figure11(build_figure11(scale=args.scale, level=args.level)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Static-only vs dynamic-only vs Usher's hybrid (§1's argument, live).
+
+Three ways to find uses of undefined values:
+
+1. a purely *static* warner — sound but drowning in false positives;
+2. purely *dynamic* full instrumentation (MSan) — precise but ~3× slow;
+3. the hybrid — static analysis prunes the dynamic tool (Usher).
+
+This example runs all three on a program mixing a genuine bug with the
+"fog" patterns that defeat static analysis (dynamically-initialized
+malloc'd arrays), and prints what each costs and reports.
+
+Run:  python examples/static_vs_dynamic.py
+"""
+
+from repro.api import analyze_source
+from repro.core import static_warnings
+from repro.runtime import DEFAULT_COST_MODEL
+
+SOURCE = """
+global sum;
+
+def checksum(data, n) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) { acc = (acc + data[i]) % 9973; i = i + 1; }
+  return acc;
+}
+
+def main() {
+  // Fog: dynamically fully initialized, statically unprovable.
+  var data = malloc_array(16);
+  var i = 0;
+  while (i < 16) { data[i] = i * 7 + 1; i = i + 1; }
+
+  // The genuine bug: `threshold` is undefined when mode == 2.
+  var mode = 2;
+  var threshold;
+  if (mode == 0) { threshold = 10; }
+  if (mode == 1) { threshold = 100; }
+
+  var c = checksum(data, 16);
+  if (c > threshold) { sum = c; } else { sum = 0; }
+  output(sum);
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    analysis = analyze_source(SOURCE, "hybrid-demo")
+    prepared = analysis.prepared
+    native = analysis.run_native()
+    oracle = native.true_bug_set()
+    by_uid = analysis.module.instr_by_uid()
+
+    print("=" * 68)
+    print("1. Static-only warner (no execution)")
+    print("=" * 68)
+    warnings = static_warnings(prepared)
+    for warning in warnings:
+        print(f"  warning: {warning}")
+    true_sites = {by_uid[uid].line for uid in oracle}
+    false_pos = [w for w in warnings if w.line not in true_sites]
+    print(f"  => {len(warnings)} warnings; {len(false_pos)} never fire at "
+          f"run time (the fog array is fully initialized, and downstream "
+          f"ripples of one bug each get their own warning)")
+
+    print()
+    print("=" * 68)
+    print("2. Dynamic-only: MSan full instrumentation")
+    print("=" * 68)
+    msan = analysis.run("msan")
+    print(f"  reports: {sorted(msan.warning_set())} "
+          f"(exactly the oracle: {sorted(oracle)})")
+    print(f"  cost: {DEFAULT_COST_MODEL.slowdown_percent(msan):.0f}% slowdown, "
+          f"{analysis.static_propagations('msan')} static shadow propagations")
+
+    print()
+    print("=" * 68)
+    print("3. Hybrid: Usher-guided instrumentation")
+    print("=" * 68)
+    usher = analysis.run("usher")
+    print(f"  reports: {sorted(usher.warning_set())} — same bug, no noise")
+    print(f"  cost: {DEFAULT_COST_MODEL.slowdown_percent(usher):.0f}% slowdown, "
+          f"{analysis.static_propagations('usher')} static shadow propagations")
+    for uid in sorted(usher.warning_set()):
+        instr = by_uid[uid]
+        print(f"  detected at line {instr.line}: `{instr}`")
+
+    saved = 1 - (
+        DEFAULT_COST_MODEL.shadow_work(usher)
+        / DEFAULT_COST_MODEL.shadow_work(msan)
+    )
+    print()
+    print(f"Same detection as full instrumentation, {saved:.0%} less shadow "
+          f"work; no static false positives reach the user.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Value-flow explorer: look inside the static analysis.
+
+Walks a program through every phase of Figure 3 and prints what each
+produces: the memory-SSA form with μ/χ annotations, the VFG with its
+store-update statistics, the definedness Γ of every critical use, and
+the final instrumentation plan — a pedagogical tour of the Usher
+machinery on the paper's Figure 6 scenario (semi-strong updates).
+
+Run:  python examples/value_flow_explorer.py
+"""
+
+from repro.core import UsherConfig, build_msan_plan, prepare_module, run_usher
+from repro.ir import module_to_str, verify_module
+from repro.opt import run_pipeline
+from repro.tinyc import compile_source
+
+SOURCE = """
+def fresh_counter(start) {
+  var cell = malloc(1);
+  *cell = start;        // semi-strong update: bypasses the alloc_F state
+  return cell;
+}
+
+def main() {
+  var total = 0;
+  var i = 0;
+  while (i < 3) {
+    var c = fresh_counter(i);
+    total = total + *c;
+    i = i + 1;
+  }
+  output(total);
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE, "explorer")
+    run_pipeline(module, "O0+IM")
+    verify_module(module)
+
+    print("=" * 70)
+    print("Phase 1-2: pointer analysis + memory SSA (Figure 4 form)")
+    print("=" * 70)
+    prepared = prepare_module(module)
+    print(module_to_str(module))
+    print()
+    print(f"allocation wrappers detected: {sorted(prepared.pointers.wrappers)}")
+    for name, objs in sorted(prepared.pointers.alloc_objects.items()):
+        heap = [o for o in objs if o.kind == "heap"]
+        if heap:
+            print(f"  alloc uid {name}: {[str(o) for o in heap]}")
+
+    print()
+    print("=" * 70)
+    print("Phase 3-4: value-flow graph + definedness resolution")
+    print("=" * 70)
+    result = run_usher(prepared, UsherConfig.tl_at())
+    stats = result.vfg.stats
+    print(f"VFG: {result.vfg.num_nodes} nodes, {result.vfg.num_edges} edges")
+    print(f"stores: {stats.stores_total} total, {stats.stores_strong} strong, "
+          f"{stats.semi_strong_applied} semi-strong updates applied")
+    print()
+    print("critical uses and their Γ:")
+    for site in result.vfg.check_sites:
+        state = result.gamma.gamma(site.node)
+        print(f"  uid {site.instr_uid:>3}  {site.operand:<14} Γ = {state}")
+
+    print()
+    print("=" * 70)
+    print("Phase 5: guided instrumentation vs full instrumentation")
+    print("=" * 70)
+    msan = build_msan_plan(module)
+    print(f"MSan : {msan.describe()}")
+    print(f"Usher: {result.plan.describe()}")
+    print()
+    print("Usher's surviving shadow operations:")
+    by_uid = module.instr_by_uid()
+    for func, ops in sorted(result.plan.entry_ops.items()):
+        for op in ops:
+            print(f"  entry of {func}(): {op}")
+    for uid in sorted(result.plan.ops):
+        ops = result.plan.ops[uid]
+        for op in ops.pre + ops.post:
+            print(f"  at `{by_uid[uid]}`: {op}")
+    if result.plan.count_ops() == 0:
+        print("  (none — the semi-strong update proved everything defined!)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,466 @@
+"""Offset-based field-sensitive Andersen's pointer analysis.
+
+This is the "pointer analysis" box of Figure 3, configured exactly as
+Section 4.1 describes the evaluated implementation:
+
+- inclusion-based (Andersen-style) constraint solving,
+- field-sensitive with constant offsets, arrays collapsed to a whole,
+- on-the-fly call graph for calls through function pointers,
+- 1-callsite-sensitive heap cloning for allocation wrapper functions.
+
+Heap cloning works by *constraint instantiation*: for every direct call
+site of an allocation wrapper (a non-recursive function returning a heap
+object it allocated), the wrapper's constraints are re-generated in a
+call-site-specific namespace and its heap objects are cloned with that
+call site as context.  After solving, clone points-to sets are merged
+back into the wrapper's base variables so downstream phases (memory SSA,
+VFG) see the union while still distinguishing per-call-site objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Value, Var
+from repro.analysis.memobjects import (
+    HEAP,
+    MemLoc,
+    MemObject,
+    PVar,
+    function_object,
+    global_object,
+)
+
+Node = Union[PVar, MemLoc]
+
+
+class PointerResult:
+    """Result of the pointer analysis.
+
+    Attributes:
+        pts: Points-to sets for top-level variables and memory locations.
+        alloc_objects: Abstract objects created by each allocation
+            instruction (more than one when heap-cloned).
+        global_objects / function_objects: By name.
+        call_targets: Resolved callee function names per call uid.
+        wrappers: Names of the detected allocation wrapper functions.
+    """
+
+    def __init__(self) -> None:
+        self.pts: Dict[Node, Set[MemLoc]] = {}
+        self.alloc_objects: Dict[int, List[MemObject]] = {}
+        self.global_objects: Dict[str, MemObject] = {}
+        self.function_objects: Dict[str, MemObject] = {}
+        self.call_targets: Dict[int, Set[str]] = {}
+        self.wrappers: Set[str] = set()
+        #: clone namespace -> base function name (heap cloning)
+        self.clone_base: Dict[str, str] = {}
+
+    def pts_of(self, node: Node) -> FrozenSet[MemLoc]:
+        return frozenset(self.pts.get(node, ()))
+
+    def pts_var(self, func: str, var: Var) -> FrozenSet[MemLoc]:
+        """Points-to set of top-level variable ``var`` in ``func``.
+
+        SSA versions are ignored: the pointer analysis is performed on
+        the pre-SSA program (Figure 3) and is flow-insensitive.
+        """
+        return self.pts_of(PVar(func, var.name))
+
+    def data_pts_var(self, func: str, var: Var) -> FrozenSet[MemLoc]:
+        """Like :meth:`pts_var` but with function targets filtered out."""
+        return frozenset(
+            loc for loc in self.pts_var(func, var) if not loc.obj.is_function
+        )
+
+    def callees_of(self, call: ins.Call) -> FrozenSet[str]:
+        return frozenset(self.call_targets.get(call.uid, ()))
+
+    def all_objects(self) -> List[MemObject]:
+        objs: Dict[str, MemObject] = {}
+        for obj in self.global_objects.values():
+            objs[obj.name] = obj
+        for obj_list in self.alloc_objects.values():
+            for obj in obj_list:
+                objs[obj.name] = obj
+        return list(objs.values())
+
+
+def analyze_pointers(
+    module: Module, heap_cloning: bool = True
+) -> PointerResult:
+    """Run Andersen's analysis on ``module``.
+
+    With ``heap_cloning`` enabled (the paper's configuration), allocation
+    wrappers are detected with a context-insensitive pre-pass and the
+    analysis is re-run with their heap objects cloned per call site.
+    """
+    base = _Solver(module, wrappers=frozenset())
+    base.solve()
+    if not heap_cloning:
+        return base.result()
+    wrappers = base.detect_wrappers()
+    if not wrappers:
+        return base.result()
+    refined = _Solver(module, wrappers=frozenset(wrappers))
+    refined.solve()
+    result = refined.result()
+    result.wrappers = set(wrappers)
+    return result
+
+
+class _Solver:
+    def __init__(self, module: Module, wrappers: FrozenSet[str]) -> None:
+        self.module = module
+        self.wrappers = wrappers
+        self.pts: Dict[Node, Set[MemLoc]] = {}
+        self.copy_edges: Dict[Node, Set[Node]] = {}
+        self.loads: Dict[Node, List[Node]] = {}
+        self.stores: Dict[Node, List[Node]] = {}
+        self.geps: Dict[Node, List[Tuple[Node, Optional[int]]]] = {}
+        self.icalls: Dict[Node, List[Tuple[int, List[Node], Optional[Node]]]] = {}
+        self.bound_icalls: Set[Tuple[int, str]] = set()
+        self.worklist: List[Node] = []
+        self.dirty: Set[Node] = set()
+
+        self.global_objects: Dict[str, MemObject] = {}
+        self.function_objects: Dict[str, MemObject] = {}
+        self.alloc_objects: Dict[int, List[MemObject]] = {}
+        self.call_targets: Dict[int, Set[str]] = {}
+        #: clone namespace -> base function name
+        self.clone_base: Dict[str, str] = {}
+        #: (wrapper, callsite uid) namespaces already instantiated
+        self._instantiated: Set[Tuple[str, int]] = set()
+        self._recursive = _recursive_functions(module)
+
+        self._seed()
+
+    # ------------------------------------------------------------------
+    # Constraint generation
+    # ------------------------------------------------------------------
+    def _seed(self) -> None:
+        for glob in self.module.globals.values():
+            self.global_objects[glob.name] = global_object(
+                glob.name, glob.initialized, glob.size, glob.is_array
+            )
+        for name in self.module.functions:
+            self.function_objects[name] = function_object(name)
+        for function in self.module.functions.values():
+            self._gen_function(function, ns=function.name, clone_ctx=None)
+
+    def _ret_node(self, ns: str) -> PVar:
+        return PVar(ns, "<ret>")
+
+    def _alloc_object(self, instr: ins.Alloc, func: str, ctx: Optional[int]) -> MemObject:
+        suffix = f"@cs{ctx}" if ctx is not None else ""
+        obj = MemObject(
+            name=f"{instr.obj_name}{suffix}",
+            kind=instr.kind,
+            initialized=instr.initialized,
+            is_array=instr.is_array,
+            size=instr.size,
+            func=func,
+            alloc_uid=instr.uid,
+            context=ctx,
+        )
+        self.alloc_objects.setdefault(instr.uid, [])
+        if obj not in self.alloc_objects[instr.uid]:
+            self.alloc_objects[instr.uid].append(obj)
+        return obj
+
+    def _gen_function(self, function: Function, ns: str, clone_ctx: Optional[int]) -> None:
+        """Generate constraints for ``function`` under namespace ``ns``."""
+        for instr in function.instructions():
+            self._gen_instr(function, instr, ns, clone_ctx)
+
+    def _gen_instr(
+        self,
+        function: Function,
+        instr: ins.Instr,
+        ns: str,
+        clone_ctx: Optional[int],
+    ) -> None:
+        def node(value: Value) -> Optional[Node]:
+            if isinstance(value, Var):
+                return PVar(ns, value.name)
+            return None
+
+        if isinstance(instr, ins.Alloc):
+            obj = self._alloc_object(instr, function.name, clone_ctx)
+            self._add_pts(PVar(ns, instr.dst.name), MemLoc(obj, 0))
+        elif isinstance(instr, ins.GlobalAddr):
+            obj = self.global_objects[instr.global_name]
+            self._add_pts(PVar(ns, instr.dst.name), MemLoc(obj, 0))
+        elif isinstance(instr, ins.FuncAddr):
+            obj = self.function_objects[instr.func_name]
+            self._add_pts(PVar(ns, instr.dst.name), MemLoc(obj, 0))
+        elif isinstance(instr, ins.Copy):
+            src = node(instr.src)
+            if src is not None:
+                self._add_copy(src, PVar(ns, instr.dst.name))
+        elif isinstance(instr, ins.Phi):
+            for value in instr.incomings.values():
+                src = node(value)
+                if src is not None:
+                    self._add_copy(src, PVar(ns, instr.dst.name))
+        elif isinstance(instr, ins.Gep):
+            base = node(instr.base)
+            if base is not None:
+                self.geps.setdefault(base, []).append(
+                    (PVar(ns, instr.dst.name), instr.static_offset)
+                )
+                self._touch(base)
+        elif isinstance(instr, ins.Load):
+            ptr = node(instr.ptr)
+            if ptr is not None:
+                self.loads.setdefault(ptr, []).append(PVar(ns, instr.dst.name))
+                self._touch(ptr)
+        elif isinstance(instr, ins.Store):
+            ptr = node(instr.ptr)
+            src = node(instr.value)
+            if ptr is not None and src is not None:
+                self.stores.setdefault(ptr, []).append(src)
+                self._touch(ptr)
+        elif isinstance(instr, ins.Ret):
+            value = node(instr.value) if instr.value is not None else None
+            if value is not None:
+                self._add_copy(value, self._ret_node(ns))
+        elif isinstance(instr, ins.Call):
+            self._gen_call(instr, ns)
+
+    def _gen_call(self, call: ins.Call, ns: str) -> None:
+        arg_nodes: List[Optional[Node]] = [
+            PVar(ns, a.name) if isinstance(a, Var) else None for a in call.args
+        ]
+        dst_node = PVar(ns, call.dst.name) if call.dst is not None else None
+        if not call.is_indirect:
+            self._bind_direct(call.callee, call.uid, arg_nodes, dst_node)
+        else:
+            callee_node = PVar(ns, call.callee.name)
+            plain_args = [a for a in arg_nodes]
+            self.icalls.setdefault(callee_node, []).append(
+                (call.uid, plain_args, dst_node)
+            )
+            self._touch(callee_node)
+
+    def _bind_direct(
+        self,
+        callee: str,
+        call_uid: int,
+        arg_nodes: List[Optional[Node]],
+        dst_node: Optional[Node],
+    ) -> None:
+        self.call_targets.setdefault(call_uid, set()).add(callee)
+        target = self.module.functions[callee]
+        if callee in self.wrappers and callee not in self._recursive:
+            ns = self._instantiate_wrapper(callee, call_uid)
+        else:
+            ns = callee
+        for formal, actual in zip(target.params, arg_nodes):
+            if actual is not None:
+                self._add_copy(actual, PVar(ns, formal))
+        if dst_node is not None:
+            self._add_copy(self._ret_node(ns), dst_node)
+
+    def _instantiate_wrapper(self, callee: str, call_uid: int) -> str:
+        """Clone ``callee``'s constraints for this call site; return the
+        clone namespace."""
+        ns = f"{callee}@cs{call_uid}"
+        key = (callee, call_uid)
+        if key not in self._instantiated:
+            self._instantiated.add(key)
+            self.clone_base[ns] = callee
+            self._gen_function(self.module.functions[callee], ns, call_uid)
+        return ns
+
+    def _bind_indirect(
+        self,
+        callee: str,
+        call_uid: int,
+        arg_nodes: List[Optional[Node]],
+        dst_node: Optional[Node],
+    ) -> None:
+        """Bind a function-pointer target (no heap cloning through
+        indirect calls)."""
+        key = (call_uid, callee)
+        if key in self.bound_icalls:
+            return
+        self.bound_icalls.add(key)
+        self.call_targets.setdefault(call_uid, set()).add(callee)
+        target = self.module.functions[callee]
+        for formal, actual in zip(target.params, arg_nodes):
+            if actual is not None:
+                self._add_copy(actual, PVar(callee, formal))
+        if dst_node is not None:
+            self._add_copy(self._ret_node(callee), dst_node)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _points(self, node: Node) -> Set[MemLoc]:
+        return self.pts.setdefault(node, set())
+
+    def _touch(self, node: Node) -> None:
+        if node not in self.dirty:
+            self.dirty.add(node)
+            self.worklist.append(node)
+
+    def _add_pts(self, node: Node, loc: MemLoc) -> None:
+        if loc not in self._points(node):
+            self.pts[node].add(loc)
+            self._touch(node)
+
+    def _add_copy(self, src: Node, dst: Node) -> None:
+        edges = self.copy_edges.setdefault(src, set())
+        if dst not in edges:
+            edges.add(dst)
+            if self.pts.get(src):
+                self._touch(src)
+
+    def solve(self) -> None:
+        while self.worklist:
+            node = self.worklist.pop()
+            self.dirty.discard(node)
+            current = frozenset(self._points(node))
+            if not current:
+                continue
+            # Copy edges: pts(node) ⊆ pts(dst).
+            for dst in list(self.copy_edges.get(node, ())):
+                self._merge_into(dst, current)
+            # Gep: shifted targets.
+            for dst, offset in self.geps.get(node, ()):  # type: ignore[assignment]
+                shifted = {
+                    target
+                    for loc in current
+                    if not loc.obj.is_function
+                    for target in loc.shifted(offset)
+                }
+                self._merge_into(dst, shifted)
+            # Loads: *node -> dst.
+            for dst in self.loads.get(node, ()):
+                for loc in current:
+                    if loc.obj.is_function:
+                        continue
+                    self._add_copy(loc, dst)
+            # Stores: src -> *node.
+            for src in self.stores.get(node, ()):
+                for loc in current:
+                    if loc.obj.is_function:
+                        continue
+                    self._add_copy(src, loc)
+            # Indirect calls through node.
+            for call_uid, args, dst in self.icalls.get(node, ()):
+                for loc in current:
+                    if loc.obj.is_function and loc.obj.func in self.module.functions:
+                        self._bind_indirect(loc.obj.func, call_uid, args, dst)
+
+    def _merge_into(self, dst: Node, locs: "frozenset[MemLoc] | set[MemLoc]") -> None:
+        target = self._points(dst)
+        if not locs <= target:
+            target.update(locs)
+            self._touch(dst)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def detect_wrappers(self) -> Set[str]:
+        """Allocation wrappers: non-recursive functions whose return
+        value may point to a heap object they allocated."""
+        wrappers: Set[str] = set()
+        for name, function in self.module.functions.items():
+            if name in self._recursive or name == "main":
+                continue
+            ret_pts = self.pts.get(self._ret_node(name), set())
+            for loc in ret_pts:
+                if loc.obj.kind == HEAP and loc.obj.func == name:
+                    wrappers.add(name)
+                    break
+        return wrappers
+
+    def result(self) -> PointerResult:
+        result = PointerResult()
+        result.global_objects = dict(self.global_objects)
+        result.function_objects = dict(self.function_objects)
+        stale = self._stale_base_objects()
+        result.alloc_objects = {
+            uid: [o for o in objs if o not in stale]
+            for uid, objs in self.alloc_objects.items()
+        }
+        result.call_targets = {
+            uid: set(t) for uid, t in self.call_targets.items()
+        }
+        result.clone_base = dict(self.clone_base)
+        merged: Dict[Node, Set[MemLoc]] = {}
+        for node, locs in self.pts.items():
+            locs = {loc for loc in locs if loc.obj not in stale}
+            if not locs:
+                continue
+            target = node
+            if isinstance(node, PVar) and node.func in self.clone_base:
+                target = PVar(self.clone_base[node.func], node.name)
+            merged.setdefault(target, set()).update(locs)
+            if target != node:
+                merged.setdefault(node, set()).update(locs)
+        result.pts = merged
+        return result
+
+    def _stale_base_objects(self) -> Set[MemObject]:
+        """Base (context-free) objects of wrappers all of whose call
+        sites were cloned.  Nothing can concretely refer to them: every
+        actual allocation is represented by a per-call-site clone."""
+        stale: Set[MemObject] = set()
+        for wrapper in self.wrappers:
+            if wrapper in self._recursive:
+                continue
+            call_uids = {
+                uid
+                for uid, targets in self.call_targets.items()
+                if wrapper in targets
+            }
+            if not call_uids:
+                continue
+            cloned_uids = {
+                uid for (name, uid) in self._instantiated if name == wrapper
+            }
+            if not call_uids <= cloned_uids:
+                continue
+            for objs in self.alloc_objects.values():
+                for obj in objs:
+                    if obj.func == wrapper and obj.context is None:
+                        stale.add(obj)
+        return stale
+
+
+def _recursive_functions(module: Module) -> Set[str]:
+    """Functions participating in call-graph cycles (direct calls only;
+    indirect recursion is handled conservatively by the caller of this
+    helper treating unresolved targets as non-cloneable)."""
+    graph: Dict[str, Set[str]] = {name: set() for name in module.functions}
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if isinstance(instr, ins.Call) and not instr.is_indirect:
+                if instr.callee in graph:
+                    graph[function.name].add(instr.callee)
+            elif isinstance(instr, ins.Call):
+                # An indirect call may reach anything that has its address
+                # taken; conservatively mark all address-taken functions.
+                pass
+    # Tarjan-free approach: iterative DFS cycle detection per node.
+    recursive: Set[str] = set()
+    for start in graph:
+        stack = [start]
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            for succ in graph[node]:
+                if succ == start:
+                    recursive.add(start)
+                    stack = []
+                    break
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+    return recursive

@@ -1,0 +1,125 @@
+"""Call graph construction on top of the pointer analysis results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.module import Module
+from repro.analysis.andersen import PointerResult
+
+
+class CallGraph:
+    """Whole-program call graph with resolved indirect calls.
+
+    Attributes:
+        callees: Callee function names per call-site uid.
+        call_sites: Call uids contained in each function.
+        callers: Caller call-site uids per function.
+        recursive: Functions participating in a call-graph cycle
+            (including through function pointers).
+    """
+
+    def __init__(self, module: Module, pointers: PointerResult) -> None:
+        self.module = module
+        self.callees: Dict[int, Set[str]] = {}
+        self.call_sites: Dict[str, List[int]] = {name: [] for name in module.functions}
+        self.callers: Dict[str, Set[int]] = {name: set() for name in module.functions}
+        self.containing: Dict[int, str] = {}
+
+        for function in module.functions.values():
+            for instr in function.instructions():
+                if not isinstance(instr, ins.Call):
+                    continue
+                targets = set(pointers.call_targets.get(instr.uid, ()))
+                targets &= set(module.functions)
+                self.callees[instr.uid] = targets
+                self.call_sites[function.name].append(instr.uid)
+                self.containing[instr.uid] = function.name
+                for target in targets:
+                    self.callers[target].add(instr.uid)
+
+        self.recursive = self._find_recursive()
+
+    def callees_of(self, call: ins.Call) -> Set[str]:
+        return self.callees.get(call.uid, set())
+
+    def successors(self, func: str) -> Set[str]:
+        out: Set[str] = set()
+        for uid in self.call_sites.get(func, ()):
+            out |= self.callees.get(uid, set())
+        return out
+
+    def _find_recursive(self) -> Set[str]:
+        """Functions in SCCs of size > 1 or with a self-loop (Tarjan)."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        recursive: Set[str] = set()
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(sorted(self.successors(root))))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = lowlink[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(sorted(self.successors(child)))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if not advanced:
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent], lowlink[node])
+                    if lowlink[node] == index[node]:
+                        scc: List[str] = []
+                        while True:
+                            member = stack.pop()
+                            on_stack.discard(member)
+                            scc.append(member)
+                            if member == node:
+                                break
+                        if len(scc) > 1 or node in self.successors(node):
+                            recursive.update(scc)
+
+        for name in self.module.functions:
+            if name not in index:
+                strongconnect(name)
+        return recursive
+
+    def topo_order_bottom_up(self) -> List[str]:
+        """Functions ordered callees-first (cycles broken arbitrarily)."""
+        visited: Set[str] = set()
+        order: List[str] = []
+
+        for start in self.module.functions:
+            if start in visited:
+                continue
+            stack: List[tuple] = [(start, iter(sorted(self.successors(start))))]
+            visited.add(start)
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if child not in visited:
+                        visited.add(child)
+                        stack.append((child, iter(sorted(self.successors(child)))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+        return order

@@ -1,0 +1,157 @@
+"""Interprocedural mod/ref analysis over address-taken locations.
+
+Memory-SSA construction (Figure 4) needs to know, for every function and
+call site, which address-taken variables may be read (``ref``) or written
+(``mod``).  This module computes those sets by collecting each function's
+direct accesses and propagating them bottom-up over the call graph to a
+fixpoint.
+
+Precision rules (all sound):
+
+- A callee's **non-escaping stack objects** are private to each
+  invocation and are not lifted to callers.  Heap objects *are* lifted
+  even when non-escaping, because the abstract object merges the
+  instances of all invocations (this is exactly the situation of the
+  paper's Figure 6, where the allocation wrapper's heap object ``b`` is
+  a virtual parameter of ``foo``).
+- Heap-cloned objects are lifted to a wrapper's caller only for the
+  matching call site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.ir import instructions as ins
+from repro.ir.module import Module
+from repro.analysis.andersen import PointerResult
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.memobjects import HEAP, STACK, MemLoc, MemObject, PVar
+
+
+class ModRefResult:
+    """Per-function and per-call-site mod/ref sets."""
+
+    def __init__(self, module: Module, pointers: PointerResult, callgraph: CallGraph) -> None:
+        self.module = module
+        self.pointers = pointers
+        self.callgraph = callgraph
+        self.ref: Dict[str, Set[MemLoc]] = {}
+        self.mod: Dict[str, Set[MemLoc]] = {}
+        self.escaping: FrozenSet[MemObject] = frozenset()
+        self._compute()
+
+    # ------------------------------------------------------------------
+    def _compute(self) -> None:
+        self.escaping = frozenset(self._escaping_objects())
+        direct_ref: Dict[str, Set[MemLoc]] = {}
+        direct_mod: Dict[str, Set[MemLoc]] = {}
+        for name, function in self.module.functions.items():
+            refs: Set[MemLoc] = set()
+            mods: Set[MemLoc] = set()
+            for instr in function.instructions():
+                if isinstance(instr, ins.Load):
+                    refs |= self._ptr_locs(name, instr.ptr)
+                elif isinstance(instr, ins.Store):
+                    locs = self._ptr_locs(name, instr.ptr)
+                    mods |= locs
+                    refs |= locs  # a χ reads the incoming version
+                elif isinstance(instr, ins.Alloc):
+                    for obj in self.pointers.alloc_objects.get(instr.uid, ()):
+                        locs = set(obj.locs())
+                        mods |= locs
+                        refs |= locs  # the allocation χ merges the old version
+            direct_ref[name] = refs
+            direct_mod[name] = mods
+
+        self.ref = {name: set(locs) for name, locs in direct_ref.items()}
+        self.mod = {name: set(locs) for name, locs in direct_mod.items()}
+
+        # Bottom-up propagation to fixpoint (cycles need iteration).
+        order = self.callgraph.topo_order_bottom_up()
+        changed = True
+        while changed:
+            changed = False
+            for caller in order:
+                for call_uid in self.callgraph.call_sites[caller]:
+                    for callee in self.callgraph.callees.get(call_uid, ()):
+                        lifted_ref = self._lift(self.ref[callee], callee, call_uid)
+                        lifted_mod = self._lift(self.mod[callee], callee, call_uid)
+                        if not lifted_ref <= self.ref[caller]:
+                            self.ref[caller] |= lifted_ref
+                            changed = True
+                        if not lifted_mod <= self.mod[caller]:
+                            self.mod[caller] |= lifted_mod
+                            changed = True
+
+    def _ptr_locs(self, func: str, ptr: object) -> Set[MemLoc]:
+        from repro.ir.values import Var
+
+        if not isinstance(ptr, Var):
+            return set()
+        return {
+            loc
+            for loc in self.pointers.pts_var(func, ptr)
+            if not loc.obj.is_function
+        }
+
+    def _lift(self, locs: Set[MemLoc], callee: str, call_uid: int) -> Set[MemLoc]:
+        """Locations of ``callee`` visible at call site ``call_uid``."""
+        lifted: Set[MemLoc] = set()
+        for loc in locs:
+            obj = loc.obj
+            if obj.kind == STACK and obj.func == callee and obj not in self.escaping:
+                continue  # invocation-private
+            if (
+                obj.kind == HEAP
+                and obj.func == callee
+                and obj.context is not None
+                and obj.context != call_uid
+            ):
+                continue  # another call site's heap clone
+            lifted.add(loc)
+        return lifted
+
+    def _escaping_objects(self) -> Set[MemObject]:
+        """Stack objects whose address leaves their owning function.
+
+        An object escapes if its address is stored into memory, is
+        returned, or flows into a top-level variable of another function
+        (heap-clone namespaces count as their base function).
+        """
+        escaping: Set[MemObject] = set()
+        clone_base = self.pointers.clone_base
+        for node, locs in self.pointers.pts.items():
+            if isinstance(node, MemLoc):
+                escaping.update(loc.obj for loc in locs)
+                continue
+            assert isinstance(node, PVar)
+            holder = clone_base.get(node.func, node.func)
+            for loc in locs:
+                obj = loc.obj
+                if obj.func is None or obj.is_function:
+                    continue
+                if holder != obj.func or node.name == "<ret>":
+                    escaping.add(obj)
+        return escaping
+
+    # ------------------------------------------------------------------
+    # Public queries
+    # ------------------------------------------------------------------
+    def func_accessed(self, func: str) -> Set[MemLoc]:
+        """ref ∪ mod — the function's virtual parameters (Figure 4)."""
+        return self.ref[func] | self.mod[func]
+
+    def callsite_mod(self, call: ins.Call) -> Set[MemLoc]:
+        """Locations a call may modify (χ at the call site)."""
+        out: Set[MemLoc] = set()
+        for callee in self.callgraph.callees.get(call.uid, ()):
+            out |= self._lift(self.mod[callee], callee, call.uid)
+        return out
+
+    def callsite_ref(self, call: ins.Call) -> Set[MemLoc]:
+        """Locations a call may read (μ ∪ χ-old at the call site)."""
+        out: Set[MemLoc] = set()
+        for callee in self.callgraph.callees.get(call.uid, ()):
+            out |= self._lift(self.ref[callee], callee, call.uid)
+        return out

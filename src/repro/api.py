@@ -1,0 +1,129 @@
+"""High-level convenience API tying the whole pipeline together.
+
+    from repro.api import analyze_source
+
+    analysis = analyze_source(source, level="O0+IM")
+    report = analysis.run("usher")
+    print(report.warnings, analysis.slowdown("usher"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.core import (
+    InstrumentationPlan,
+    PreparedModule,
+    UsherConfig,
+    UsherResult,
+    prepare_module,
+    run_msan,
+    run_usher,
+)
+from repro.opt import run_pipeline
+from repro.runtime import (
+    DEFAULT_COST_MODEL,
+    CostModel,
+    ExecutionReport,
+    run_instrumented,
+    run_native,
+)
+from repro.tinyc import compile_source
+
+#: The analysis configurations of §4.5, in presentation order.
+CONFIG_ORDER = ("msan", "usher_tl", "usher_tl_at", "usher_opt1", "usher")
+
+#: CONFIG_ORDER plus the beyond-paper extension configuration.
+EXTENDED_CONFIG_ORDER = CONFIG_ORDER + ("usher_ext",)
+
+
+@dataclass
+class Analysis:
+    """A fully analyzed program: plans for MSan and all Usher configs."""
+
+    module: Module
+    prepared: PreparedModule
+    plans: Dict[str, InstrumentationPlan]
+    results: Dict[str, UsherResult]
+    level: str
+    _runs: Dict[str, ExecutionReport] = field(default_factory=dict)
+    _native: Optional[ExecutionReport] = None
+    max_steps: int = 50_000_000
+
+    def run_native(self) -> ExecutionReport:
+        if self._native is None:
+            self._native = run_native(self.module, max_steps=self.max_steps)
+        return self._native
+
+    def run(self, config: str) -> ExecutionReport:
+        """Execute under the named configuration's instrumentation."""
+        if config not in self._runs:
+            self._runs[config] = run_instrumented(
+                self.module, self.plans[config], max_steps=self.max_steps
+            )
+        return self._runs[config]
+
+    def slowdown(self, config: str, model: CostModel = DEFAULT_COST_MODEL) -> float:
+        return model.slowdown_percent(self.run(config))
+
+    def static_propagations(self, config: str) -> int:
+        return self.plans[config].count_propagations()
+
+    def static_checks(self, config: str) -> int:
+        return self.plans[config].count_checks()
+
+
+def analyze_module(
+    module: Module,
+    level: str = "O0+IM",
+    configs: Optional[List[str]] = None,
+    heap_cloning: bool = True,
+    context_depth: int = 1,
+    semi_strong: bool = True,
+    resolver: str = "callstring",
+) -> Analysis:
+    """Optimize, analyze and instrument ``module`` under every config."""
+    run_pipeline(module, level)
+    verify_module(module)
+    prepared = prepare_module(module, heap_cloning=heap_cloning)
+    wanted = configs or list(CONFIG_ORDER)
+    plans: Dict[str, InstrumentationPlan] = {}
+    results: Dict[str, UsherResult] = {}
+    base_configs = {
+        "usher_tl": UsherConfig.tl(),
+        "usher_tl_at": UsherConfig.tl_at(),
+        "usher_opt1": UsherConfig.opt_i(),
+        "usher": UsherConfig.full(),
+        "usher_ext": UsherConfig.extended(),
+    }
+    for name in wanted:
+        if name == "msan":
+            plans[name] = run_msan(prepared)
+            continue
+        from dataclasses import replace as _replace
+
+        config = _replace(
+            base_configs[name],
+            semi_strong=semi_strong,
+            context_depth=context_depth,
+            resolver=resolver,
+        )
+        result = run_usher(prepared, config)
+        results[name] = result
+        plans[name] = result.plan
+    return Analysis(module, prepared, plans, results, level)
+
+
+def analyze_source(
+    source: str,
+    name: str = "module",
+    level: str = "O0+IM",
+    configs: Optional[List[str]] = None,
+    **kwargs,
+) -> Analysis:
+    """Compile TinyC source and run :func:`analyze_module`."""
+    module = compile_source(source, name)
+    return analyze_module(module, level=level, configs=configs, **kwargs)

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``check FILE``   — compile, analyze and execute a TinyC program under
+  a chosen instrumentation configuration; report undefined-value uses
+  with source lines (a sanitizer-style workflow).
+- ``run FILE``     — execute natively (no instrumentation).
+- ``ir FILE``      — dump the IR at a chosen pipeline stage.
+- ``vfg FILE``     — export the value-flow graph as GraphViz DOT, with
+  definedness coloring.
+- ``sweep``        — regenerate the paper's figures on the bundled
+  SPEC-shaped workloads.
+- ``report``       — regenerate the *entire* evaluation as one markdown
+  document (the source of EXPERIMENTS.md's numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import CONFIG_ORDER, analyze_source
+from repro.ir import module_to_str, verify_module
+from repro.opt import OPT_LEVELS, run_pipeline
+from repro.runtime import DEFAULT_COST_MODEL, RuntimeFault, run_native
+from repro.tinyc import LoweringError, TinyCSyntaxError, compile_source
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _format_warning(analysis, uid: int) -> str:
+    instr = analysis.module.instr_by_uid()[uid]
+    func = instr.block.function.name if instr.block else "?"
+    line = f"line {instr.line}" if instr.line is not None else "<unknown line>"
+    return f"  {line}, in {func}(): use of undefined value at `{instr}`"
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = _read(args.file)
+    analysis = analyze_source(
+        source, args.file, level=args.level, configs=[args.config]
+    )
+    plan = analysis.plans[args.config]
+    if args.show_plan:
+        print(f"instrumentation plan ({plan.describe()}):")
+        by_uid = analysis.module.instr_by_uid()
+        for func, ops in sorted(plan.entry_ops.items()):
+            for op in ops:
+                print(f"  entry of {func}(): {op}")
+        for uid in sorted(plan.ops):
+            for op in plan.ops[uid].pre + plan.ops[uid].post:
+                print(f"  at `{by_uid[uid]}`: {op}")
+        print()
+    try:
+        report = analysis.run(args.config)
+    except RuntimeFault as fault:
+        print(f"runtime fault: {fault}", file=sys.stderr)
+        return 2
+    slowdown = DEFAULT_COST_MODEL.slowdown_percent(report)
+    print(
+        f"{args.file}: {report.native_ops} ops executed, "
+        f"{plan.count_propagations()} static shadow propagations, "
+        f"{plan.count_checks()} static checks, "
+        f"modelled slowdown {slowdown:.1f}%"
+    )
+    if report.outputs:
+        print(f"program output: {report.outputs}")
+    warnings = sorted(report.warning_set())
+    if warnings:
+        print(f"\n{len(warnings)} use(s) of undefined values detected:")
+        for uid in warnings:
+            print(_format_warning(analysis, uid))
+        if args.explain:
+            _explain_warnings(analysis, args.config, warnings)
+        return 1
+    print("no uses of undefined values detected")
+    return 0
+
+
+def _explain_warnings(analysis, config: str, warnings) -> None:
+    from repro.vfg.explain import explain_check_site
+
+    result = analysis.results.get(config)
+    if result is None:  # msan has no VFG; use the analyzed one
+        result = analysis.results.get("usher_tl_at") or next(
+            iter(analysis.results.values()), None
+        )
+    if result is None:
+        return
+    for uid in warnings:
+        steps = explain_check_site(result.vfg, analysis.module, uid)
+        if steps is None:
+            continue
+        print(f"\nhow the undefined value reaches uid {uid}:")
+        for step in steps:
+            print(step.render())
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.runtime import Interpreter
+
+    module = compile_source(_read(args.file), args.file)
+    run_pipeline(module, args.level)
+    interp = Interpreter(module)
+    interp.trace_limit = args.trace
+    try:
+        report = interp.run()
+    except RuntimeFault as fault:
+        print(f"runtime fault: {fault}", file=sys.stderr)
+        return 2
+    for line in interp.trace_log:
+        print(f"trace: {line}")
+    for value in report.outputs:
+        print(value)
+    return report.exit_value or 0
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    module = compile_source(_read(args.file), args.file)
+    run_pipeline(module, args.level)
+    verify_module(module)
+    if args.ssa:
+        from repro.core import prepare_module
+
+        prepare_module(module)
+    print(module_to_str(module, show_uids=args.uids))
+    return 0
+
+
+def cmd_vfg(args: argparse.Namespace) -> int:
+    from repro.core import UsherConfig, prepare_module, run_usher
+    from repro.vfg.dot import vfg_to_dot
+
+    module = compile_source(_read(args.file), args.file)
+    run_pipeline(module, args.level)
+    prepared = prepare_module(module)
+    result = run_usher(prepared, UsherConfig.tl_at())
+    dot = vfg_to_dot(
+        result.vfg,
+        result.gamma,
+        only_function=args.function,
+        max_nodes=args.max_nodes,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dot)
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        build_figure10,
+        build_figure11,
+        format_figure10,
+        format_figure11,
+    )
+
+    figure10 = build_figure10(scale=args.scale, level=args.level)
+    print(format_figure10(figure10))
+    print()
+    print(format_figure11(build_figure11(scale=args.scale, level=args.level)))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import build_report
+
+    text = build_report(scale=args.scale, sections=args.sections or None)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Usher: value-flow-guided detection of undefined values",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="analyze + execute with detection")
+    check.add_argument("file")
+    check.add_argument("--config", default="usher", choices=list(CONFIG_ORDER))
+    check.add_argument("--level", default="O0+IM", choices=list(OPT_LEVELS))
+    check.add_argument("--show-plan", action="store_true")
+    check.add_argument("--explain", action="store_true",
+                       help="trace each warning's undefined value back "
+                            "to its origin")
+    check.set_defaults(func=cmd_check)
+
+    run = sub.add_parser("run", help="execute natively")
+    run.add_argument("file")
+    run.add_argument("--level", default="O0+IM", choices=list(OPT_LEVELS))
+    run.add_argument("--trace", type=int, default=0, metavar="N",
+                     help="print the first N executed instructions")
+    run.set_defaults(func=cmd_run)
+
+    ir = sub.add_parser("ir", help="dump the IR")
+    ir.add_argument("file")
+    ir.add_argument("--level", default="O0+IM", choices=list(OPT_LEVELS))
+    ir.add_argument("--ssa", action="store_true", help="run memory SSA first")
+    ir.add_argument("--uids", action="store_true", help="show instruction ids")
+    ir.set_defaults(func=cmd_ir)
+
+    vfg = sub.add_parser("vfg", help="export the VFG as GraphViz DOT")
+    vfg.add_argument("file")
+    vfg.add_argument("--level", default="O0+IM", choices=list(OPT_LEVELS))
+    vfg.add_argument("--function", default=None,
+                     help="restrict to one function")
+    vfg.add_argument("--max-nodes", type=int, default=400)
+    vfg.add_argument("-o", "--output", default=None)
+    vfg.set_defaults(func=cmd_vfg)
+
+    sweep = sub.add_parser("sweep", help="regenerate Figures 10/11")
+    sweep.add_argument("--scale", type=float, default=0.25)
+    sweep.add_argument("--level", default="O0+IM", choices=list(OPT_LEVELS))
+    sweep.set_defaults(func=cmd_sweep)
+
+    report = sub.add_parser("report", help="full experiment report (markdown)")
+    report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("-o", "--output", default=None)
+    report.add_argument(
+        "--sections",
+        nargs="*",
+        choices=["table1", "figure10", "figure11", "opt_levels",
+                 "ablation", "warner", "extension"],
+        default=None,
+    )
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (TinyCSyntaxError, LoweringError) as error:
+        print(f"compile error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

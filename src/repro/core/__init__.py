@@ -1,0 +1,72 @@
+"""Usher's core: guided instrumentation, the MSan baseline, Opt I/II.
+
+This package is the paper's primary contribution (Figure 3, phases 3-5,
+plus the instrumentation rules of Figure 7 and the two VFG-based
+optimizations of §3.5).
+"""
+
+from repro.core.instrument import GuidedStats, build_guided_plan
+from repro.core.msan import build_msan_plan
+from repro.core.opt2 import Opt2Stats, redundant_check_elimination
+from repro.core.static_warner import (
+    FalsePositiveReport,
+    StaticWarning,
+    false_positive_report,
+    static_warnings,
+)
+from repro.core.plan import (
+    AndShadowVar,
+    Check,
+    CopyShadowVar,
+    InstrumentationPlan,
+    LoadShadow,
+    PhiShadow,
+    RelayIn,
+    RelayOut,
+    SetShadowMem,
+    SetShadowVar,
+    ShadowOp,
+    StoreShadow,
+    var_slot,
+)
+from repro.core.usher import (
+    PreparedModule,
+    UsherConfig,
+    UsherResult,
+    prepare_module,
+    run_all_configs,
+    run_msan,
+    run_usher,
+)
+
+__all__ = [
+    "GuidedStats",
+    "build_guided_plan",
+    "build_msan_plan",
+    "Opt2Stats",
+    "redundant_check_elimination",
+    "AndShadowVar",
+    "Check",
+    "CopyShadowVar",
+    "InstrumentationPlan",
+    "LoadShadow",
+    "PhiShadow",
+    "RelayIn",
+    "RelayOut",
+    "SetShadowMem",
+    "SetShadowVar",
+    "ShadowOp",
+    "StoreShadow",
+    "var_slot",
+    "FalsePositiveReport",
+    "StaticWarning",
+    "false_positive_report",
+    "static_warnings",
+    "PreparedModule",
+    "UsherConfig",
+    "UsherResult",
+    "prepare_module",
+    "run_all_configs",
+    "run_msan",
+    "run_usher",
+]

@@ -1,0 +1,166 @@
+"""MSan-style full instrumentation (the baseline Usher accelerates).
+
+Every value is shadowed and every statement gets its shadow statement
+(§2.2): allocations poison/bless their memory, loads and stores
+propagate shadow memory, calls relay argument/result shadows through
+σ_g, and every critical operation (Definition 1) is checked.  No static
+reasoning is involved — this is exactly the "blind" instrumentation the
+paper describes MSan performing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir import instructions as ins
+from repro.ir.module import Module
+from repro.ir.values import Value, Var
+from repro.core.plan import (
+    AndShadowVar,
+    BinOpShadow,
+    Check,
+    CopyShadowVar,
+    InstrumentationPlan,
+    LoadShadow,
+    PhiShadow,
+    RelayIn,
+    RelayOut,
+    SetShadowMem,
+    SetShadowVar,
+    StoreShadow,
+    UnOpShadow,
+    VarSlot,
+    var_slot,
+)
+
+
+def _slot(value: Value) -> Optional[VarSlot]:
+    """The shadow slot of an operand (``None`` for defined constants)."""
+    if isinstance(value, Var):
+        return var_slot(value)
+    return None
+
+
+def build_msan_plan(module: Module) -> InstrumentationPlan:
+    """Build the full-instrumentation plan for a module in SSA form."""
+    plan = InstrumentationPlan("msan")
+    for function in module.functions.values():
+        _instrument_function(plan, function, module)
+    return plan
+
+
+def _instrument_function(
+    plan: InstrumentationPlan, function, module: Module
+) -> None:
+    func = function.name
+
+    # Parameters: main's are defined by the environment; everything else
+    # receives its shadow through the σ_g relay at call sites.
+    for index, param in enumerate(function.params):
+        slot = (param, 1)
+        if func == "main":
+            plan.add_entry(func, SetShadowVar(slot, True))
+        else:
+            plan.add_entry(func, RelayIn(index, slot))
+
+    # Version-0 (read-before-write) variables are undefined from entry.
+    seen_zero = set()
+    for instr in function.instructions():
+        for var in instr.uses():
+            if (var.version or 0) == 0 and var.name not in seen_zero:
+                seen_zero.add(var.name)
+                plan.add_entry(func, SetShadowVar((var.name, 0), False))
+        if isinstance(instr, ins.Phi):
+            for value in instr.incomings.values():
+                if isinstance(value, Var) and (value.version or 0) == 0:
+                    if value.name not in seen_zero:
+                        seen_zero.add(value.name)
+                        plan.add_entry(func, SetShadowVar((value.name, 0), False))
+
+    for instr in function.instructions():
+        _instrument_instr(plan, func, instr, module)
+
+
+def _instrument_instr(
+    plan: InstrumentationPlan, func: str, instr: ins.Instr, module: Module
+) -> None:
+    uid = instr.uid
+    if isinstance(instr, (ins.ConstCopy, ins.GlobalAddr, ins.FuncAddr)):
+        plan.add_post(uid, SetShadowVar(var_slot(instr.dst), True))
+    elif isinstance(instr, ins.Copy):
+        _propagate_unary(plan, uid, instr.dst, instr.src)
+    elif isinstance(instr, ins.UnOp):
+        if isinstance(instr.operand, Var):
+            plan.add_post(
+                uid, UnOpShadow(var_slot(instr.dst), instr.op, instr.operand)
+            )
+        else:
+            plan.add_post(uid, SetShadowVar(var_slot(instr.dst), True))
+    elif isinstance(instr, ins.BinOp):
+        if instr.uses():
+            plan.add_post(
+                uid,
+                BinOpShadow(var_slot(instr.dst), instr.op, instr.lhs, instr.rhs),
+            )
+        else:
+            plan.add_post(uid, SetShadowVar(var_slot(instr.dst), True))
+    elif isinstance(instr, ins.Gep):
+        _propagate_nary(plan, uid, instr.dst, (instr.base, instr.offset))
+    elif isinstance(instr, ins.Alloc):
+        plan.add_post(uid, SetShadowVar(var_slot(instr.dst), True))
+        plan.add_post(
+            uid,
+            SetShadowMem(var_slot(instr.dst), instr.initialized, whole_object=True),
+        )
+    elif isinstance(instr, ins.Load):
+        _check(plan, instr, instr.ptr)
+        ptr_slot = _slot(instr.ptr)
+        if ptr_slot is not None:
+            plan.add_post(uid, LoadShadow(var_slot(instr.dst), ptr_slot))
+        else:
+            plan.add_post(uid, SetShadowVar(var_slot(instr.dst), True))
+    elif isinstance(instr, ins.Store):
+        _check(plan, instr, instr.ptr)
+        ptr_slot = _slot(instr.ptr)
+        if ptr_slot is not None:
+            plan.add_post(uid, StoreShadow(ptr_slot, _slot(instr.value)))
+    elif isinstance(instr, ins.Call):
+        for index, arg in enumerate(instr.args):
+            plan.add_pre(uid, RelayOut(index, _slot(arg)))
+        if instr.dst is not None:
+            plan.add_post(uid, RelayIn("ret", var_slot(instr.dst)))
+    elif isinstance(instr, ins.Ret):
+        if instr.value is not None:
+            plan.add_pre(uid, RelayOut("ret", _slot(instr.value)))
+    elif isinstance(instr, ins.Branch):
+        _check(plan, instr, instr.cond)
+    elif isinstance(instr, ins.Output):
+        _check(plan, instr, instr.value)
+    elif isinstance(instr, ins.Phi):
+        incomings = tuple(
+            (label, _slot(value))
+            for label, value in sorted(instr.incomings.items())
+        )
+        plan.add_post(uid, PhiShadow(var_slot(instr.dst), incomings))
+
+
+def _check(plan: InstrumentationPlan, instr: ins.Instr, operand: Value) -> None:
+    slot = _slot(operand)
+    if slot is not None:
+        plan.add_pre(instr.uid, Check(slot, instr.uid))
+
+
+def _propagate_unary(plan, uid: int, dst: Var, src: Value) -> None:
+    slot = _slot(src)
+    if slot is None:
+        plan.add_post(uid, SetShadowVar(var_slot(dst), True))
+    else:
+        plan.add_post(uid, CopyShadowVar(var_slot(dst), slot))
+
+
+def _propagate_nary(plan, uid: int, dst: Var, values) -> None:
+    slots = tuple(s for s in (_slot(v) for v in values) if s is not None)
+    if not slots:
+        plan.add_post(uid, SetShadowVar(var_slot(dst), True))
+    else:
+        plan.add_post(uid, AndShadowVar(var_slot(dst), slots))

@@ -1,0 +1,214 @@
+"""The Usher driver: configurations, pipeline, results (Figure 3).
+
+Typical use::
+
+    prepared = prepare_module(module)           # pointer analysis + memory SSA
+    result = run_usher(prepared, UsherConfig.full())
+    msan = run_msan(prepared)
+
+``prepare_module`` runs phases 1-2 of Figure 3 once; each configuration
+then builds its own VFG (phase 3), resolves definedness (phase 4),
+optionally applies the VFG-based optimizations (phase 5 — Opt I/Opt II)
+and generates guided instrumentation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.ir.module import Module
+from repro.analysis.andersen import PointerResult, analyze_pointers
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.modref import ModRefResult
+from repro.core.instrument import GuidedStats, build_guided_plan
+from repro.core.msan import build_msan_plan
+from repro.core.opt2 import Opt2Stats, redundant_check_elimination
+from repro.core.plan import InstrumentationPlan
+from repro.memssa import build_memory_ssa
+from repro.vfg.builder import build_vfg
+from repro.vfg.definedness import Definedness, resolve_definedness
+from repro.vfg.graph import VFG
+from repro.vfg.tabulation import resolve_definedness_summary
+
+
+def resolve_for_config(vfg: VFG, config: "UsherConfig") -> Definedness:
+    """Run the configuration's definedness resolver."""
+    if config.resolver == "summary":
+        return resolve_definedness_summary(vfg)
+    if config.resolver == "callstring":
+        return resolve_definedness(vfg, config.context_depth)
+    raise ValueError(f"unknown resolver {config.resolver!r}")
+
+
+@dataclass(frozen=True)
+class UsherConfig:
+    """One analysis configuration (the four variants of §4.5).
+
+    Attributes:
+        name: Display name.
+        address_taken: Analyze address-taken variables (False = Usher_TL).
+        opt1: Apply value-flow simplification (§3.5.1).
+        opt2: Apply redundant check elimination (§3.5.2).
+        semi_strong: Enable the semi-strong update rule (ablation knob).
+        context_depth: Call-string depth for definedness resolution
+            (the paper uses 1).  Ignored by the summary resolver.
+        resolver: ``"callstring"`` (the paper's k-limited matching) or
+            ``"summary"`` (fully context-sensitive tabulation,
+            :mod:`repro.vfg.tabulation`).
+        array_init: Enable the array initialization-loop analysis
+            (an extension beyond the paper, from its stated future
+            work — see :mod:`repro.vfg.arrayinit`).
+        opt2_interproc: Extend Opt II's dominance reasoning across
+            function boundaries (extension beyond the paper).
+    """
+
+    name: str = "usher"
+    address_taken: bool = True
+    opt1: bool = False
+    opt2: bool = False
+    semi_strong: bool = True
+    context_depth: int = 1
+    resolver: str = "callstring"
+    array_init: bool = False
+    opt2_interproc: bool = False
+
+    @classmethod
+    def tl(cls) -> "UsherConfig":
+        """Usher_TL: top-level variables only, no VFG optimizations."""
+        return cls(name="usher_tl", address_taken=False)
+
+    @classmethod
+    def tl_at(cls) -> "UsherConfig":
+        """Usher_TL+AT: also analyzes address-taken variables."""
+        return cls(name="usher_tl_at")
+
+    @classmethod
+    def opt_i(cls) -> "UsherConfig":
+        """Usher_OptI: Usher_TL+AT plus value-flow simplification."""
+        return cls(name="usher_opt1", opt1=True)
+
+    @classmethod
+    def full(cls) -> "UsherConfig":
+        """Usher: both VFG-based optimizations enabled."""
+        return cls(name="usher", opt1=True, opt2=True)
+
+    @classmethod
+    def extended(cls) -> "UsherConfig":
+        """Usher plus every beyond-paper extension: the array
+        initialization-loop analysis and interprocedural Opt II."""
+        return cls(
+            name="usher_ext",
+            opt1=True,
+            opt2=True,
+            array_init=True,
+            opt2_interproc=True,
+        )
+
+    def with_name(self, name: str) -> "UsherConfig":
+        return replace(self, name=name)
+
+
+@dataclass
+class PreparedModule:
+    """A module with phases 1-2 of Figure 3 done (shared by configs)."""
+
+    module: Module
+    pointers: PointerResult
+    callgraph: CallGraph
+    modref: ModRefResult
+    prepare_seconds: float
+
+
+@dataclass
+class UsherResult:
+    """Everything a configuration run produces."""
+
+    config: UsherConfig
+    plan: InstrumentationPlan
+    vfg: VFG
+    gamma: Definedness
+    guided_stats: GuidedStats
+    opt2_stats: Optional[Opt2Stats]
+    analysis_seconds: float
+
+    @property
+    def static_propagations(self) -> int:
+        return self.plan.count_propagations()
+
+    @property
+    def static_checks(self) -> int:
+        return self.plan.count_checks()
+
+
+def prepare_module(module: Module, heap_cloning: bool = True) -> PreparedModule:
+    """Run pointer analysis, mod/ref and memory-SSA construction."""
+    started = time.perf_counter()
+    pointers = analyze_pointers(module, heap_cloning=heap_cloning)
+    callgraph = CallGraph(module, pointers)
+    modref = ModRefResult(module, pointers, callgraph)
+    build_memory_ssa(module, pointers, modref)
+    return PreparedModule(
+        module, pointers, callgraph, modref, time.perf_counter() - started
+    )
+
+
+def run_usher(prepared: PreparedModule, config: UsherConfig) -> UsherResult:
+    """Phases 3-5 of Figure 3 under ``config``."""
+    started = time.perf_counter()
+    vfg = build_vfg(
+        prepared.module,
+        prepared.pointers,
+        prepared.callgraph,
+        prepared.modref,
+        address_taken=config.address_taken,
+        semi_strong=config.semi_strong,
+        array_init=config.array_init,
+    )
+    gamma = resolve_for_config(vfg, config)
+    opt2_stats: Optional[Opt2Stats] = None
+    if config.opt2:
+        gamma, opt2_stats = redundant_check_elimination(
+            prepared.module,
+            vfg,
+            prepared.callgraph,
+            config.context_depth,
+            resolver=config.resolver,
+            interprocedural=config.opt2_interproc,
+        )
+    plan, guided_stats = build_guided_plan(
+        prepared.module,
+        vfg,
+        gamma,
+        prepared.callgraph,
+        opt1=config.opt1,
+        name=config.name,
+    )
+    return UsherResult(
+        config=config,
+        plan=plan,
+        vfg=vfg,
+        gamma=gamma,
+        guided_stats=guided_stats,
+        opt2_stats=opt2_stats,
+        analysis_seconds=time.perf_counter() - started,
+    )
+
+
+def run_msan(prepared: PreparedModule) -> InstrumentationPlan:
+    """The MSan-style full-instrumentation baseline."""
+    return build_msan_plan(prepared.module)
+
+
+def run_all_configs(prepared: PreparedModule) -> Dict[str, UsherResult]:
+    """The four configurations of §4.5, keyed by name."""
+    results: Dict[str, UsherResult] = {}
+    for config in (
+        UsherConfig.tl(),
+        UsherConfig.tl_at(),
+        UsherConfig.opt_i(),
+        UsherConfig.full(),
+    ):
+        results[config.name] = run_usher(prepared, config)
+    return results

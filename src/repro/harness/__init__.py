@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.ablation import build_ablation, format_ablation
+from repro.harness.figure10 import Figure10, build_figure10, format_figure10
+from repro.harness.figure11 import Figure11, build_figure11, format_figure11
+from repro.harness.opt_levels import (
+    OptLevelReport,
+    build_opt_levels,
+    format_opt_levels,
+)
+from repro.harness.report import build_report
+from repro.harness.runner import (
+    WorkloadRun,
+    clear_cache,
+    run_all_workloads,
+    run_workload,
+)
+from repro.harness.table1 import Table1Row, build_table1, format_table1
+
+__all__ = [
+    "build_ablation",
+    "format_ablation",
+    "Figure10",
+    "build_figure10",
+    "format_figure10",
+    "Figure11",
+    "build_figure11",
+    "format_figure11",
+    "build_report",
+    "OptLevelReport",
+    "build_opt_levels",
+    "format_opt_levels",
+    "WorkloadRun",
+    "clear_cache",
+    "run_all_workloads",
+    "run_workload",
+    "Table1Row",
+    "build_table1",
+    "format_table1",
+]

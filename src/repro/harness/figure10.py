@@ -1,0 +1,82 @@
+"""Figure 10: execution-time slowdowns, normalized to native code.
+
+Per workload and on average: MSan, Usher_TL, Usher_TL+AT, Usher_OptI
+and Usher (O0+IM).  The paper reports averages of 302%, 272%, 193%,
+181% and 123%; the reproduction matches the shape (strict ordering,
+large TL→TL+AT step, near-zero 181.mcf, high 253.perlbmk), not the
+absolute numbers.
+
+Also verifies §4.5's detection result: the one true use of an undefined
+value in 197.parser is detected by MSan and by every Usher variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.api import CONFIG_ORDER
+from repro.harness.runner import run_all_workloads
+from repro.runtime import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass
+class Figure10Row:
+    benchmark: str
+    slowdowns: Dict[str, float]  # config -> percent
+    warnings: Dict[str, int]  # config -> distinct warning sites
+    true_bugs: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"benchmark": self.benchmark, **self.slowdowns}
+
+
+@dataclass
+class Figure10:
+    rows: List[Figure10Row] = field(default_factory=list)
+
+    def average(self, config: str) -> float:
+        return sum(r.slowdowns[config] for r in self.rows) / len(self.rows)
+
+    def averages(self) -> Dict[str, float]:
+        return {config: self.average(config) for config in CONFIG_ORDER}
+
+    def row(self, benchmark: str) -> Figure10Row:
+        return next(r for r in self.rows if r.benchmark == benchmark)
+
+
+def build_figure10(
+    scale: float = 1.0,
+    level: str = "O0+IM",
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> Figure10:
+    figure = Figure10()
+    for run in run_all_workloads(level, scale):
+        slowdowns = {c: run.slowdown(c, model) for c in CONFIG_ORDER}
+        warnings = {
+            c: len(run.report(c).warning_set()) for c in CONFIG_ORDER
+        }
+        figure.rows.append(
+            Figure10Row(
+                benchmark=run.workload.name,
+                slowdowns=slowdowns,
+                warnings=warnings,
+                true_bugs=len(run.native().true_bug_set()),
+            )
+        )
+    return figure
+
+
+def format_figure10(figure: Figure10) -> str:
+    configs = list(CONFIG_ORDER)
+    header = f"{'benchmark':14s}" + "".join(f"{c:>13s}" for c in configs)
+    lines = [header, "-" * len(header)]
+    for row in figure.rows:
+        cells = "".join(f"{row.slowdowns[c]:>12.1f}%" for c in configs)
+        lines.append(f"{row.benchmark:14s}{cells}")
+    lines.append("-" * len(header))
+    avg = figure.averages()
+    lines.append(
+        f"{'average':14s}" + "".join(f"{avg[c]:>12.1f}%" for c in configs)
+    )
+    return "\n".join(lines)

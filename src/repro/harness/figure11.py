@@ -1,0 +1,85 @@
+"""Figure 11: static shadow propagations and checks, normalized to MSan.
+
+The paper reports (averages): Usher_TL 57% propagations / 72% checks,
+Usher_TL+AT 32% / 44%, Usher_OptI 22% / 44%, Usher 16% / 23%.  The
+reproduction matches the monotone shape per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.harness.runner import run_all_workloads
+
+USHER_CONFIGS = ("usher_tl", "usher_tl_at", "usher_opt1", "usher")
+
+
+@dataclass
+class Figure11Row:
+    benchmark: str
+    #: config -> (propagations fraction of MSan, checks fraction of MSan)
+    normalized: Dict[str, "tuple[float, float]"]
+    msan_propagations: int
+    msan_checks: int
+
+
+@dataclass
+class Figure11:
+    rows: List[Figure11Row] = field(default_factory=list)
+
+    def average_propagations(self, config: str) -> float:
+        return sum(r.normalized[config][0] for r in self.rows) / len(self.rows)
+
+    def average_checks(self, config: str) -> float:
+        return sum(r.normalized[config][1] for r in self.rows) / len(self.rows)
+
+
+def build_figure11(scale: float = 1.0, level: str = "O0+IM") -> Figure11:
+    figure = Figure11()
+    for run in run_all_workloads(level, scale):
+        analysis = run.analysis
+        msan_props = max(analysis.static_propagations("msan"), 1)
+        msan_checks = max(analysis.static_checks("msan"), 1)
+        normalized = {}
+        for config in USHER_CONFIGS:
+            normalized[config] = (
+                analysis.static_propagations(config) / msan_props,
+                analysis.static_checks(config) / msan_checks,
+            )
+        figure.rows.append(
+            Figure11Row(
+                benchmark=run.workload.name,
+                normalized=normalized,
+                msan_propagations=msan_props,
+                msan_checks=msan_checks,
+            )
+        )
+    return figure
+
+
+def format_figure11(figure: Figure11) -> str:
+    header = f"{'benchmark':14s}" + "".join(
+        f"{c + suffix:>16s}"
+        for c in USHER_CONFIGS
+        for suffix in ("/prop", "/chk")
+    )
+    lines = [header, "-" * len(header)]
+    for row in figure.rows:
+        cells = "".join(
+            f"{row.normalized[c][i] * 100:>15.0f}%"
+            for c in USHER_CONFIGS
+            for i in (0, 1)
+        )
+        lines.append(f"{row.benchmark:14s}{cells}")
+    lines.append("-" * len(header))
+    avg_cells = "".join(
+        f"{value * 100:>15.0f}%"
+        for c in USHER_CONFIGS
+        for value in (
+            figure.average_propagations(c),
+            figure.average_checks(c),
+        )
+    )
+    lines.append(f"{'average':14s}{avg_cells}")
+    return "\n".join(lines)

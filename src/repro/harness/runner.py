@@ -1,0 +1,90 @@
+"""Shared experiment runner: analyze and execute one workload.
+
+Caches per-(workload, level, scale) results so the table/figure
+builders and the pytest benchmarks don't redo work.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.api import Analysis, analyze_source
+from repro.runtime import DEFAULT_COST_MODEL, CostModel, ExecutionReport
+from repro.vfg.graph import Node, Root
+from repro.workloads import WORKLOADS, Workload
+
+
+@dataclass
+class WorkloadRun:
+    """One workload fully analyzed and executed under every config."""
+
+    workload: Workload
+    analysis: Analysis
+    peak_memory_mb: float
+
+    def native(self) -> ExecutionReport:
+        return self.analysis.run_native()
+
+    def report(self, config: str) -> ExecutionReport:
+        return self.analysis.run(config)
+
+    def slowdown(self, config: str, model: CostModel = DEFAULT_COST_MODEL) -> float:
+        return self.analysis.slowdown(config, model)
+
+
+_CACHE: Dict[Tuple[str, str, float], WorkloadRun] = {}
+
+
+def run_workload(
+    workload: Workload,
+    level: str = "O0+IM",
+    scale: float = 1.0,
+    use_cache: bool = True,
+) -> WorkloadRun:
+    key = (workload.name, level, scale)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    tracemalloc.start()
+    analysis = analyze_source(workload.source(scale), workload.name, level=level)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    run = WorkloadRun(workload, analysis, peak / (1024.0 * 1024.0))
+    if use_cache:
+        _CACHE[key] = run
+    return run
+
+
+def run_all_workloads(
+    level: str = "O0+IM", scale: float = 1.0
+) -> List[WorkloadRun]:
+    return [run_workload(w, level, scale) for w in WORKLOADS]
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def nodes_reaching_checks(analysis: Analysis) -> Set[Node]:
+    """VFG nodes whose value reaches a needed runtime check (%B basis).
+
+    Backward closure over dependence edges from the ⊥ critical-use
+    nodes, using the TL+AT configuration's graph (the paper's Table 1 is
+    computed before the VFG-based optimizations)."""
+    result = analysis.results["usher_tl_at"]
+    vfg, gamma = result.vfg, result.gamma
+    work = [
+        site.node
+        for site in vfg.check_sites
+        if site.node is not None and not gamma.is_defined(site.node)
+    ]
+    seen: Set[Node] = set()
+    while work:
+        node = work.pop()
+        if node in seen or isinstance(node, Root):
+            continue
+        seen.add(node)
+        for edge in vfg.deps_of(node):
+            work.append(edge.src)
+    return seen

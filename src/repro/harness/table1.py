@@ -1,0 +1,128 @@
+"""Table 1: benchmark statistics under O0+IM.
+
+Regenerates, per workload: program size, analysis time and memory,
+variable population (top-level vs address-taken, split by storage
+class), %F uninitialized allocations, semi-strong applications per
+non-array heap allocation site (S), strong/weak store percentages
+(%SU / %WU), VFG size, %B (nodes reaching a needed check), Opt I
+simplified MFCs (S) and Opt II redirected nodes (R).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.memobjects import GLOBAL, HEAP, STACK
+from repro.harness.runner import WorkloadRun, nodes_reaching_checks, run_all_workloads
+
+
+@dataclass
+class Table1Row:
+    benchmark: str
+    source_lines: int
+    analysis_seconds: float
+    memory_mb: float
+    var_tl: int
+    var_at_stack: int
+    var_at_heap: int
+    var_at_global: int
+    pct_uninit_allocs: float  # %F
+    semi_strong_per_heap_site: float  # S
+    pct_strong_stores: float  # %SU
+    pct_singleton_weak_stores: float  # %WU
+    vfg_nodes: int
+    pct_reaching_checks: float  # %B
+    mfcs_simplified: int  # S (Opt I)
+    redirected_nodes: int  # R (Opt II)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+_COLUMNS = (
+    ("benchmark", "Benchmark", "s"),
+    ("source_lines", "Lines", "d"),
+    ("analysis_seconds", "Time(s)", ".2f"),
+    ("memory_mb", "Mem(MB)", ".1f"),
+    ("var_tl", "VarTL", "d"),
+    ("var_at_stack", "Stack", "d"),
+    ("var_at_heap", "Heap", "d"),
+    ("var_at_global", "Global", "d"),
+    ("pct_uninit_allocs", "%F", ".0f"),
+    ("semi_strong_per_heap_site", "S/site", ".1f"),
+    ("pct_strong_stores", "%SU", ".0f"),
+    ("pct_singleton_weak_stores", "%WU", ".0f"),
+    ("vfg_nodes", "Nodes", "d"),
+    ("pct_reaching_checks", "%B", ".0f"),
+    ("mfcs_simplified", "S(OptI)", "d"),
+    ("redirected_nodes", "R(OptII)", "d"),
+)
+
+
+def table1_row(run: WorkloadRun) -> Table1Row:
+    analysis = run.analysis
+    prepared = analysis.prepared
+    tl_at = analysis.results["usher_tl_at"]
+    full = analysis.results["usher"]
+    vfg = tl_at.vfg
+    stats = vfg.stats
+
+    objects = prepared.pointers.all_objects()
+    stack = [o for o in objects if o.kind == STACK]
+    heap = [o for o in objects if o.kind == HEAP]
+    globs = [o for o in objects if o.kind == GLOBAL]
+    allocated = stack + heap
+    uninit = [o for o in allocated if not o.initialized]
+
+    top_level = {
+        (f.name, v.name)
+        for f in analysis.module.functions.values()
+        for i in f.instructions()
+        for v in i.defs()
+    }
+
+    analysis_seconds = prepared.prepare_seconds + sum(
+        r.analysis_seconds for r in analysis.results.values()
+    )
+
+    stores = max(stats.stores_total, 1)
+    heap_sites = max(stats.heap_alloc_sites, 1)
+    reaching = nodes_reaching_checks(analysis)
+
+    opt2 = full.opt2_stats
+
+    return Table1Row(
+        benchmark=run.workload.name,
+        source_lines=len(run.workload.source().strip().splitlines()),
+        analysis_seconds=analysis_seconds,
+        memory_mb=run.peak_memory_mb,
+        var_tl=len(top_level),
+        var_at_stack=len(stack),
+        var_at_heap=len(heap),
+        var_at_global=len(globs),
+        pct_uninit_allocs=100.0 * len(uninit) / max(len(allocated), 1),
+        semi_strong_per_heap_site=stats.semi_strong_applied / heap_sites,
+        pct_strong_stores=100.0 * stats.stores_strong / stores,
+        pct_singleton_weak_stores=100.0 * stats.stores_singleton_weak / stores,
+        vfg_nodes=vfg.num_nodes,
+        pct_reaching_checks=100.0 * len(reaching) / max(vfg.num_nodes, 1),
+        mfcs_simplified=analysis.results["usher_opt1"].guided_stats.mfcs_simplified,
+        redirected_nodes=opt2.redirected_nodes if opt2 else 0,
+    )
+
+
+def build_table1(scale: float = 1.0) -> List[Table1Row]:
+    return [table1_row(run) for run in run_all_workloads("O0+IM", scale)]
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    header = " ".join(f"{title:>9s}" for _, title, _ in _COLUMNS)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for attr, _, fmt in _COLUMNS:
+            value = getattr(row, attr)
+            cells.append(f"{value:>9{fmt}}" if fmt != "s" else f"{value:>9s}"[:12])
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""The TinyC intermediate representation (the paper's Figure 1/4 language).
+
+Public surface:
+
+- :mod:`repro.ir.values` — :class:`Const` / :class:`Var` operands
+- :mod:`repro.ir.instructions` — the instruction set (+ μ/χ annotations)
+- :mod:`repro.ir.function` / :mod:`repro.ir.module` — containers
+- :mod:`repro.ir.builder` — :class:`IRBuilder` for programmatic construction
+- :mod:`repro.ir.cfg` / :mod:`repro.ir.dominance` — CFG and dominance
+- :mod:`repro.ir.printer` / :mod:`repro.ir.verifier` — debugging aids
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.cfg import CFG
+from repro.ir.dominance import DominatorTree, loop_blocks
+from repro.ir.function import Block, Function
+from repro.ir.module import GlobalVariable, Module
+from repro.ir.parser import IRParseError, parse_ir
+from repro.ir.printer import function_to_str, module_to_str
+from repro.ir.values import Const, Value, Var
+from repro.ir.verifier import VerificationError, verify_module
+
+__all__ = [
+    "IRBuilder",
+    "CFG",
+    "DominatorTree",
+    "loop_blocks",
+    "Block",
+    "Function",
+    "GlobalVariable",
+    "Module",
+    "IRParseError",
+    "parse_ir",
+    "function_to_str",
+    "module_to_str",
+    "Const",
+    "Value",
+    "Var",
+    "VerificationError",
+    "verify_module",
+]

@@ -1,0 +1,159 @@
+"""A convenience builder for constructing IR by hand.
+
+Used by the TinyC front-end lowering, by tests and by the examples.  The
+builder tracks a current insertion block and hands out fresh temporaries
+(named ``%tN``) and fresh block labels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.ir import instructions as ins
+from repro.ir.function import Block, Function
+from repro.ir.module import GlobalVariable, Module
+from repro.ir.values import Const, Value, Var
+
+
+class IRBuilder:
+    """Builds one function at a time inside a module."""
+
+    def __init__(self, module: Optional[Module] = None) -> None:
+        self.module = module if module is not None else Module()
+        self.function: Optional[Function] = None
+        self.block: Optional[Block] = None
+        self._temp_counter = 0
+        self._label_counter = 0
+        self._obj_counter = 0
+        #: Source line stamped on emitted instructions (diagnostics).
+        self.current_line: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def start_function(self, name: str, params: Optional[List[str]] = None) -> Function:
+        """Begin a new function and position at a fresh entry block."""
+        self.function = Function(name, params)
+        self.module.add_function(self.function)
+        self.block = self.function.add_block(self.fresh_label("entry"))
+        return self.function
+
+    def add_global(
+        self,
+        name: str,
+        initialized: bool = True,
+        size: int = 1,
+        is_array: bool = False,
+    ) -> GlobalVariable:
+        return self.module.add_global(
+            GlobalVariable(name, initialized, size, is_array)
+        )
+
+    def new_block(self, hint: str = "bb") -> Block:
+        assert self.function is not None
+        return self.function.add_block(self.fresh_label(hint))
+
+    def position_at(self, block: Block) -> None:
+        self.block = block
+
+    def fresh_label(self, hint: str = "bb") -> str:
+        label = f"{hint}{self._label_counter}"
+        self._label_counter += 1
+        return label
+
+    def fresh_temp(self, hint: str = "t") -> Var:
+        var = Var(f"%{hint}{self._temp_counter}")
+        self._temp_counter += 1
+        return var
+
+    def fresh_obj(self, hint: str = "obj") -> str:
+        name = f"{hint}{self._obj_counter}"
+        self._obj_counter += 1
+        return name
+
+    def _emit(self, instr: ins.Instr) -> ins.Instr:
+        assert self.block is not None, "no insertion block"
+        instr.line = self.current_line
+        return self.block.append(instr)
+
+    # ------------------------------------------------------------------
+    # Instructions
+    # ------------------------------------------------------------------
+    def const(self, dst: Var, value: int) -> Var:
+        self._emit(ins.ConstCopy(dst, value))
+        return dst
+
+    def copy(self, dst: Var, src: Value) -> Var:
+        self._emit(ins.Copy(dst, src))
+        return dst
+
+    def binop(self, dst: Var, op: str, lhs: Value, rhs: Value) -> Var:
+        self._emit(ins.BinOp(dst, op, lhs, rhs))
+        return dst
+
+    def unop(self, dst: Var, op: str, operand: Value) -> Var:
+        self._emit(ins.UnOp(dst, op, operand))
+        return dst
+
+    def alloc(
+        self,
+        dst: Var,
+        obj_name: Optional[str] = None,
+        initialized: bool = False,
+        kind: str = "stack",
+        size: int = 1,
+        is_array: bool = False,
+    ) -> Var:
+        name = obj_name if obj_name is not None else self.fresh_obj()
+        self._emit(ins.Alloc(dst, name, initialized, kind, size, is_array))
+        return dst
+
+    def gep(self, dst: Var, base: Value, offset: Value) -> Var:
+        if isinstance(offset, int):
+            offset = Const(offset)
+        self._emit(ins.Gep(dst, base, offset))
+        return dst
+
+    def global_addr(self, dst: Var, global_name: str) -> Var:
+        self._emit(ins.GlobalAddr(dst, global_name))
+        return dst
+
+    def func_addr(self, dst: Var, func_name: str) -> Var:
+        self._emit(ins.FuncAddr(dst, func_name))
+        return dst
+
+    def load(self, dst: Var, ptr: Value) -> Var:
+        self._emit(ins.Load(dst, ptr))
+        return dst
+
+    def store(self, ptr: Value, value: Value) -> None:
+        self._emit(ins.Store(ptr, value))
+
+    def call(
+        self,
+        dst: Optional[Var],
+        callee: Union[str, Var],
+        args: Optional[List[Value]] = None,
+    ) -> Optional[Var]:
+        self._emit(ins.Call(dst, callee, args))
+        return dst
+
+    def branch(self, cond: Value, then_label: str, else_label: str) -> None:
+        self._emit(ins.Branch(cond, then_label, else_label))
+
+    def jump(self, target: str) -> None:
+        self._emit(ins.Jump(target))
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        self._emit(ins.Ret(value))
+
+    def output(self, value: Value) -> None:
+        self._emit(ins.Output(value))
+
+    # ------------------------------------------------------------------
+    # Finishing
+    # ------------------------------------------------------------------
+    def finish(self) -> Module:
+        """Assign instruction uids and return the module."""
+        self.module.assign_uids()
+        return self.module

@@ -1,0 +1,76 @@
+"""Control-flow graph utilities over IR functions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.function import Function
+
+
+class CFG:
+    """Predecessor/successor maps and traversal orders for one function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.succs: Dict[str, List[str]] = {}
+        self.preds: Dict[str, List[str]] = {}
+        for block in function.blocks:
+            self.succs[block.label] = []
+            self.preds.setdefault(block.label, [])
+        for block in function.blocks:
+            for succ in block.successors():
+                if succ not in self.succs:
+                    raise ValueError(
+                        f"{function.name}: branch to unknown block {succ!r}"
+                    )
+                self.succs[block.label].append(succ)
+                self.preds[succ].append(block.label)
+
+    @property
+    def entry(self) -> str:
+        return self.function.entry.label
+
+    def reachable(self) -> Set[str]:
+        """Labels of blocks reachable from the entry."""
+        seen: Set[str] = set()
+        stack = [self.entry]
+        while stack:
+            label = stack.pop()
+            if label in seen:
+                continue
+            seen.add(label)
+            stack.extend(self.succs[label])
+        return seen
+
+    def postorder(self) -> List[str]:
+        """Postorder over reachable blocks (iterative DFS)."""
+        seen: Set[str] = set()
+        order: List[str] = []
+        stack: List[tuple] = [(self.entry, iter(self.succs[self.entry]))]
+        seen.add(self.entry)
+        while stack:
+            label, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child not in seen:
+                    seen.add(child)
+                    stack.append((child, iter(self.succs[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(label)
+                stack.pop()
+        return order
+
+    def reverse_postorder(self) -> List[str]:
+        return list(reversed(self.postorder()))
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Delete blocks unreachable from the entry; return how many."""
+    cfg = CFG(function)
+    reachable = cfg.reachable()
+    dead = [b.label for b in function.blocks if b.label not in reachable]
+    for label in dead:
+        function.remove_block(label)
+    return len(dead)

@@ -1,0 +1,251 @@
+"""Textual IR parser — the inverse of :mod:`repro.ir.printer`.
+
+Parses the pre-SSA form the front end and optimizer produce (no φs, no
+SSA versions, no μ/χ annotations — those are analysis results, not
+inputs).  Together with the printer this gives a round-trip property
+(``parse(print(m))`` prints identically) and lets tests and tools ship
+IR fixtures as plain text.
+
+Accepted grammar (one instruction per line, blocks introduced by
+``label:`` lines)::
+
+    ; module NAME
+    global g (init=T)
+    global a (init=F array[8])
+    global r (init=T fields=3)
+
+    def f(a, b) {
+    entry:
+        x := 42
+        x := y
+        x := y + z
+        x := -y
+        p := alloc_F obj (stack, fields=2)
+        q := alloc_T obj2 (heap, array[8])
+        e := gep p, 1
+        g := &glob
+        fp := &func()
+        v := *p
+        *p := v
+        r := f(x, 1)
+        r := *fp(x)
+        if c goto then else els
+        goto join
+        output v
+        ret v
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.module import GlobalVariable, Module
+from repro.ir.values import Const, Value, Var
+
+
+class IRParseError(Exception):
+    """A malformed IR text line."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+_NAME = r"[%A-Za-z_][%A-Za-z0-9_.@:\-]*"
+_VALUE = rf"(?:-?\d+|{_NAME})"
+
+_GLOBAL_RE = re.compile(
+    rf"global\s+(?P<name>{_NAME})\s*"
+    r"\(init=(?P<init>[TF])(?:\s+(?:array\[(?P<asize>\d+)\]|fields=(?P<fields>\d+)))?\)"
+)
+_DEF_RE = re.compile(rf"def\s+(?P<name>{_NAME})\s*\((?P<params>[^)]*)\)\s*(?:\[[^\]]*\]\s*)?\{{")
+_LABEL_RE = re.compile(rf"^(?P<label>{_NAME}):$")
+_ALLOC_RE = re.compile(
+    rf"(?P<dst>{_NAME}) := alloc_(?P<flavor>[TF]) (?P<obj>\S+)"
+    r" \((?P<kind>stack|heap)(?:, (?:fields=(?P<fields>\d+)|array\[(?P<asize>\d+)\]))?\)"
+)
+_GEP_RE = re.compile(rf"(?P<dst>{_NAME}) := gep (?P<base>{_VALUE}), (?P<off>{_VALUE})$")
+_FUNCADDR_RE = re.compile(rf"(?P<dst>{_NAME}) := &(?P<func>{_NAME})\(\)$")
+_GLOBALADDR_RE = re.compile(rf"(?P<dst>{_NAME}) := &(?P<glob>{_NAME})$")
+_LOAD_RE = re.compile(rf"(?P<dst>{_NAME}) := \*(?P<ptr>{_VALUE})$")
+_STORE_RE = re.compile(rf"\*(?P<ptr>{_VALUE}) := (?P<src>{_VALUE})$")
+_CALL_RE = re.compile(
+    rf"(?:(?P<dst>{_NAME}) := )?(?P<star>\*)?(?P<callee>{_NAME})\((?P<args>[^)]*)\)$"
+)
+_BINOP_RE = re.compile(
+    rf"(?P<dst>{_NAME}) := (?P<lhs>{_VALUE}) "
+    rf"(?P<op>\+|-|\*|/|%|<<|>>|<=|>=|==|!=|<|>|&|\||\^) (?P<rhs>{_VALUE})$"
+)
+_UNOP_RE = re.compile(rf"(?P<dst>{_NAME}) := (?P<op>[-!~])(?P<val>{_VALUE})$")
+_COPY_RE = re.compile(rf"(?P<dst>{_NAME}) := (?P<src>{_VALUE})$")
+_BRANCH_RE = re.compile(
+    rf"if (?P<cond>{_VALUE}) goto (?P<then>{_NAME}) else (?P<els>{_NAME})$"
+)
+_JUMP_RE = re.compile(rf"goto (?P<target>{_NAME})$")
+_RET_RE = re.compile(rf"ret(?: (?P<val>{_VALUE}))?$")
+_OUTPUT_RE = re.compile(rf"output (?P<val>{_VALUE})$")
+
+
+def _value(text: str) -> Value:
+    if re.fullmatch(r"-?\d+", text):
+        return Const(int(text))
+    return Var(text)
+
+
+def parse_ir(text: str) -> Module:
+    """Parse printed IR text back into a module."""
+    module = Module()
+    function: Optional[Function] = None
+    block = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith("; module"):
+            continue
+
+        match = _GLOBAL_RE.fullmatch(line)
+        if match:
+            size = 1
+            is_array = False
+            if match.group("asize"):
+                size, is_array = int(match.group("asize")), True
+            elif match.group("fields"):
+                size = int(match.group("fields"))
+            module.add_global(
+                GlobalVariable(
+                    match.group("name"),
+                    initialized=match.group("init") == "T",
+                    size=size,
+                    is_array=is_array,
+                )
+            )
+            continue
+
+        match = _DEF_RE.fullmatch(line)
+        if match:
+            params = [
+                p.strip() for p in match.group("params").split(",") if p.strip()
+            ]
+            function = Function(match.group("name"), params)
+            module.add_function(function)
+            block = None
+            continue
+
+        if line == "}":
+            function = None
+            block = None
+            continue
+
+        if function is None:
+            raise IRParseError("instruction outside a function", line_no, raw)
+
+        match = _LABEL_RE.fullmatch(line)
+        if match:
+            block = function.add_block(match.group("label"))
+            continue
+
+        if block is None:
+            raise IRParseError("instruction outside a block", line_no, raw)
+
+        # Strip μ/χ annotations (printed analysis results, not input).
+        body = re.sub(r"\s+\[(?:mu|.*:= chi)\(.*\]$", "", line)
+        instr = _parse_instr(body, line_no, raw)
+        block.append(instr)
+
+    module.assign_uids()
+    return module
+
+
+def _parse_instr(body: str, line_no: int, raw: str) -> ins.Instr:
+    match = _ALLOC_RE.fullmatch(body)
+    if match:
+        size = 1
+        is_array = False
+        if match.group("asize"):
+            size, is_array = int(match.group("asize")), True
+        elif match.group("fields"):
+            size = int(match.group("fields"))
+        return ins.Alloc(
+            Var(match.group("dst")),
+            match.group("obj"),
+            initialized=match.group("flavor") == "T",
+            kind=match.group("kind"),
+            size=size,
+            is_array=is_array,
+        )
+    match = _GEP_RE.fullmatch(body)
+    if match:
+        return ins.Gep(
+            Var(match.group("dst")),
+            _value(match.group("base")),
+            _value(match.group("off")),
+        )
+    match = _FUNCADDR_RE.fullmatch(body)
+    if match:
+        return ins.FuncAddr(Var(match.group("dst")), match.group("func"))
+    match = _GLOBALADDR_RE.fullmatch(body)
+    if match:
+        return ins.GlobalAddr(Var(match.group("dst")), match.group("glob"))
+    match = _CALL_RE.fullmatch(body)
+    if match and not _LOAD_RE.fullmatch(body):
+        args = [
+            _value(a.strip())
+            for a in match.group("args").split(",")
+            if a.strip()
+        ]
+        dst = Var(match.group("dst")) if match.group("dst") else None
+        callee: "str | Var" = (
+            Var(match.group("callee"))
+            if match.group("star")
+            else match.group("callee")
+        )
+        return ins.Call(dst, callee, args)
+    match = _LOAD_RE.fullmatch(body)
+    if match:
+        return ins.Load(Var(match.group("dst")), _value(match.group("ptr")))
+    match = _STORE_RE.fullmatch(body)
+    if match:
+        return ins.Store(_value(match.group("ptr")), _value(match.group("src")))
+    match = _BINOP_RE.fullmatch(body)
+    if match:
+        return ins.BinOp(
+            Var(match.group("dst")),
+            match.group("op"),
+            _value(match.group("lhs")),
+            _value(match.group("rhs")),
+        )
+    match = _UNOP_RE.fullmatch(body)
+    if match and not re.fullmatch(r"-?\d+", match.group("op") + match.group("val")):
+        return ins.UnOp(
+            Var(match.group("dst")), match.group("op"), _value(match.group("val"))
+        )
+    match = _COPY_RE.fullmatch(body)
+    if match:
+        value = _value(match.group("src"))
+        if isinstance(value, Const):
+            return ins.ConstCopy(Var(match.group("dst")), value.value)
+        return ins.Copy(Var(match.group("dst")), value)
+    match = _BRANCH_RE.fullmatch(body)
+    if match:
+        return ins.Branch(
+            _value(match.group("cond")),
+            match.group("then"),
+            match.group("els"),
+        )
+    match = _JUMP_RE.fullmatch(body)
+    if match:
+        return ins.Jump(match.group("target"))
+    match = _RET_RE.fullmatch(body)
+    if match:
+        value = _value(match.group("val")) if match.group("val") else None
+        return ins.Ret(value)
+    match = _OUTPUT_RE.fullmatch(body)
+    if match:
+        return ins.Output(_value(match.group("val")))
+    raise IRParseError("unrecognized instruction", line_no, raw)

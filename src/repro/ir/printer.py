@@ -1,0 +1,40 @@
+"""Textual pretty-printer for IR modules (debugging and golden tests)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+def function_to_str(function: Function, show_uids: bool = False) -> str:
+    lines: List[str] = []
+    params = ", ".join(function.params)
+    vparams = ""
+    if function.virtual_params:
+        vparams = " [" + ", ".join(str(v) for v in function.virtual_params) + "]"
+    lines.append(f"def {function.name}({params}){vparams} {{")
+    for block in function.blocks:
+        lines.append(f"{block.label}:")
+        for mphi in block.mem_phis:
+            lines.append(f"    {mphi}")
+        for instr in block.instrs:
+            prefix = f"[{instr.uid:>4}] " if show_uids else ""
+            lines.append(f"    {prefix}{instr}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_str(module: Module, show_uids: bool = False) -> str:
+    lines: List[str] = [f"; module {module.name}"]
+    for glob in module.globals.values():
+        init = "T" if glob.initialized else "F"
+        extra = f" array[{glob.size}]" if glob.is_array else (
+            f" fields={glob.size}" if glob.size > 1 else ""
+        )
+        lines.append(f"global {glob.name} (init={init}{extra})")
+    for function in module.functions.values():
+        lines.append("")
+        lines.append(function_to_str(function, show_uids))
+    return "\n".join(lines)

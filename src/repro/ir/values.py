@@ -1,0 +1,63 @@
+"""Operand values for the TinyC intermediate representation.
+
+The IR mimics the paper's TinyC language (Figure 1) and its SSA extension
+(Figure 4).  Operands are either integer constants (``Const``) or top-level
+variables (``Var``).  Address-taken variables never appear as operands; they
+are only reachable through loads and stores, exactly as in LLVM-IR.
+
+``Var`` instances are immutable.  SSA construction replaces operands with
+fresh ``Var`` objects carrying a version number instead of mutating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer constant operand.  Constants are always defined."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A top-level variable operand, optionally carrying an SSA version.
+
+    Before SSA construction ``version`` is ``None``; afterwards every
+    definition carries a distinct version and every use names the version
+    of its reaching definition.
+    """
+
+    name: str
+    version: Optional[int] = None
+
+    def with_version(self, version: int) -> "Var":
+        """Return a copy of this variable carrying ``version``."""
+        return Var(self.name, version)
+
+    @property
+    def base(self) -> "Var":
+        """The version-less variable underlying this SSA name."""
+        return Var(self.name) if self.version is not None else self
+
+    def __str__(self) -> str:
+        if self.version is None:
+            return self.name
+        return f"{self.name}.{self.version}"
+
+
+#: Any value usable as an instruction operand.
+Value = Union[Const, Var]
+
+
+def uses_of(value: Value) -> "tuple[Var, ...]":
+    """Return the variables used by ``value`` (empty for constants)."""
+    if isinstance(value, Var):
+        return (value,)
+    return ()

@@ -1,0 +1,117 @@
+"""Structural well-formedness checks for IR modules.
+
+The verifier catches malformed IR early: unterminated blocks, branches to
+unknown labels, calls to unknown direct callees, φs whose incoming labels
+disagree with the CFG, and (post-SSA) multiply-defined SSA names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Var
+
+
+class VerificationError(Exception):
+    """Raised when a module fails verification."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("\n".join(problems))
+        self.problems = problems
+
+
+def verify_module(module: Module, ssa: bool = False) -> None:
+    """Verify ``module``; raise :class:`VerificationError` on problems.
+
+    With ``ssa=True`` additionally checks the single-assignment property
+    for versioned variables.
+    """
+    problems: List[str] = []
+    for function in module.functions.values():
+        problems.extend(_verify_function(module, function, ssa))
+    if problems:
+        raise VerificationError(problems)
+
+
+def _verify_function(module: Module, function: Function, ssa: bool) -> List[str]:
+    problems: List[str] = []
+    where = f"function {function.name}"
+
+    if not function.blocks:
+        return [f"{where}: has no blocks"]
+
+    labels: Set[str] = set()
+    for block in function.blocks:
+        if block.label in labels:
+            problems.append(f"{where}: duplicate block label {block.label}")
+        labels.add(block.label)
+        if not block.terminated:
+            problems.append(f"{where}: block {block.label} lacks a terminator")
+            continue
+        for i, instr in enumerate(block.instrs):
+            if instr.is_terminator() and i != len(block.instrs) - 1:
+                problems.append(
+                    f"{where}: terminator mid-block in {block.label}"
+                )
+            if isinstance(instr, ins.Call) and not instr.is_indirect:
+                if instr.callee not in module.functions:
+                    problems.append(
+                        f"{where}: call to unknown function {instr.callee!r}"
+                    )
+            if isinstance(instr, ins.GlobalAddr):
+                if instr.global_name not in module.globals:
+                    problems.append(
+                        f"{where}: address of unknown global "
+                        f"{instr.global_name!r}"
+                    )
+            if isinstance(instr, ins.FuncAddr):
+                if instr.func_name not in module.functions:
+                    problems.append(
+                        f"{where}: address of unknown function "
+                        f"{instr.func_name!r}"
+                    )
+        for succ in block.successors():
+            if not function.has_block(succ):
+                problems.append(
+                    f"{where}: branch from {block.label} to unknown "
+                    f"block {succ!r}"
+                )
+
+    if problems:
+        return problems
+
+    cfg = CFG(function)
+    for block in function.blocks:
+        preds = set(cfg.preds[block.label])
+        for phi in block.phis():
+            incoming = set(phi.incomings)
+            if incoming != preds:
+                problems.append(
+                    f"{where}: phi {phi.dst} in {block.label} has incoming "
+                    f"labels {sorted(incoming)} but predecessors are "
+                    f"{sorted(preds)}"
+                )
+
+    if ssa:
+        problems.extend(_verify_ssa(function, where))
+    return problems
+
+
+def _verify_ssa(function: Function, where: str) -> List[str]:
+    problems: List[str] = []
+    defined: Dict[Var, int] = {}
+    for instr in function.instructions():
+        for var in instr.defs():
+            if var.version is None:
+                problems.append(
+                    f"{where}: unversioned definition of {var} in SSA form"
+                )
+            defined[var] = defined.get(var, 0) + 1
+    for var, count in defined.items():
+        if count > 1:
+            problems.append(f"{where}: {var} defined {count} times in SSA form")
+    return problems

@@ -1,0 +1,36 @@
+"""Memory SSA construction (the "Memory SSA Construction" phase, §3.1).
+
+Combines μ/χ annotation (:mod:`repro.memssa.mu_chi`) with standard SSA
+construction (:mod:`repro.memssa.ssa`) applied uniformly to top-level and
+address-taken variables.
+"""
+
+from repro.ir.module import Module
+from repro.analysis.andersen import PointerResult
+from repro.analysis.modref import ModRefResult
+from repro.memssa.mu_chi import annotate_module, sorted_locs
+from repro.memssa.ssa import construct_ssa
+from repro.memssa.verifier import MemSSAError, verify_memory_ssa
+
+
+def build_memory_ssa(
+    module: Module, pointers: PointerResult, modref: ModRefResult
+) -> None:
+    """Annotate ``module`` with μ/χ functions and put it in SSA form.
+
+    This is phase 2 of Figure 3: pointer information drives the μ/χ
+    placement; a standard SSA construction then versions both variable
+    kinds at once.
+    """
+    annotate_module(module, pointers, modref)
+    construct_ssa(module)
+
+
+__all__ = [
+    "annotate_module",
+    "construct_ssa",
+    "build_memory_ssa",
+    "sorted_locs",
+    "MemSSAError",
+    "verify_memory_ssa",
+]

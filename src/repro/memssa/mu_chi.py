@@ -1,0 +1,78 @@
+"""μ/χ annotation of a module (Figure 4).
+
+Following Chow et al. (as the paper does), every potential indirect use
+of an address-taken variable is annotated with a μ function and every
+potential indirect def with a χ function:
+
+- a load ``x := *y`` gets ``μ(ρ)`` for every ρ that ``y`` may point to;
+- a store ``*x := y`` gets ``ρ := χ(ρ)`` for every ρ that ``x`` may
+  point to (a χ both uses and redefines ρ);
+- an allocation gets ``ρ := χ(ρ)`` for every location of every abstract
+  object created at the site (one per heap clone);
+- a call gets μs for the callee's refs and χs for its mods (the virtual
+  argument/output bindings of Figure 4);
+- a return gets μs for the function's virtual output parameters.
+
+The function itself records its virtual parameters (``[ρ]`` lists).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Var
+from repro.analysis.andersen import PointerResult
+from repro.analysis.memobjects import MemLoc
+from repro.analysis.modref import ModRefResult
+
+
+def _loc_key(loc: MemLoc) -> tuple:
+    return (loc.obj.name, loc.field)
+
+
+def sorted_locs(locs: "set[MemLoc] | frozenset[MemLoc]") -> List[MemLoc]:
+    return sorted(locs, key=_loc_key)
+
+
+def annotate_module(
+    module: Module, pointers: PointerResult, modref: ModRefResult
+) -> None:
+    """Attach μ/χ annotations and virtual parameters to every function."""
+    for function in module.functions.values():
+        _annotate_function(function, pointers, modref)
+
+
+def _annotate_function(
+    function: Function, pointers: PointerResult, modref: ModRefResult
+) -> None:
+    name = function.name
+    function.virtual_params = sorted_locs(modref.func_accessed(name))
+    vouts: Set[MemLoc] = modref.mod[name]
+    for instr in function.instructions():
+        instr.mus = []
+        instr.chis = []
+        if isinstance(instr, ins.Load):
+            if isinstance(instr.ptr, Var):
+                for loc in sorted_locs(pointers.data_pts_var(name, instr.ptr)):
+                    instr.mus.append(ins.Mu(loc))
+        elif isinstance(instr, ins.Store):
+            if isinstance(instr.ptr, Var):
+                for loc in sorted_locs(pointers.data_pts_var(name, instr.ptr)):
+                    instr.chis.append(ins.Chi(loc))
+        elif isinstance(instr, ins.Alloc):
+            for obj in pointers.alloc_objects.get(instr.uid, ()):
+                for loc in obj.locs():
+                    instr.chis.append(ins.Chi(loc))
+        elif isinstance(instr, ins.Call):
+            mod_locs = modref.callsite_mod(instr)
+            ref_locs = modref.callsite_ref(instr)
+            for loc in sorted_locs(ref_locs - mod_locs):
+                instr.mus.append(ins.Mu(loc))
+            for loc in sorted_locs(mod_locs):
+                instr.chis.append(ins.Chi(loc))
+        elif isinstance(instr, ins.Ret):
+            for loc in sorted_locs(vouts):
+                instr.mus.append(ins.Mu(loc))

@@ -1,0 +1,121 @@
+"""Well-formedness checks for memory SSA (μ/χ annotations).
+
+Complements :mod:`repro.ir.verifier`'s top-level SSA checks with the
+address-taken side of Figure 4:
+
+- every χ defines a fresh version (single assignment per location);
+- every μ/χ-old/φ-incoming version is either an actual definition, the
+  entry definition (a virtual parameter) or the implicit version 0;
+- memory φs agree with the CFG predecessors;
+- virtual parameters have entry version 1;
+- returns carry μs exactly for the function's modified locations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import CFG
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+
+class MemSSAError(Exception):
+    """Raised when memory SSA is malformed."""
+
+    def __init__(self, problems: List[str]) -> None:
+        super().__init__("\n".join(problems))
+        self.problems = problems
+
+
+def verify_memory_ssa(module: Module) -> None:
+    """Verify the μ/χ annotations of every function; raise on problems."""
+    problems: List[str] = []
+    for function in module.functions.values():
+        problems.extend(_verify_function(function))
+    if problems:
+        raise MemSSAError(problems)
+
+
+def _verify_function(function: Function) -> List[str]:
+    problems: List[str] = []
+    where = f"function {function.name}"
+    cfg = CFG(function)
+
+    defined: Dict[Tuple[object, int], int] = {}
+
+    def define(loc: object, version: object, what: str) -> None:
+        if version is None:
+            problems.append(f"{where}: {what} defines {loc} without a version")
+            return
+        key = (loc, version)
+        defined[key] = defined.get(key, 0) + 1
+        if defined[key] > 1:
+            problems.append(
+                f"{where}: {loc}.{version} defined more than once ({what})"
+            )
+
+    for loc, version in function.entry_versions.items():
+        if version != 1:
+            problems.append(
+                f"{where}: virtual parameter {loc} enters at version "
+                f"{version}, expected 1"
+            )
+        define(loc, version, "entry")
+        if loc not in function.virtual_params:
+            problems.append(
+                f"{where}: entry version for {loc} not in virtual_params"
+            )
+
+    for block in function.blocks:
+        preds = set(cfg.preds[block.label])
+        for mphi in block.mem_phis:
+            define(mphi.loc, mphi.new_version, f"memphi in {block.label}")
+            if set(mphi.incomings) != preds:
+                problems.append(
+                    f"{where}: memphi for {mphi.loc} in {block.label} has "
+                    f"incomings {sorted(mphi.incomings)} but predecessors "
+                    f"are {sorted(preds)}"
+                )
+        for instr in block.instrs:
+            for chi in instr.chis:
+                define(chi.loc, chi.new_version, f"chi at `{instr}`")
+                if chi.old_version is None:
+                    problems.append(
+                        f"{where}: chi at `{instr}` lacks an old version"
+                    )
+
+    # Every use must refer to a definition (or the implicit version 0).
+    def check_use(loc: object, version: object, what: str) -> None:
+        if version is None:
+            problems.append(f"{where}: {what} uses {loc} without a version")
+        elif version != 0 and (loc, version) not in defined:
+            problems.append(
+                f"{where}: {what} uses undefined version {loc}.{version}"
+            )
+
+    for block in function.blocks:
+        for mphi in block.mem_phis:
+            for pred, version in mphi.incomings.items():
+                check_use(mphi.loc, version, f"memphi incoming from {pred}")
+        for instr in block.instrs:
+            for mu in instr.mus:
+                check_use(mu.loc, mu.version, f"mu at `{instr}`")
+            for chi in instr.chis:
+                check_use(chi.loc, chi.old_version, f"chi-old at `{instr}`")
+
+    # Returns read the virtual outputs.
+    ret_locs: List[Set[object]] = [
+        {mu.loc for mu in instr.mus}
+        for instr in function.instructions()
+        if isinstance(instr, ins.Ret)
+    ]
+    for locs in ret_locs:
+        if ret_locs and locs != ret_locs[0]:
+            problems.append(
+                f"{where}: returns disagree on virtual outputs"
+            )
+            break
+
+    return problems

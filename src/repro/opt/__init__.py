@@ -1,0 +1,30 @@
+"""LLVM-like optimizer substrate: mem2reg, inlining, scalar opts, DCE,
+CFG simplification, arranged into the paper's O0+IM / O1 / O2 pipelines.
+"""
+
+from repro.opt.dce import eliminate_dead_allocs, eliminate_dead_code
+from repro.opt.inline import (
+    functions_with_fp_params,
+    inline_call_sites,
+    inline_fp_functions,
+)
+from repro.opt.localopt import fold_binop, fold_unop, local_optimize
+from repro.opt.mem2reg import mem2reg, promotable_slots
+from repro.opt.pipeline import OPT_LEVELS, run_pipeline
+from repro.opt.simplifycfg import simplify_cfg
+
+__all__ = [
+    "eliminate_dead_allocs",
+    "eliminate_dead_code",
+    "functions_with_fp_params",
+    "inline_call_sites",
+    "inline_fp_functions",
+    "fold_binop",
+    "fold_unop",
+    "local_optimize",
+    "mem2reg",
+    "promotable_slots",
+    "OPT_LEVELS",
+    "run_pipeline",
+    "simplify_cfg",
+]

@@ -1,0 +1,82 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never used anywhere in
+their function.  Loads are pure here — deleting a dead load also
+deletes its would-be definedness check, which is precisely how higher
+optimization levels "hide some uses of undefined values" (§4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.module import Module
+
+#: Instruction types safe to delete when their result is unused.
+_PURE = (
+    ins.ConstCopy,
+    ins.Copy,
+    ins.BinOp,
+    ins.UnOp,
+    ins.Gep,
+    ins.GlobalAddr,
+    ins.FuncAddr,
+    ins.Load,
+    ins.Phi,
+)
+
+
+def eliminate_dead_code(module: Module) -> int:
+    """Iteratively remove dead pure instructions; returns #removed."""
+    removed = 0
+    for function in module.functions.values():
+        removed += _dce_function(function)
+    module.assign_uids()
+    return removed
+
+
+def _dce_function(function: Function) -> int:
+    removed = 0
+    while True:
+        used: Set[str] = set()
+        for instr in function.instructions():
+            for var in instr.uses():
+                used.add(var.name)
+        round_removed = 0
+        for block in function.blocks:
+            kept = []
+            for instr in block.instrs:
+                if isinstance(instr, _PURE) and all(
+                    d.name not in used for d in instr.defs()
+                ):
+                    round_removed += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+        removed += round_removed
+        if round_removed == 0:
+            return removed
+
+
+def eliminate_dead_allocs(module: Module) -> int:
+    """Remove allocations whose pointer is never used (a separate pass:
+    an alloc is not pure in general, but an unused one is unreachable
+    memory)."""
+    removed = 0
+    for function in module.functions.values():
+        used: Set[str] = set()
+        for instr in function.instructions():
+            for var in instr.uses():
+                used.add(var.name)
+        for block in function.blocks:
+            kept = []
+            for instr in block.instrs:
+                if isinstance(instr, ins.Alloc) and instr.dst.name not in used:
+                    removed += 1
+                    continue
+                kept.append(instr)
+            block.instrs = kept
+    module.assign_uids()
+    return removed

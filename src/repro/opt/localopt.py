@@ -1,0 +1,188 @@
+"""Scalar optimizations standing in for LLVM's -O1/-O2 middle end.
+
+Implemented conservatively on the pre-SSA IR, block-locally:
+
+- constant folding and constant propagation,
+- copy propagation,
+- common subexpression elimination (pure ops),
+- store-to-load forwarding and redundant-load elimination (O2): a load
+  through the same pointer variable with no intervening store or call
+  reuses the previous value.
+
+Like the real thing, these passes can *hide* uses of undefined values
+(folding away a load, forwarding a store) — the effect §4.6 warns about
+when running detection under -O1/-O2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.function import Block
+from repro.ir.module import Module
+from repro.ir.values import Const, Value, Var
+
+
+def fold_binop(op: str, lhs: int, rhs: int) -> int:
+    """Evaluate a TinyC binary op on machine-free integers.
+
+    Division/modulo by zero yields 0 (the interpreter's total semantics).
+    Comparisons yield 0/1.
+    """
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        return _div(lhs, rhs)
+    if op == "%":
+        return _rem(lhs, rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op == "<<":
+        return lhs << (rhs % 64 if rhs >= 0 else 0)
+    if op == ">>":
+        return lhs >> (rhs % 64 if rhs >= 0 else 0)
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def fold_unop(op: str, operand: int) -> int:
+    if op == "-":
+        return -operand
+    if op == "!":
+        return int(not operand)
+    if op == "~":
+        return ~operand
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def _div(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        return 0
+    # C semantics: truncate toward zero.
+    q = abs(lhs) // abs(rhs)
+    return q if (lhs >= 0) == (rhs >= 0) else -q
+
+
+def _rem(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        return 0
+    return lhs - _div(lhs, rhs) * rhs
+
+
+def local_optimize(module: Module, forward_loads: bool = False) -> int:
+    """One round of block-local optimizations; returns #rewrites."""
+    changed = 0
+    for function in module.functions.values():
+        for block in function.blocks:
+            changed += _optimize_block(block, forward_loads)
+    module.assign_uids()
+    return changed
+
+
+def _optimize_block(block: Block, forward_loads: bool) -> int:
+    changed = 0
+    constants: Dict[str, int] = {}
+    copies: Dict[str, Var] = {}
+    #: (op, lhs, rhs) -> var currently holding the expression
+    expressions: Dict[Tuple, Var] = {}
+    #: pointer var name -> var/const currently stored at *ptr
+    memory: Dict[str, Value] = {}
+
+    def resolve(value: Value) -> Value:
+        if isinstance(value, Var):
+            while value.name in copies:
+                value = copies[value.name]
+            if value.name in constants:
+                return Const(constants[value.name])
+        return value
+
+    def kill(name: str) -> None:
+        constants.pop(name, None)
+        copies.pop(name, None)
+        for key in [k for k, v in copies.items() if v.name == name]:
+            copies.pop(key)
+        for key in [k for k, v in expressions.items() if v.name == name]:
+            expressions.pop(key)
+        for key in [k for k, v in memory.items()
+                    if isinstance(v, Var) and v.name == name]:
+            memory.pop(key)
+        memory.pop(name, None)
+
+    new_instrs: List[ins.Instr] = []
+    for instr in block.instrs:
+        mapping = {v: resolve(v) for v in instr.uses()}
+        mapping = {k: v for k, v in mapping.items() if v != k}
+        if mapping:
+            instr.replace_uses(mapping)
+            changed += 1
+
+        replacement: Optional[ins.Instr] = None
+        if isinstance(instr, ins.BinOp):
+            if isinstance(instr.lhs, Const) and isinstance(instr.rhs, Const):
+                replacement = ins.ConstCopy(
+                    instr.dst, fold_binop(instr.op, instr.lhs.value, instr.rhs.value)
+                )
+            else:
+                key = ("bin", instr.op, str(instr.lhs), str(instr.rhs))
+                if key in expressions:
+                    replacement = ins.Copy(instr.dst, expressions[key])
+        elif isinstance(instr, ins.UnOp) and isinstance(instr.operand, Const):
+            replacement = ins.ConstCopy(
+                instr.dst, fold_unop(instr.op, instr.operand.value)
+            )
+        elif isinstance(instr, ins.Load) and forward_loads:
+            if isinstance(instr.ptr, Var) and instr.ptr.name in memory:
+                replacement = ins.Copy(instr.dst, memory[instr.ptr.name])
+
+        if replacement is not None:
+            replacement.block = block
+            replacement.line = instr.line
+            instr = replacement
+            changed += 1
+
+        # Update local facts.
+        for var in instr.defs():
+            kill(var.name)
+        if isinstance(instr, ins.ConstCopy):
+            constants[instr.dst.name] = instr.value
+        elif isinstance(instr, ins.Copy):
+            if isinstance(instr.src, Const):
+                constants[instr.dst.name] = instr.src.value
+            elif instr.src.name != instr.dst.name:
+                copies[instr.dst.name] = instr.src
+        elif isinstance(instr, ins.BinOp):
+            expressions[("bin", instr.op, str(instr.lhs), str(instr.rhs))] = instr.dst
+        elif isinstance(instr, ins.Store):
+            # A store through an unknown pointer may alias anything.
+            memory.clear()
+            if isinstance(instr.ptr, Var):
+                memory[instr.ptr.name] = instr.value
+        elif isinstance(instr, ins.Load):
+            if forward_loads and isinstance(instr.ptr, Var):
+                memory.setdefault(instr.ptr.name, instr.dst)
+        elif isinstance(instr, ins.Call):
+            memory.clear()
+
+        new_instrs.append(instr)
+    block.instrs = new_instrs
+    return changed

@@ -1,0 +1,113 @@
+"""mem2reg: promote memory slots to top-level virtual registers.
+
+The front-end spills every source local to a stack slot (clang -O0
+style).  This pass promotes the promotable slots back into top-level
+variables, exactly like LLVM's ``mem2reg``, which the paper's O0+IM
+pipeline applies before running Usher ("generate SSA for top-level local
+variables", §4.1).
+
+A slot is promotable when:
+
+- it is a scalar stack allocation (one cell, not an array), and
+- its address is used *only* as the direct pointer operand of loads and
+  stores (never stored elsewhere, passed to a call, offset by a gep,
+  compared, or returned), and
+- it is never stored *into itself* as a value.
+
+Promotion replaces ``load``/``store`` through the slot with top-level
+copies of a fresh register.  A path on which the register is read before
+being written becomes an SSA use of the implicit version 0 — the
+undefined value, exactly LLVM's ``undef`` for a read-before-write local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Var
+
+
+def mem2reg(module: Module) -> int:
+    """Promote all promotable slots in ``module``; return the count.
+
+    Re-assigns instruction uids.
+    """
+    total = 0
+    for function in module.functions.values():
+        total += _promote_function(function)
+    module.assign_uids()
+    return total
+
+
+def promotable_slots(function: Function) -> "Dict[str, ins.Alloc]":
+    """The promotable allocas of ``function``, keyed by dst name."""
+    allocs: Dict[str, ins.Alloc] = {}
+    disqualified: Set[str] = set()
+    for instr in function.instructions():
+        if isinstance(instr, ins.Alloc):
+            if instr.kind == "stack" and instr.size == 1 and not instr.is_array:
+                if instr.dst.name in allocs:
+                    disqualified.add(instr.dst.name)
+                allocs[instr.dst.name] = instr
+            else:
+                disqualified.add(instr.dst.name)
+
+    candidates = set(allocs) - disqualified
+    for instr in function.instructions():
+        if isinstance(instr, ins.Load):
+            pass  # a load only uses its pointer: fine
+        elif isinstance(instr, ins.Store):
+            # Using the slot address as the stored *value* escapes it.
+            if isinstance(instr.value, Var) and instr.value.name in candidates:
+                disqualified.add(instr.value.name)
+        else:
+            for var in instr.uses():
+                if var.name in candidates:
+                    disqualified.add(var.name)
+        for var in instr.defs():
+            if not isinstance(instr, ins.Alloc) and var.name in candidates:
+                disqualified.add(var.name)
+    return {name: allocs[name] for name in candidates - disqualified}
+
+
+def _promote_function(function: Function) -> int:
+    slots = promotable_slots(function)
+    if not slots:
+        return 0
+    registers: Dict[str, Var] = {}
+    for index, (slot_name, alloc) in enumerate(sorted(slots.items())):
+        base = alloc.obj_name.rsplit("::", 1)[-1]
+        registers[slot_name] = Var(f"%r.{base}.{index}")
+
+    for block in function.blocks:
+        new_instrs: List[ins.Instr] = []
+        for instr in block.instrs:
+            replacement = _rewrite(instr, registers)
+            if replacement is not None:
+                replacement.block = block
+                new_instrs.append(replacement)
+            elif isinstance(instr, ins.Alloc) and instr.dst.name in registers:
+                continue  # the slot itself disappears
+            else:
+                new_instrs.append(instr)
+        block.instrs = new_instrs
+    return len(registers)
+
+
+def _rewrite(instr: ins.Instr, registers: Dict[str, Var]):
+    """The replacement instruction, or ``None`` to keep/drop ``instr``."""
+    replacement = None
+    if isinstance(instr, ins.Load) and isinstance(instr.ptr, Var):
+        reg = registers.get(instr.ptr.name)
+        if reg is not None:
+            replacement = ins.Copy(instr.dst, reg)
+    if isinstance(instr, ins.Store) and isinstance(instr.ptr, Var):
+        reg = registers.get(instr.ptr.name)
+        if reg is not None:
+            replacement = ins.Copy(reg, instr.value)
+    if replacement is not None:
+        replacement.line = instr.line
+    return replacement

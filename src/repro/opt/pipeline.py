@@ -1,0 +1,53 @@
+"""Optimization pipelines mirroring the paper's compiler settings.
+
+- ``O0+IM`` (§4.1): iterative inlining of function-pointer-argument
+  functions, then mem2reg.  This is the setting under which the main
+  comparison (Figures 10/11, Table 1) is run.
+- ``O1``: O0+IM plus rounds of constant/copy propagation, CSE, CFG
+  simplification and dead code elimination.
+- ``O2``: O1 plus store-to-load forwarding and extra rounds.
+
+Each pipeline mutates the module in place and re-assigns uids; run it
+*before* the Usher/MSan analyses, exactly as the paper compiles, then
+analyses, then (conceptually) re-optimizes — the last step is absorbed
+by the cost model since instrumentation lives next to its host
+instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.module import Module
+from repro.opt.dce import eliminate_dead_allocs, eliminate_dead_code
+from repro.opt.inline import inline_fp_functions
+from repro.opt.localopt import local_optimize
+from repro.opt.mem2reg import mem2reg
+from repro.opt.simplifycfg import simplify_cfg
+
+OPT_LEVELS = ("O0", "O0+IM", "O1", "O2")
+
+
+def run_pipeline(module: Module, level: str = "O0+IM") -> Dict[str, int]:
+    """Run the named pipeline; returns per-pass change counts."""
+    if level not in OPT_LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}")
+    counts: Dict[str, int] = {}
+    if level == "O0":
+        return counts
+    counts["inline"] = inline_fp_functions(module)
+    counts["mem2reg"] = mem2reg(module)
+    if level == "O0+IM":
+        return counts
+    rounds = 2 if level == "O1" else 4
+    forward_loads = level == "O2"
+    for i in range(rounds):
+        counts[f"localopt{i}"] = local_optimize(module, forward_loads=forward_loads)
+        counts[f"simplifycfg{i}"] = simplify_cfg(module)
+        counts[f"dce{i}"] = eliminate_dead_code(module)
+        # CFG simplification can re-expose mem2reg opportunities.
+        counts[f"mem2reg{i}"] = mem2reg(module)
+    counts["dead_allocs"] = eliminate_dead_allocs(module)
+    counts["dce_final"] = eliminate_dead_code(module)
+    module.assign_uids()
+    return counts

@@ -1,0 +1,98 @@
+"""CFG simplification: constant branch folding, jump threading over
+empty blocks, unreachable-block removal, and straight-line block merging.
+
+Runs pre-SSA (no φs to maintain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import CFG, remove_unreachable_blocks
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Const
+
+
+def simplify_cfg(module: Module) -> int:
+    changed = 0
+    for function in module.functions.values():
+        changed += _fold_constant_branches(function)
+        changed += _thread_trivial_jumps(function)
+        changed += remove_unreachable_blocks(function)
+        changed += _merge_straightline(function)
+    module.assign_uids()
+    return changed
+
+
+def _fold_constant_branches(function: Function) -> int:
+    changed = 0
+    for block in function.blocks:
+        term = block.instrs[-1] if block.instrs else None
+        if isinstance(term, ins.Branch) and isinstance(term.cond, Const):
+            target = term.then_label if term.cond.value else term.else_label
+            block.instrs[-1] = ins.Jump(target)
+            block.instrs[-1].block = block
+            changed += 1
+    return changed
+
+
+def _thread_trivial_jumps(function: Function) -> int:
+    """Redirect edges through blocks containing only a jump."""
+    trivial: Dict[str, str] = {}
+    for block in function.blocks:
+        if len(block.instrs) == 1 and isinstance(block.instrs[0], ins.Jump):
+            trivial[block.label] = block.instrs[0].target
+
+    def final(label: str) -> str:
+        seen = set()
+        while label in trivial and label not in seen:
+            seen.add(label)
+            label = trivial[label]
+        return label
+
+    changed = 0
+    for block in function.blocks:
+        term = block.instrs[-1] if block.instrs else None
+        if isinstance(term, ins.Jump) and term.target in trivial:
+            term.target = final(term.target)
+            changed += 1
+        elif isinstance(term, ins.Branch):
+            then_final = final(term.then_label)
+            else_final = final(term.else_label)
+            if then_final != term.then_label or else_final != term.else_label:
+                term.then_label = then_final
+                term.else_label = else_final
+                changed += 1
+    return changed
+
+
+def _merge_straightline(function: Function) -> int:
+    """Merge ``a -> jump b`` where b has exactly one predecessor."""
+    changed = 0
+    while True:
+        cfg = CFG(function)
+        merged = False
+        for block in function.blocks:
+            term = block.instrs[-1] if block.instrs else None
+            if not isinstance(term, ins.Jump):
+                continue
+            target_label = term.target
+            if target_label == block.label:
+                continue
+            if len(cfg.preds[target_label]) != 1:
+                continue
+            if target_label == function.entry.label:
+                continue
+            target = function.block(target_label)
+            block.instrs.pop()  # the jump
+            for instr in target.instrs:
+                instr.block = block
+            block.instrs.extend(target.instrs)
+            function.remove_block(target_label)
+            changed += 1
+            merged = True
+            break
+        if not merged:
+            return changed

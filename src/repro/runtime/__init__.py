@@ -1,0 +1,25 @@
+"""Dynamic substrate: the shadow-memory interpreter and cost model."""
+
+from repro.runtime.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.runtime.events import DynamicEvents, ExecutionReport
+from repro.runtime.interpreter import (
+    Interpreter,
+    RuntimeFault,
+    ShadowProtocolError,
+    StepLimitExceeded,
+    run_instrumented,
+    run_native,
+)
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "DynamicEvents",
+    "ExecutionReport",
+    "Interpreter",
+    "RuntimeFault",
+    "ShadowProtocolError",
+    "StepLimitExceeded",
+    "run_instrumented",
+    "run_native",
+]

@@ -1,0 +1,90 @@
+"""Bit-level definedness propagation (§4.1, after Memcheck [24]).
+
+Both MSan and Usher are *bit-level precise*: each value carries a
+64-bit **undefined mask** (bit set = that bit is undefined), and the
+bitwise operations can *launder* undefinedness — ``x & 0`` is fully
+defined even when ``x`` is not, a defined 0/1 bit dominates ``&``/``|``
+regardless of the other operand, shifts move the mask along with the
+bits.
+
+Non-bitwise operations (arithmetic, comparisons) use the conservative
+full-spread rule: any undefined input bit makes the whole result
+undefined.  (Memcheck's left-spread for add/sub is tighter; full-spread
+is the approximation this reproduction applies uniformly to the oracle,
+to MSan and to Usher, so all three remain exactly comparable — and it
+is the rule that makes Opt I's conjunction of source shadows exact for
+non-bitwise must-flow closures, which is why Definition 2's expansion
+stops at bitwise operators, §4.1.)
+
+Masks are plain ints: ``DEFINED`` (0) and ``UNDEFINED`` (all 64 bits).
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+_MASK64 = (1 << WORD_BITS) - 1
+
+DEFINED = 0
+UNDEFINED = _MASK64
+
+_BITWISE = frozenset({"&", "|", "^", "<<", ">>"})
+
+
+def is_defined(mask: int) -> bool:
+    return mask == 0
+
+
+def spread(mask: int) -> int:
+    """Full-spread: any undefined bit taints the whole word."""
+    return UNDEFINED if mask else DEFINED
+
+
+def _unsigned(value: int) -> int:
+    return value & _MASK64
+
+
+def binop_mask(op: str, lhs: int, lhs_mask: int, rhs: int, rhs_mask: int) -> int:
+    """The undefined mask of ``lhs op rhs``.
+
+    ``lhs``/``rhs`` are the runtime *values* (needed by the laundering
+    rules for ``&`` and ``|``); masks are 64-bit undefined masks.
+    """
+    if op == "&":
+        # A result bit is defined when both inputs are defined, or when
+        # either input holds a *defined 0* there.
+        defined0 = (~lhs_mask & ~_unsigned(lhs)) | (~rhs_mask & ~_unsigned(rhs))
+        return (lhs_mask | rhs_mask) & ~defined0 & _MASK64
+    if op == "|":
+        # Dually, a defined 1 dominates.
+        defined1 = (~lhs_mask & _unsigned(lhs)) | (~rhs_mask & _unsigned(rhs))
+        return (lhs_mask | rhs_mask) & ~defined1 & _MASK64
+    if op == "^":
+        return (lhs_mask | rhs_mask) & _MASK64
+    if op == "<<":
+        if rhs_mask:
+            return UNDEFINED
+        return (lhs_mask << (rhs % WORD_BITS if rhs >= 0 else 0)) & _MASK64
+    if op == ">>":
+        if rhs_mask:
+            return UNDEFINED
+        shift = rhs % WORD_BITS if rhs >= 0 else 0
+        # Arithmetic shift: the sign bit's definedness extends.
+        sign_undef = lhs_mask >> (WORD_BITS - 1) & 1
+        shifted = lhs_mask >> shift
+        if sign_undef:
+            shifted |= _MASK64 << max(WORD_BITS - shift, 0)
+        return shifted & _MASK64
+    # Non-bitwise (arithmetic, comparisons): full spread.
+    return spread(lhs_mask | rhs_mask)
+
+
+def unop_mask(op: str, operand: int, operand_mask: int) -> int:
+    """The undefined mask of a unary operation."""
+    if op == "~":
+        return operand_mask & _MASK64
+    # "-" and "!" are arithmetic/comparison-like: full spread.
+    return spread(operand_mask)
+
+
+def is_bitwise(op: str) -> bool:
+    return op in _BITWISE

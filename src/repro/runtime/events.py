@@ -1,0 +1,68 @@
+"""Dynamic event counters and execution reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class DynamicEvents:
+    """Counts of shadow work performed during one instrumented run.
+
+    ``shadow_reads`` is the dynamic analogue of the paper's "shadow
+    propagations"; ``checks`` counts executed runtime checks.
+    """
+
+    shadow_reads: int = 0
+    shadow_writes: int = 0
+    checks: int = 0
+
+    def merge(self, other: "DynamicEvents") -> None:
+        self.shadow_reads += other.shadow_reads
+        self.shadow_writes += other.shadow_writes
+        self.checks += other.checks
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ExecutionReport:
+    """The outcome of one program execution.
+
+    Attributes:
+        outputs: Values written by ``output`` statements, in order.
+        exit_value: ``main``'s return value.
+        native_ops: Number of IR instructions executed (the cost-model
+            baseline).
+        true_undefined_uses: Instruction uids where the *oracle* saw an
+            undefined value used at a critical operation (ground truth,
+            independent of any instrumentation).
+        warnings: Instruction uids where an executed check fired
+            (E(l) of Figure 7) — empty for uninstrumented runs.
+        events: Shadow-work counters (zero for uninstrumented runs).
+        steps: Total interpreter steps (native + shadow bookkeeping).
+    """
+
+    outputs: List[int] = field(default_factory=list)
+    exit_value: Optional[int] = None
+    native_ops: int = 0
+    true_undefined_uses: List[int] = field(default_factory=list)
+    warnings: List[int] = field(default_factory=list)
+    events: DynamicEvents = field(default_factory=DynamicEvents)
+    steps: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.warnings)
+
+    @property
+    def has_true_bug(self) -> bool:
+        return bool(self.true_undefined_uses)
+
+    def warning_set(self) -> Set[int]:
+        return set(self.warnings)
+
+    def true_bug_set(self) -> Set[int]:
+        return set(self.true_undefined_uses)

@@ -1,0 +1,542 @@
+"""A shadow-memory interpreter for the TinyC IR.
+
+Stands in for the paper's compiled binaries: it executes a module in SSA
+form while (a) tracking *ground-truth* definedness of every value and
+memory cell (the oracle — what a perfect detector would know), and (b)
+executing the shadow operations of an :class:`InstrumentationPlan`
+exactly where a compiled MSan/Usher binary would.
+
+Definedness is **bit-level precise** (§4.1): every value and shadow is
+a 64-bit undefined mask, propagated by the rules of
+:mod:`repro.runtime.bits` — bitwise operations can launder undefined
+bits, non-bitwise operations spread them over the whole word.  The
+oracle, MSan and Usher all use the same rules, so their reports are
+exactly comparable.
+
+The shadow machine enforces the paper's soundness invariant — "all
+shadow values accessed by any shadow statement at run time are
+well-defined": reading a shadow slot that no instrumentation ever wrote
+raises :class:`ShadowProtocolError`, which the test-suite uses to verify
+the guided instrumentation never under-instruments.
+
+Total semantics (documented substitutions for C undefined behaviour):
+division/modulo by zero yield 0; out-of-range element offsets clamp to
+the object's bounds; values read from uninitialized storage are 0 with
+all oracle-mask bits set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir import instructions as ins
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.values import Const, Value, Var
+from repro.core.plan import (
+    AndShadowVar,
+    BinOpShadow,
+    Check,
+    CopyShadowVar,
+    InstrumentationPlan,
+    LoadShadow,
+    PhiShadow,
+    RelayIn,
+    RelayOut,
+    SetShadowMem,
+    SetShadowVar,
+    ShadowOp,
+    StoreShadow,
+    UnOpShadow,
+    VarSlot,
+)
+from repro.runtime.bits import (
+    DEFINED,
+    UNDEFINED,
+    binop_mask,
+    spread,
+    unop_mask,
+)
+from repro.opt.localopt import fold_binop, fold_unop
+from repro.runtime.events import DynamicEvents, ExecutionReport
+
+
+class RuntimeFault(Exception):
+    """The program performed an unrecoverable action (bad pointer,
+    unresolved indirect call, stack overflow)."""
+
+
+class StepLimitExceeded(Exception):
+    """The step budget ran out (guards runaway random programs)."""
+
+
+class ShadowProtocolError(Exception):
+    """A shadow statement read a shadow value nothing initialized —
+    the instrumentation plan is unsound (test oracle)."""
+
+
+@dataclass
+class _Cell:
+    value: int = 0
+    mask: int = UNDEFINED  # 64-bit undefined mask (0 = fully defined)
+
+
+class _Frame:
+    __slots__ = ("function", "env", "shadow")
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        #: (name, version) -> (value, oracle undefined-mask)
+        self.env: Dict[VarSlot, Tuple[int, int]] = {}
+        #: (name, version) -> shadow undefined-mask
+        self.shadow: Dict[VarSlot, int] = {}
+
+
+_MASK = (1 << 64) - 1
+
+
+def _wrap(value: int) -> int:
+    """Two's-complement 64-bit wrap-around."""
+    value &= _MASK
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+class Interpreter:
+    """Executes a module, optionally under an instrumentation plan."""
+
+    def __init__(
+        self,
+        module: Module,
+        plan: Optional[InstrumentationPlan] = None,
+        max_steps: int = 2_000_000,
+        max_depth: int = 400,
+    ) -> None:
+        self.module = module
+        self.plan = plan
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+
+        self.report = ExecutionReport()
+        self.events = self.report.events
+
+        #: flat memory: address -> cell
+        self.memory: Dict[int, _Cell] = {}
+        #: address -> (base, size) of its allocation
+        self.extent: Dict[int, Tuple[int, int]] = {}
+        #: address -> shadow undefined-mask
+        self.shadow_memory: Dict[int, int] = {}
+        self._next_addr = 16
+        #: function name <-> code address
+        self._func_addr: Dict[str, int] = {}
+        self._addr_func: Dict[int, str] = {}
+        #: global name -> base address
+        self.global_addr: Dict[str, int] = {}
+        #: σ_g relay slots
+        self._relay: Dict[Union[int, str], int] = {}
+        self._depth = 0
+        self._steps = 0
+        #: allocation provenance: base address -> ("alloc", uid) or
+        #: ("global", name); used by trace_memory.
+        self.origin: Dict[int, Tuple[str, object]] = {}
+        self.trace_memory = False
+        #: load/store uid -> set of origins actually accessed
+        self.mem_accesses: Dict[int, set] = {}
+        #: optional execution trace: first ``trace_limit`` executed
+        #: instructions, as "func: instr" strings.
+        self.trace_limit = 0
+        self.trace_log: List[str] = []
+
+        self._layout()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _layout(self) -> None:
+        for index, name in enumerate(self.module.functions):
+            addr = -(index + 1)
+            self._func_addr[name] = addr
+            self._addr_func[addr] = name
+        for glob in self.module.globals.values():
+            base = self._allocate(glob.size, glob.initialized)
+            self.origin[base] = ("global", glob.name)
+            self.global_addr[glob.name] = base
+            if self.plan is not None:
+                # Global shadow is static storage: initialized at load
+                # time by both MSan and Usher.
+                bit = DEFINED if glob.initialized else UNDEFINED
+                for offset in range(glob.size):
+                    self.shadow_memory[base + offset] = bit
+
+    def _allocate(self, size: int, initialized: bool) -> int:
+        base = self._next_addr
+        self._next_addr += size + 1  # +1: red zone between objects
+        mask = DEFINED if initialized else UNDEFINED
+        for offset in range(size):
+            self.memory[base + offset] = _Cell(0, mask)
+            self.extent[base + offset] = (base, size)
+        return base
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, args: Optional[List[int]] = None) -> ExecutionReport:
+        import sys
+
+        main = self.module.functions.get("main")
+        if main is None:
+            raise RuntimeFault("no main function")
+        # Each simulated frame costs a handful of Python frames; make
+        # sure the guest's max_depth guard fires before CPython's.
+        needed = self.max_depth * 40 + 1000
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+        values = [(v, DEFINED) for v in (args or [])]
+        result = self._call(main, values)
+        self.report.exit_value = result[0]
+        self.report.steps = self._steps
+        return self.report
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise StepLimitExceeded(f"exceeded {self.max_steps} steps")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _call(
+        self, function: Function, args: List[Tuple[int, int]]
+    ) -> Tuple[int, int]:
+        self._depth += 1
+        if self._depth > self.max_depth:
+            raise RuntimeFault("call stack overflow")
+        frame = _Frame(function)
+        for formal, actual in zip(function.params, args):
+            # SSA form names the entry definition version 1; pre-SSA
+            # code uses the unversioned (version-0) slot.
+            frame.env[(formal, 1)] = actual
+            frame.env[(formal, 0)] = actual
+        if self.plan is not None:
+            for op in self.plan.entry_ops.get(function.name, ()):
+                self._exec_op(op, frame, prev_label=None)
+
+        block = function.entry
+        prev_label: Optional[str] = None
+        result: Tuple[int, int] = (0, DEFINED)
+        while True:
+            next_label, returned = self._exec_block(frame, block, prev_label)
+            if next_label is None:
+                result = returned  # type: ignore[assignment]
+                break
+            prev_label = block.label
+            block = function.block(next_label)
+        self._depth -= 1
+        return result
+
+    def _exec_block(self, frame, block, prev_label):
+        # φs evaluate in parallel on block entry.
+        phis = block.phis()
+        if phis:
+            staged = []
+            for phi in phis:
+                self._tick()
+                self.report.native_ops += 1
+                value = self._value(frame, phi.incomings[prev_label])
+                staged.append((phi, value))
+            for phi, value in staged:
+                frame.env[(phi.dst.name, phi.dst.version or 0)] = value
+                self._run_ops(phi, frame, prev_label, pre=False)
+
+        for instr in block.instrs:
+            if isinstance(instr, ins.Phi):
+                continue
+            self._tick()
+            self.report.native_ops += 1
+            if len(self.trace_log) < self.trace_limit:
+                self.trace_log.append(
+                    f"{frame.function.name}: {instr}"
+                )
+            self._run_ops(instr, frame, prev_label, pre=True)
+            outcome = self._exec_instr(frame, instr, prev_label)
+            if outcome is not None:
+                kind, payload = outcome
+                if kind == "jump":
+                    return payload, None
+                if kind == "ret":
+                    return None, payload
+            self._run_ops(instr, frame, prev_label, pre=False)
+        raise RuntimeFault(f"block {block.label} fell through")
+
+    def _run_ops(self, instr, frame, prev_label, pre: bool) -> None:
+        if self.plan is None:
+            return
+        ops = self.plan.ops.get(instr.uid)
+        if ops is None:
+            return
+        for op in ops.pre if pre else ops.post:
+            self._exec_op(op, frame, prev_label, instr)
+
+    # ------------------------------------------------------------------
+    def _value(self, frame: _Frame, value: Value) -> Tuple[int, int]:
+        if isinstance(value, Const):
+            return (value.value, DEFINED)
+        slot = (value.name, value.version or 0)
+        return frame.env.get(slot, (0, UNDEFINED))
+
+    def _exec_instr(self, frame: _Frame, instr: ins.Instr, prev_label):
+        env = frame.env
+
+        if isinstance(instr, ins.ConstCopy):
+            env[_d(instr.dst)] = (instr.value, DEFINED)
+        elif isinstance(instr, ins.Copy):
+            env[_d(instr.dst)] = self._value(frame, instr.src)
+        elif isinstance(instr, ins.UnOp):
+            value, mask = self._value(frame, instr.operand)
+            env[_d(instr.dst)] = (
+                _wrap(fold_unop(instr.op, value)),
+                unop_mask(instr.op, value, mask),
+            )
+        elif isinstance(instr, ins.BinOp):
+            lhs, lm = self._value(frame, instr.lhs)
+            rhs, rm = self._value(frame, instr.rhs)
+            env[_d(instr.dst)] = (
+                _wrap(fold_binop(instr.op, lhs, rhs)),
+                binop_mask(instr.op, lhs, lm, rhs, rm),
+            )
+        elif isinstance(instr, ins.Alloc):
+            base = self._allocate(instr.size, instr.initialized)
+            self.origin[base] = ("alloc", instr.uid)
+            env[_d(instr.dst)] = (base, DEFINED)
+        elif isinstance(instr, ins.Gep):
+            base, bm = self._value(frame, instr.base)
+            offset, om = self._value(frame, instr.offset)
+            env[_d(instr.dst)] = (self._element(base, offset), spread(bm | om))
+        elif isinstance(instr, ins.GlobalAddr):
+            env[_d(instr.dst)] = (self.global_addr[instr.global_name], DEFINED)
+        elif isinstance(instr, ins.FuncAddr):
+            env[_d(instr.dst)] = (self._func_addr[instr.func_name], DEFINED)
+        elif isinstance(instr, ins.Load):
+            addr, mask = self._value(frame, instr.ptr)
+            self._oracle_check(instr, mask)
+            cell = self._cell(addr)
+            if self.trace_memory:
+                self._trace(instr.uid, addr)
+            env[_d(instr.dst)] = (cell.value, cell.mask)
+        elif isinstance(instr, ins.Store):
+            addr, mask = self._value(frame, instr.ptr)
+            self._oracle_check(instr, mask)
+            value, vmask = self._value(frame, instr.value)
+            cell = self._cell(addr)
+            if self.trace_memory:
+                self._trace(instr.uid, addr)
+            cell.value = value
+            cell.mask = vmask
+        elif isinstance(instr, ins.Call):
+            result = self._exec_call(frame, instr)
+            if instr.dst is not None:
+                env[_d(instr.dst)] = result
+        elif isinstance(instr, ins.Branch):
+            cond, mask = self._value(frame, instr.cond)
+            self._oracle_check(instr, mask)
+            return ("jump", instr.then_label if cond else instr.else_label)
+        elif isinstance(instr, ins.Jump):
+            return ("jump", instr.target)
+        elif isinstance(instr, ins.Ret):
+            value = (
+                self._value(frame, instr.value)
+                if instr.value is not None
+                else (0, DEFINED)
+            )
+            return ("ret", value)
+        elif isinstance(instr, ins.Output):
+            value, mask = self._value(frame, instr.value)
+            self._oracle_check(instr, mask)
+            self.report.outputs.append(value)
+        else:
+            raise RuntimeFault(f"cannot execute {instr}")
+        return None
+
+    def _exec_call(self, frame: _Frame, instr: ins.Call) -> Tuple[int, int]:
+        args = [self._value(frame, a) for a in instr.args]
+        if instr.is_indirect:
+            addr, _mask = self._value(frame, instr.callee)
+            target = self._addr_func.get(addr)
+            if target is None:
+                raise RuntimeFault(f"indirect call to non-function {addr}")
+        else:
+            target = instr.callee
+        callee = self.module.functions.get(target)
+        if callee is None:
+            raise RuntimeFault(f"call to unknown function {target!r}")
+        return self._call(callee, args)
+
+    def _oracle_check(self, instr: ins.Instr, mask: int) -> None:
+        if mask:
+            self.report.true_undefined_uses.append(instr.uid)
+
+    def _element(self, base: int, offset: int) -> int:
+        extent = self.extent.get(base)
+        if extent is None:
+            # Address arithmetic on a junk pointer: C undefined
+            # behaviour; kept total (the fault surfaces only if the
+            # result is dereferenced).
+            return base
+        obj_base, size = extent
+        index = (base - obj_base) + offset
+        index = max(0, min(index, size - 1))  # clamp (documented)
+        return obj_base + index
+
+    def _trace(self, uid: int, addr: int) -> None:
+        extent = self.extent.get(addr)
+        if extent is None:
+            return
+        origin = self.origin.get(extent[0])
+        if origin is not None:
+            self.mem_accesses.setdefault(uid, set()).add(origin)
+
+    def _cell(self, addr: int) -> _Cell:
+        cell = self.memory.get(addr)
+        if cell is None:
+            raise RuntimeFault(f"access to unmapped address {addr}")
+        return cell
+
+    # ------------------------------------------------------------------
+    # Shadow machine
+    # ------------------------------------------------------------------
+    def _shadow_var(self, frame: _Frame, slot: VarSlot) -> int:
+        self.events.shadow_reads += 1
+        value = frame.shadow.get(slot)
+        if value is None:
+            raise ShadowProtocolError(
+                f"shadow of {slot[0]}.{slot[1]} read before any write "
+                f"in {frame.function.name}"
+            )
+        return value
+
+    def _shadow_mem(self, addr: int) -> int:
+        self.events.shadow_reads += 1
+        value = self.shadow_memory.get(addr)
+        if value is None:
+            raise ShadowProtocolError(
+                f"shadow memory at {addr} read before any write"
+            )
+        return value
+
+    def _shadow_operand(self, frame: _Frame, value: Value) -> Tuple[int, int]:
+        """(runtime value, shadow mask) of a shadow-op operand."""
+        if isinstance(value, Const):
+            return (value.value, DEFINED)
+        slot = (value.name, value.version or 0)
+        runtime = frame.env.get(slot, (0, UNDEFINED))
+        return (runtime[0], self._shadow_var(frame, slot))
+
+    def _pointer_of(self, frame: _Frame, slot: VarSlot) -> int:
+        value = frame.env.get(slot)
+        if value is None:
+            raise ShadowProtocolError(
+                f"shadow op refers to unset pointer {slot[0]}.{slot[1]}"
+            )
+        return value[0]
+
+    def _exec_op(
+        self,
+        op: ShadowOp,
+        frame: _Frame,
+        prev_label: Optional[str],
+        instr: Optional[ins.Instr] = None,
+    ) -> None:
+        self._tick()
+        if isinstance(op, SetShadowVar):
+            frame.shadow[op.dst] = DEFINED if op.literal else UNDEFINED
+            self.events.shadow_writes += 1
+        elif isinstance(op, CopyShadowVar):
+            frame.shadow[op.dst] = self._shadow_var(frame, op.src)
+            self.events.shadow_writes += 1
+        elif isinstance(op, AndShadowVar):
+            # Conjunction of shadows: exact under full-spread semantics
+            # (the sources are non-bitwise must-flow sources).
+            combined = DEFINED
+            for src in op.srcs:
+                combined |= self._shadow_var(frame, src)
+            frame.shadow[op.dst] = spread(combined)
+            self.events.shadow_writes += 1
+        elif isinstance(op, BinOpShadow):
+            lhs, lm = self._shadow_operand(frame, op.lhs)
+            rhs, rm = self._shadow_operand(frame, op.rhs)
+            frame.shadow[op.dst] = binop_mask(op.op, lhs, lm, rhs, rm)
+            self.events.shadow_writes += 1
+        elif isinstance(op, UnOpShadow):
+            operand, mask = self._shadow_operand(frame, op.operand)
+            frame.shadow[op.dst] = unop_mask(op.op, operand, mask)
+            self.events.shadow_writes += 1
+        elif isinstance(op, SetShadowMem):
+            addr = self._pointer_of(frame, op.ptr)
+            bit = DEFINED if op.literal else UNDEFINED
+            if op.whole_object:
+                extent = self.extent.get(addr)
+                if extent is None:
+                    raise RuntimeFault(f"shadow set through bad pointer {addr}")
+                base, size = extent
+                for offset in range(size):
+                    self.shadow_memory[base + offset] = bit
+            else:
+                self.shadow_memory[addr] = bit
+            self.events.shadow_writes += 1
+        elif isinstance(op, StoreShadow):
+            addr = self._pointer_of(frame, op.ptr)
+            bit = DEFINED if op.src is None else self._shadow_var(frame, op.src)
+            self.shadow_memory[addr] = bit
+            self.events.shadow_writes += 1
+        elif isinstance(op, LoadShadow):
+            addr = self._pointer_of(frame, op.ptr)
+            frame.shadow[op.dst] = self._shadow_mem(addr)
+            self.events.shadow_writes += 1
+        elif isinstance(op, RelayOut):
+            bit = DEFINED if op.src is None else self._shadow_var(frame, op.src)
+            self._relay[op.slot] = bit
+            self.events.shadow_writes += 1
+        elif isinstance(op, RelayIn):
+            bit = self._relay.get(op.slot)
+            if bit is None:
+                raise ShadowProtocolError(f"σ_g[{op.slot}] read before write")
+            self.events.shadow_reads += 1
+            frame.shadow[op.dst] = bit
+            self.events.shadow_writes += 1
+        elif isinstance(op, PhiShadow):
+            incoming = dict(op.incomings).get(prev_label)
+            bit = (
+                DEFINED
+                if incoming is None
+                else self._shadow_var(frame, incoming)
+            )
+            frame.shadow[op.dst] = bit
+            self.events.shadow_writes += 1
+        elif isinstance(op, Check):
+            mask = self._shadow_var(frame, op.operand)
+            self.events.checks += 1
+            if mask:
+                self.report.warnings.append(op.label)
+        else:
+            raise RuntimeFault(f"unknown shadow op {op}")
+
+
+def _d(var: Var) -> VarSlot:
+    return (var.name, var.version or 0)
+
+
+def run_native(
+    module: Module, args: Optional[List[int]] = None, max_steps: int = 2_000_000
+) -> ExecutionReport:
+    """Execute ``module`` without instrumentation."""
+    return Interpreter(module, plan=None, max_steps=max_steps).run(args)
+
+
+def run_instrumented(
+    module: Module,
+    plan: InstrumentationPlan,
+    args: Optional[List[int]] = None,
+    max_steps: int = 8_000_000,
+) -> ExecutionReport:
+    """Execute ``module`` under ``plan``'s shadow operations."""
+    return Interpreter(module, plan=plan, max_steps=max_steps).run(args)

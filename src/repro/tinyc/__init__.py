@@ -1,0 +1,20 @@
+"""TinyC front-end: lexer, parser and AST-to-IR lowering.
+
+TinyC is the paper's C subset (Figure 1), extended with records, arrays,
+function pointers and structured control flow so that realistic whole
+programs — including the 15 SPEC-shaped workloads — can be written in it.
+"""
+
+from repro.tinyc.lexer import TinyCSyntaxError, Token, tokenize
+from repro.tinyc.lowering import LoweringError, compile_source, lower_program
+from repro.tinyc.parser import parse
+
+__all__ = [
+    "TinyCSyntaxError",
+    "Token",
+    "tokenize",
+    "LoweringError",
+    "compile_source",
+    "lower_program",
+    "parse",
+]

@@ -1,0 +1,200 @@
+"""Abstract syntax tree for the TinyC surface language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    """Base AST node with the source line it starts on."""
+
+    line: int
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class NumberExpr(Node):
+    value: int
+
+
+@dataclass
+class NameExpr(Node):
+    """A variable, global or function name in expression position."""
+
+    name: str
+
+
+@dataclass
+class UnaryExpr(Node):
+    op: str  # "-", "!", "~"
+    operand: "Expr"
+
+
+@dataclass
+class BinaryExpr(Node):
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass
+class ShortCircuitExpr(Node):
+    op: str  # "&&" or "||"
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass
+class DerefExpr(Node):
+    """``*e`` — load through a pointer expression."""
+
+    pointer: "Expr"
+
+
+@dataclass
+class AddrOfExpr(Node):
+    """``&name`` — address of a local, global or function."""
+
+    name: str
+
+
+@dataclass
+class IndexExpr(Node):
+    """``e[i]`` — field (constant index) or array (any index) access."""
+
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass
+class AllocExpr(Node):
+    """``malloc(N)`` / ``calloc(N)`` / ``malloc_array(N)`` / ``calloc_array(N)``.
+
+    ``initialized`` distinguishes ``calloc`` (alloc_T) from ``malloc``
+    (alloc_F); ``is_array`` collapses fields (arrays as a whole).
+    """
+
+    initialized: bool
+    is_array: bool
+    num_fields: int
+
+
+@dataclass
+class CallExpr(Node):
+    """``f(args)`` — direct if ``callee`` names a function, else indirect
+    through the pointer expression."""
+
+    callee: "Expr"
+    args: List["Expr"]
+
+
+Expr = Node  # all expression classes derive from Node
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class VarDecl(Node):
+    """One declarator of a ``var`` statement.
+
+    Scalars: ``var x;`` / ``var x = e;``.  Aggregates: ``var a[8];`` (local
+    array) and ``var r{3};`` (local record with 3 fields).  Like C stack
+    locals, their storage starts undefined.
+    """
+
+    name: str
+    init: Optional[Expr] = None
+    num_fields: int = 1
+    is_array: bool = False
+
+
+@dataclass
+class VarStmt(Node):
+    decls: List[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class AssignStmt(Node):
+    """``lvalue = e``; lvalue is a name, ``*e`` or ``e[i]``."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class IfStmt(Node):
+    cond: Expr
+    then_body: List[Node]
+    else_body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Node):
+    cond: Expr
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class BreakStmt(Node):
+    pass
+
+
+@dataclass
+class ContinueStmt(Node):
+    pass
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class OutputStmt(Node):
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class SkipStmt(Node):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass
+class GlobalDecl(Node):
+    """``global g;`` / ``global a[N];`` / ``global r{N};``.
+
+    C default-initializes globals, so they are defined unless declared
+    ``global uninit g;`` (an escape hatch for testing undefined global
+    reads, mirroring e.g. heap-reused BSS tricks).
+    """
+
+    name: str
+    num_fields: int = 1
+    is_array: bool = False
+    initialized: bool = True
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    params: List[str] = field(default_factory=list)
+    body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,47 @@
+"""The value-flow graph: construction, definedness resolution, MFCs."""
+
+from repro.vfg.builder import build_vfg
+from repro.vfg.definedness import Definedness, resolve_definedness
+from repro.vfg.explain import FlowStep, explain_check_site, explain_undefined
+from repro.vfg.graph import (
+    BOT,
+    CALL,
+    INTRA,
+    MEM_SUMMARY,
+    RET,
+    TOP,
+    CheckSite,
+    Edge,
+    MemNode,
+    Node,
+    Root,
+    SummaryNode,
+    TopNode,
+    VFG,
+)
+from repro.vfg.mfc import MFC, compute_mfc
+
+__all__ = [
+    "build_vfg",
+    "Definedness",
+    "resolve_definedness",
+    "FlowStep",
+    "explain_check_site",
+    "explain_undefined",
+    "BOT",
+    "CALL",
+    "INTRA",
+    "MEM_SUMMARY",
+    "RET",
+    "TOP",
+    "CheckSite",
+    "Edge",
+    "MemNode",
+    "Node",
+    "Root",
+    "SummaryNode",
+    "TopNode",
+    "VFG",
+    "MFC",
+    "compute_mfc",
+]

@@ -1,0 +1,367 @@
+"""Array initialization-loop analysis (the paper's future work, §6).
+
+Collapsed arrays are the biggest precision loss of the offset-based
+memory model: a single store can never strongly update the one
+location that stands for all cells, so ``malloc``'d arrays stay
+⊥ forever even when the program initializes every cell before reading
+any ("memset-by-loop", the dominant idiom in C).  The paper's
+conclusion names "new techniques for handling arrays and heap objects"
+as future work; this module implements one.
+
+A *canonical initialization loop* is recognized structurally:
+
+.. code-block:: none
+
+    x := alloc_F ρ (array[N])         ; same function, single object
+    ...
+    H:  i := φ(0, i')                 ; induction from 0
+        if i < C goto BODY else EXIT  ; constant bound C >= N
+    BODY:
+        t := gep x, i                 ; address derived from x by i
+        *t := v                       ; executes on every iteration
+        ...
+        i' := i + 1                   ; unit stride
+        goto H
+
+with the safety conditions:
+
+- the loop body never *reads* the array (no μ of ρ at loads, and no
+  call in the body may reference or modify ρ);
+- the covering store dominates the loop latch (it executes each
+  iteration — a conditional store could skip cells);
+- the allocation produced a *single* abstract object (no heap clones:
+  the cut below would bypass other call sites' pre-states), and either
+  the owning function is ``main`` or the object is a non-escaping
+  stack array (otherwise instances from earlier invocations of the
+  owner are merged into the same abstract location and their possibly
+  undefined state must not be bypassed).
+
+When the pattern holds, every cell is overwritten before the loop
+exits, so the value flow entering the loop-header memory φ from the
+*preheader* (which carries the allocation's undefined state) can be
+cut — the array-granularity analogue of the paper's semi-strong update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import instructions as ins
+from repro.ir.cfg import CFG
+from repro.ir.dominance import DominatorTree
+from repro.ir.function import Block, Function
+from repro.ir.module import Module
+from repro.ir.values import Const, Var
+from repro.analysis.andersen import PointerResult
+from repro.analysis.memobjects import STACK, MemLoc
+
+
+@dataclass(frozen=True)
+class ArrayInitLoop:
+    """One proven initialization loop.
+
+    ``loc`` is the collapsed array location; the cut removes the
+    value-flow edge from version ``pre_version`` into the loop-header
+    memory φ defining ``phi_version``.
+    """
+
+    function: str
+    loc: MemLoc
+    header_label: str
+    pre_version: int
+    phi_version: int
+
+
+def find_array_init_loops(
+    module: Module,
+    pointers: PointerResult,
+    escaping: "frozenset",
+) -> List[ArrayInitLoop]:
+    """Find all canonical initialization loops in ``module``.
+
+    ``escaping`` is the escaping-object set from mod/ref analysis.
+    Requires the module to be in memory-SSA form.
+    """
+    found: List[ArrayInitLoop] = []
+    for function in module.functions.values():
+        found.extend(_scan_function(module, function, pointers, escaping))
+    return found
+
+
+def _scan_function(
+    module: Module,
+    function: Function,
+    pointers: PointerResult,
+    escaping,
+) -> List[ArrayInitLoop]:
+    cfg = CFG(function)
+    dt = DominatorTree(function)
+    by_name: Dict[Tuple[str, int], ins.Instr] = {}
+    for instr in function.instructions():
+        for var in instr.defs():
+            by_name[(var.name, var.version or 0)] = instr
+
+    results: List[ArrayInitLoop] = []
+    for header in function.blocks:
+        loop = _match_loop_shape(function, cfg, dt, header, by_name)
+        if loop is None:
+            continue
+        body_blocks, pre_label, latch, induction, bound = loop
+        results.extend(
+            _match_init_stores(
+                module,
+                function,
+                dt,
+                header,
+                body_blocks,
+                pre_label,
+                latch,
+                induction,
+                bound,
+                by_name,
+                pointers,
+                escaping,
+            )
+        )
+    return results
+
+
+def _match_loop_shape(
+    function: Function,
+    cfg: CFG,
+    dt: DominatorTree,
+    header: Block,
+    by_name,
+) -> Optional[Tuple[Set[str], str, str, Var, int]]:
+    """Match ``i := φ(0, i+1); if i < C`` at ``header``.
+
+    Returns (body block labels, preheader label, latch label,
+    induction var def, constant bound) or None.
+    """
+    term = header.instrs[-1] if header.instrs else None
+    if not isinstance(term, ins.Branch) or not isinstance(term.cond, Var):
+        return None
+    cond_def = by_name.get((term.cond.name, term.cond.version or 0))
+    if not (
+        isinstance(cond_def, ins.BinOp)
+        and cond_def.op == "<"
+        and isinstance(cond_def.lhs, Var)
+        and isinstance(cond_def.rhs, Const)
+        and cond_def.block is header
+    ):
+        return None
+    bound = cond_def.rhs.value
+    induction_use = cond_def.lhs
+    phi = by_name.get((induction_use.name, induction_use.version or 0))
+    # The condition may read the φ through copies.
+    seen = set()
+    while isinstance(phi, ins.Copy) and isinstance(phi.src, Var):
+        key = (phi.src.name, phi.src.version or 0)
+        if key in seen:
+            return None
+        seen.add(key)
+        phi = by_name.get(key)
+    if not isinstance(phi, ins.Phi) or phi.block is not header:
+        return None
+    preds = cfg.preds[header.label]
+    if len(preds) != 2 or set(phi.incomings) != set(preds):
+        return None
+    latch = next(
+        (p for p in preds if dt.dominates(header.label, p)), None
+    )
+    if latch is None:
+        return None
+    pre_label = next(p for p in preds if p != latch)
+    # Initial value 0 from the preheader (possibly through copies of a
+    # constant definition).
+    init = phi.incomings[pre_label]
+    if not _is_const_zero(by_name, init):
+        return None
+    # Unit stride from the latch.
+    step_value = phi.incomings[latch]
+    if not isinstance(step_value, Var):
+        return None
+    step_def = by_name.get((step_value.name, step_value.version or 0))
+    while isinstance(step_def, ins.Copy) and isinstance(step_def.src, Var):
+        step_def = by_name.get((step_def.src.name, step_def.src.version or 0))
+    if not (
+        isinstance(step_def, ins.BinOp)
+        and step_def.op == "+"
+        and _is_phi_value(by_name, step_def, phi.dst)
+        and _plus_one(step_def)
+    ):
+        return None
+    # Natural loop of the back edge latch -> header.
+    body = _natural_loop(cfg, header.label, latch)
+    # The loop must exit to outside.
+    if term.then_label not in body and term.else_label not in body:
+        return None
+    return body, pre_label, latch, phi.dst, bound
+
+
+
+def _is_const_zero(by_name, value) -> bool:
+    """Whether ``value`` is the constant 0, possibly through copies."""
+    if isinstance(value, Const):
+        return value.value == 0
+    if not isinstance(value, Var):
+        return False
+    root = _root_var(by_name, value)
+    instr = by_name.get((root.name, root.version or 0))
+    if isinstance(instr, ins.ConstCopy):
+        return instr.value == 0
+    if isinstance(instr, ins.Copy) and isinstance(instr.src, Const):
+        return instr.src.value == 0
+    return False
+
+
+def _root_var(by_name, var: Var) -> Var:
+    """Resolve top-level copies back to the defining variable."""
+    seen = set()
+    current = var
+    while True:
+        key = (current.name, current.version or 0)
+        if key in seen:
+            return current
+        seen.add(key)
+        instr = by_name.get(key)
+        if isinstance(instr, ins.Copy) and isinstance(instr.src, Var):
+            current = instr.src
+            continue
+        return current
+
+
+def _is_phi_value(by_name, binop: ins.BinOp, phi_dst: Var) -> bool:
+    for operand in (binop.lhs, binop.rhs):
+        if isinstance(operand, Var) and _root_var(by_name, operand) == phi_dst:
+            return True
+    return False
+
+
+def _plus_one(binop: ins.BinOp) -> bool:
+    return (isinstance(binop.rhs, Const) and binop.rhs.value == 1) or (
+        isinstance(binop.lhs, Const) and binop.lhs.value == 1
+    )
+
+
+def _natural_loop(cfg: CFG, header: str, latch: str) -> Set[str]:
+    body = {header, latch}
+    work = [latch]
+    while work:
+        label = work.pop()
+        for pred in cfg.preds[label]:
+            if pred not in body:
+                body.add(pred)
+                work.append(pred)
+    return body
+
+
+def _match_init_stores(
+    module: Module,
+    function: Function,
+    dt: DominatorTree,
+    header: Block,
+    body: Set[str],
+    pre_label: str,
+    latch: str,
+    induction: Var,
+    bound: int,
+    by_name,
+    pointers: PointerResult,
+    escaping,
+) -> List[ArrayInitLoop]:
+    func = function.name
+    results: List[ArrayInitLoop] = []
+    if not header.mem_phis:
+        return results
+
+    # Candidate covering stores: *gep(x, i) := v inside the body,
+    # dominating the latch.
+    for block in function.blocks:
+        if block.label not in body or block.label == header.label:
+            continue
+        for store in block.instrs:
+            if not isinstance(store, ins.Store) or not isinstance(store.ptr, Var):
+                continue
+            gep = by_name.get((store.ptr.name, store.ptr.version or 0))
+            if not (
+                isinstance(gep, ins.Gep)
+                and isinstance(gep.offset, Var)
+                and _root_var(by_name, gep.offset) == induction
+                and isinstance(gep.base, Var)
+            ):
+                continue
+            alloc = _trace_alloc(by_name, gep.base)
+            if alloc is None or not alloc.is_array or alloc.size > bound:
+                continue
+            objects = pointers.alloc_objects.get(alloc.uid, [])
+            if len(objects) != 1:
+                continue  # heap clones: other call sites' state at risk
+            obj = objects[0]
+            if not (
+                func == "main"
+                or (obj.kind == STACK and obj not in escaping)
+            ):
+                continue
+            if not dt.dominates(block.label, latch):
+                continue  # a conditional store could skip cells
+            loc = MemLoc(obj, 0)
+            if _loop_reads_loc(module, function, body, header, loc):
+                continue
+            phi = next(
+                (mp for mp in header.mem_phis if mp.loc == loc), None
+            )
+            if phi is None or pre_label not in phi.incomings:
+                continue
+            results.append(
+                ArrayInitLoop(
+                    function=func,
+                    loc=loc,
+                    header_label=header.label,
+                    pre_version=phi.incomings[pre_label],
+                    phi_version=phi.new_version,
+                )
+            )
+    return results
+
+
+def _trace_alloc(by_name, var: Var) -> Optional[ins.Alloc]:
+    """Follow top-level copies from ``var`` back to an Alloc, or None."""
+    seen = set()
+    current = var
+    while True:
+        key = (current.name, current.version or 0)
+        if key in seen:
+            return None
+        seen.add(key)
+        instr = by_name.get(key)
+        if isinstance(instr, ins.Alloc):
+            return instr
+        if isinstance(instr, ins.Copy) and isinstance(instr.src, Var):
+            current = instr.src
+            continue
+        return None
+
+
+def _loop_reads_loc(
+    module: Module,
+    function: Function,
+    body: Set[str],
+    header: Block,
+    loc: MemLoc,
+) -> bool:
+    """Whether the loop (body or header) may read ``loc``."""
+    for block in function.blocks:
+        if block.label not in body:
+            continue
+        for instr in block.instrs:
+            if isinstance(instr, ins.Load):
+                if any(mu.loc == loc for mu in instr.mus):
+                    return True
+            elif isinstance(instr, ins.Call):
+                if any(mu.loc == loc for mu in instr.mus) or any(
+                    chi.loc == loc for chi in instr.chis
+                ):
+                    return True
+    return False

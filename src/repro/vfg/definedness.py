@@ -1,0 +1,84 @@
+"""Definedness resolution (§3.3).
+
+The definedness Γ of every VFG node is resolved by graph reachability
+from the F root: Γ(v) = ⊥ if undefinedness can flow into v, and ⊤
+otherwise.  Interprocedural flows are matched context-sensitively in the
+standard call-string manner: entering a callee pushes the call site,
+leaving pops it, and only matching call/return pairs are traversed.
+Call strings are truncated at ``context_depth`` (the paper configures
+1-callsite sensitivity); a truncated (empty) string may return to any
+call site, which is sound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.vfg.graph import BOT, CALL, RET, Node, VFG
+
+Context = Tuple[int, ...]
+
+
+class Definedness:
+    """The Γ function: maps VFG nodes to ⊥ (maybe-undefined) or ⊤."""
+
+    def __init__(self, bottom: Set[Node], context_depth: int) -> None:
+        self._bottom = bottom
+        self.context_depth = context_depth
+
+    def is_defined(self, node: Optional[Node]) -> bool:
+        """Γ(node) = ⊤?  Constants (``None``) are always defined."""
+        if node is None:
+            return True
+        return node not in self._bottom
+
+    def gamma(self, node: Optional[Node]) -> str:
+        return "⊤" if self.is_defined(node) else "⊥"
+
+    @property
+    def bottom_nodes(self) -> Set[Node]:
+        return set(self._bottom)
+
+    def count_bottom(self) -> int:
+        return len(self._bottom)
+
+
+def resolve_definedness(vfg: VFG, context_depth: int = 1) -> Definedness:
+    """Compute Γ by context-sensitive forward reachability from F."""
+    if context_depth < 0:
+        raise ValueError("context_depth must be >= 0")
+    bottom: Set[Node] = set()
+    empty: Context = ()
+    seen: Set[Tuple[Node, Context]] = {(BOT, empty)}
+    work: List[Tuple[Node, Context]] = [(BOT, empty)]
+    while work:
+        node, ctx = work.pop()
+        bottom.add(node)
+        for edge in vfg.flows_of(node):
+            next_ctx = _step(ctx, edge.kind, edge.callsite, context_depth)
+            if next_ctx is None:
+                continue  # mismatched return: unrealizable path
+            state = (edge.dst, next_ctx)
+            if state not in seen:
+                seen.add(state)
+                work.append(state)
+    bottom.discard(BOT)
+    return Definedness(bottom, context_depth)
+
+
+def _step(
+    ctx: Context, kind: str, callsite: Optional[int], depth: int
+) -> Optional[Context]:
+    if kind == CALL:
+        if depth == 0:
+            return ctx
+        return ((callsite,) + ctx)[:depth]
+    if kind == RET:
+        if depth == 0:
+            return ctx
+        if not ctx:
+            return ctx  # truncated/unknown caller: any return is allowed
+        if ctx[0] == callsite:
+            return ctx[1:]
+        return None
+    return ctx

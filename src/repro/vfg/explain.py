@@ -1,0 +1,142 @@
+"""Explain why a value may be undefined: shortest realizable F-path.
+
+Given a ⊥ node (typically a critical use the analysis kept a check
+for), finds a shortest *realizable* value-flow path from the F root —
+the same call/return-matched traversal definedness resolution performs,
+with parent links — and renders it step by step with source lines.
+This is the diagnostic companion to a warning: not just *where* an
+undefined value was used, but *how* it got there.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.module import Module
+from repro.vfg.definedness import _step
+from repro.vfg.graph import BOT, CALL, RET, Edge, MemNode, Node, Root, TopNode, VFG
+
+Context = Tuple[int, ...]
+State = Tuple[Node, Context]
+
+
+@dataclass
+class FlowStep:
+    """One hop of the explanation."""
+
+    node: Node
+    kind: str  # def-site kind tag
+    line: Optional[int]
+    description: str
+    edge_kind: str = "intra"
+
+    def render(self) -> str:
+        where = f"line {self.line}" if self.line is not None else "        "
+        arrow = {
+            CALL: "  ↳ into call",
+            RET: "  ↰ back out",
+        }.get(self.edge_kind, "")
+        return f"  {where:>9} | {self.description}{arrow}"
+
+
+def explain_undefined(
+    vfg: VFG,
+    module: Module,
+    target: Node,
+    context_depth: int = 1,
+    max_steps: int = 50,
+) -> Optional[List[FlowStep]]:
+    """The shortest realizable F → ``target`` path, or ``None`` if the
+    node is not reachable from F (i.e. it is defined)."""
+    parents: Dict[State, Tuple[Optional[State], Optional[Edge]]] = {}
+    start: State = (BOT, ())
+    parents[start] = (None, None)
+    queue: deque = deque([start])
+    goal: Optional[State] = None
+    while queue:
+        node, ctx = queue.popleft()
+        if node == target:
+            goal = (node, ctx)
+            break
+        for edge in vfg.flows_of(node):
+            next_ctx = _step(ctx, edge.kind, edge.callsite, context_depth)
+            if next_ctx is None:
+                continue
+            state = (edge.dst, next_ctx)
+            if state not in parents:
+                parents[state] = ((node, ctx), edge)
+                queue.append(state)
+    if goal is None:
+        return None
+
+    # Reconstruct.
+    chain: List[Tuple[Node, Optional[Edge]]] = []
+    state: Optional[State] = goal
+    while state is not None:
+        parent, edge = parents[state]
+        chain.append((state[0], edge))
+        state = parent
+    chain.reverse()
+
+    by_uid = module.instr_by_uid()
+    steps: List[FlowStep] = []
+    for node, edge in chain[: max_steps + 1]:
+        uid, kind = vfg.def_site.get(node, (None, "unknown"))
+        instr = by_uid.get(uid) if uid is not None else None
+        steps.append(
+            FlowStep(
+                node=node,
+                kind=kind,
+                line=getattr(instr, "line", None),
+                description=_describe(node, kind, instr),
+                edge_kind=edge.kind if edge is not None else "intra",
+            )
+        )
+    return steps
+
+
+def _describe(node: Node, kind: str, instr) -> str:
+    if isinstance(node, Root):
+        return "undefined value originates (F root)"
+    if kind == "undef":
+        return f"{_name(node)} is read before any assignment"
+    if kind == "param":
+        return f"enters {getattr(node, 'func', '?')}() as parameter {_name(node)}"
+    if kind == "entry":
+        return f"memory state enters {getattr(node, 'func', '?')}()"
+    if kind == "chi_alloc" and instr is not None:
+        return f"allocated uninitialized at `{instr}`"
+    if kind and kind.startswith("chi_store") and instr is not None:
+        return f"stored into memory at `{instr}`"
+    if kind == "chi_call" and instr is not None:
+        return f"memory state returns from `{instr}`"
+    if kind == "memphi":
+        return f"memory states merge ({_name(node)})"
+    if kind == "phi" and instr is not None:
+        return f"control-flow paths merge at `{instr}`"
+    if instr is not None:
+        return f"flows through `{instr}`"
+    return f"flows through {_name(node)}"
+
+
+def _name(node: Node) -> str:
+    return str(node)
+
+
+def explain_check_site(
+    vfg: VFG,
+    module: Module,
+    instr_uid: int,
+    context_depth: int = 1,
+) -> Optional[List[FlowStep]]:
+    """Explain the first ⊥ critical use at instruction ``instr_uid``."""
+    for site in vfg.check_sites:
+        if site.instr_uid == instr_uid and site.node is not None:
+            steps = explain_undefined(
+                vfg, module, site.node, context_depth
+            )
+            if steps is not None:
+                return steps
+    return None

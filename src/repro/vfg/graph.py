@@ -1,0 +1,201 @@
+"""Value-flow graph representation (§3.2).
+
+Nodes are SSA definitions — top-level variable versions and
+address-taken location versions — plus the two roots ⊤ (``TOP``,
+"defined") and F (``BOT``, "undefined").  An edge ``src → dst`` means
+the *value flows* from ``src`` into ``dst`` (``dst`` data-depends on
+``src``; the paper draws the same edge in the dependence direction).
+
+Interprocedural edges carry their call site and a kind (``"call"`` /
+``"ret"``) so that definedness resolution can match them
+context-sensitively (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.analysis.memobjects import MemLoc
+
+INTRA = "intra"
+CALL = "call"
+RET = "ret"
+
+
+@dataclass(frozen=True)
+class Root:
+    """A VFG root: ``T`` (defined) or ``F`` (undefined)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+TOP = Root("T")
+BOT = Root("F")
+
+
+@dataclass(frozen=True)
+class TopNode:
+    """The definition of top-level SSA variable ``name.version`` in
+    ``func``."""
+
+    func: str
+    name: str
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.func}::{self.name}.{self.version}"
+
+
+@dataclass(frozen=True)
+class MemNode:
+    """The definition of version ``version`` of address-taken location
+    ``loc`` within ``func``'s memory SSA."""
+
+    func: str
+    loc: MemLoc
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.func}::[{self.loc}].{self.version}"
+
+
+@dataclass(frozen=True)
+class SummaryNode:
+    """The single conflated memory node used by the top-level-only
+    configuration (Usher_TL), where address-taken variables are not
+    analyzed: every load may read it, every store/allocation writes it."""
+
+    name: str = "MEM"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+MEM_SUMMARY = SummaryNode()
+
+Node = Union[Root, TopNode, MemNode, SummaryNode]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A value-flow edge ``src → dst``."""
+
+    src: Node
+    dst: Node
+    kind: str = INTRA
+    callsite: Optional[int] = None
+
+    def __str__(self) -> str:
+        tag = f" [{self.kind}@{self.callsite}]" if self.kind != INTRA else ""
+        return f"{self.src} -> {self.dst}{tag}"
+
+
+@dataclass
+class CheckSite:
+    """A critical operation's use of a value (Definition 1).
+
+    ``node`` is the VFG node of the used SSA definition; ``None`` when
+    the operand is a constant (always defined, never checked).
+    """
+
+    instr_uid: int
+    func: str
+    node: Optional[Node]
+    operand: str
+
+
+@dataclass
+class VFGStats:
+    """Build statistics feeding Table 1."""
+
+    stores_total: int = 0
+    stores_strong: int = 0
+    stores_singleton_weak: int = 0
+    semi_strong_applied: int = 0
+    heap_alloc_sites: int = 0
+    array_init_cuts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class VFG:
+    """The whole-program value-flow graph."""
+
+    def __init__(self, address_taken: bool = True) -> None:
+        self.address_taken = address_taken
+        self._deps: Dict[Node, List[Edge]] = {}
+        self._flows: Dict[Node, List[Edge]] = {}
+        self._edge_set: Set[Tuple[Node, Node, str, Optional[int]]] = set()
+        self.check_sites: List[CheckSite] = []
+        #: node -> (defining instruction uid, def kind tag)
+        self.def_site: Dict[Node, Tuple[Optional[int], str]] = {}
+        self.stats = VFGStats()
+
+    # ------------------------------------------------------------------
+    def add_edge(
+        self,
+        src: Node,
+        dst: Node,
+        kind: str = INTRA,
+        callsite: Optional[int] = None,
+    ) -> None:
+        key = (src, dst, kind, callsite)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        edge = Edge(src, dst, kind, callsite)
+        self._deps.setdefault(dst, []).append(edge)
+        self._flows.setdefault(src, []).append(edge)
+        self._deps.setdefault(src, self._deps.get(src, []))
+        self._flows.setdefault(dst, self._flows.get(dst, []))
+
+    def remove_edge(self, edge: Edge) -> None:
+        key = (edge.src, edge.dst, edge.kind, edge.callsite)
+        if key not in self._edge_set:
+            return
+        self._edge_set.discard(key)
+        self._deps[edge.dst].remove(edge)
+        self._flows[edge.src].remove(edge)
+
+    def deps_of(self, node: Node) -> List[Edge]:
+        """Edges into ``node`` (the values it depends on)."""
+        return self._deps.get(node, [])
+
+    def flows_of(self, node: Node) -> List[Edge]:
+        """Edges out of ``node`` (the nodes its value flows into)."""
+        return self._flows.get(node, [])
+
+    def nodes(self) -> Iterable[Node]:
+        seen: Set[Node] = set(self._deps) | set(self._flows)
+        return seen
+
+    def edges(self) -> Iterable[Edge]:
+        for edges in self._deps.values():
+            yield from edges
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_set)
+
+    def record_def(self, node: Node, instr_uid: Optional[int], kind: str) -> None:
+        self.def_site[node] = (instr_uid, kind)
+
+    def copy(self) -> "VFG":
+        """A structural copy sharing node objects (for Opt II, which
+        rewires edges on a scratch copy before re-resolving Γ)."""
+        clone = VFG(self.address_taken)
+        for edge in self.edges():
+            clone.add_edge(edge.src, edge.dst, edge.kind, edge.callsite)
+        clone.check_sites = list(self.check_sites)
+        clone.def_site = dict(self.def_site)
+        clone.stats = self.stats
+        return clone

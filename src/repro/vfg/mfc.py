@@ -1,0 +1,95 @@
+"""Must Flow-from Closure (Definition 2).
+
+The MFC of a top-level variable x is the DAG of top-level definitions
+whose values *must* flow into x through copies and (non-bitwise) binary
+operations; constants and allocation results contribute the ⊤ root.
+Loads, calls, φs and parameters stop the expansion: their values cannot
+be bypassed during shadow propagation.
+
+Mirroring §4.1's bit-level-precision adjustment, binary operations
+expand only when the operator is not bitwise: for ``&``, ``|``, ``^``
+and shifts, a single undefined *bit* does not make the whole result
+undefined, so the conjunction-of-sources shortcut of Opt I would be
+unsound and the expansion stops instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.ir import instructions as ins
+from repro.ir.module import Module
+from repro.vfg.graph import TOP, Node, Root, TopNode, VFG
+
+#: Definition kinds that the closure expands through.
+_EXPAND_KINDS = frozenset({"copy", "unop", "binop", "gep"})
+#: Definition kinds contributing the ⊤ root as a source.
+_CONST_KINDS = frozenset({"const", "alloc", "addr"})
+
+_BITWISE_OPS = frozenset({"&", "|", "^", "<<", ">>"})
+
+
+@dataclass
+class MFC:
+    """The must-flow-from closure of a sink node.
+
+    Attributes:
+        sink: The top-level variable the closure was computed for.
+        nodes: All nodes in the closure (including the sink and ⊤ when
+            constants feed it).
+        sources: The closure's source nodes — the nodes whose shadows
+            the sink's shadow is a conjunction of.
+        interior: Nodes strictly between sources and sink, whose shadow
+            propagations Opt I can elide.
+    """
+
+    sink: TopNode
+    nodes: Set[Node] = field(default_factory=set)
+    sources: Set[Node] = field(default_factory=set)
+
+    @property
+    def interior(self) -> Set[Node]:
+        return self.nodes - self.sources - {self.sink}
+
+    @property
+    def simplifiable(self) -> bool:
+        """Opt I is profitable when the closure has interior nodes."""
+        return bool(self.interior)
+
+
+def compute_mfc(vfg: VFG, module: Module, sink: TopNode) -> MFC:
+    """Compute the MFC of ``sink`` (Definition 2)."""
+    by_uid = module.instr_by_uid()
+    mfc = MFC(sink)
+    work: List[Node] = [sink]
+    while work:
+        node = work.pop()
+        if node in mfc.nodes:
+            continue
+        mfc.nodes.add(node)
+        if isinstance(node, Root):
+            mfc.sources.add(node)
+            continue
+        uid, kind = vfg.def_site.get(node, (None, "unknown"))
+        if not isinstance(node, TopNode) or kind not in (
+            _EXPAND_KINDS | _CONST_KINDS
+        ):
+            mfc.sources.add(node)
+            continue
+        if kind in _CONST_KINDS:
+            mfc.sources.add(TOP)
+            mfc.nodes.add(TOP)
+            continue
+        if kind == "binop" and uid is not None:
+            instr = by_uid.get(uid)
+            if isinstance(instr, ins.BinOp) and instr.op in _BITWISE_OPS:
+                mfc.sources.add(node)
+                continue
+        preds = vfg.deps_of(node)
+        if not preds:
+            mfc.sources.add(node)
+            continue
+        for edge in preds:
+            work.append(edge.src)
+    return mfc

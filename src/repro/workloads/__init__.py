@@ -1,0 +1,13 @@
+"""Workloads: the 15 SPEC-shaped benchmarks and a random generator."""
+
+from repro.workloads.generator import GeneratorParams, generate_program
+from repro.workloads.spec import BY_NAME, WORKLOADS, Workload, workload
+
+__all__ = [
+    "GeneratorParams",
+    "generate_program",
+    "BY_NAME",
+    "WORKLOADS",
+    "Workload",
+    "workload",
+]

@@ -1,0 +1,262 @@
+"""Random TinyC program generator.
+
+Generates syntactically valid, *terminating*, *fault-free* TinyC
+programs from a seed — the fuzzing substrate for the property-based
+tests and the scalability benchmarks.
+
+Guarantees by construction:
+
+- **Termination**: no recursion (functions only call strictly
+  lower-indexed functions); every loop is counter-bounded with a
+  reserved induction variable.
+- **Memory safety**: pointers are always initialized with a valid
+  allocation or the address of a global/local before use; element
+  accesses rely on the interpreter's documented clamping.
+- **Undefinedness is the only bug**: scalars may be declared without an
+  initializer and read before assignment (controlled by
+  ``uninit_prob``) — exactly the defect class the paper detects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Shape knobs for generated programs."""
+
+    num_functions: int = 3
+    max_stmts_per_body: int = 8
+    max_depth: int = 2
+    max_loop_trip: int = 6
+    uninit_prob: float = 0.25
+    pointer_prob: float = 0.4
+    call_prob: float = 0.35
+    output_prob: float = 0.3
+    num_globals: int = 2
+
+    def scaled(self, factor: int) -> "GeneratorParams":
+        return GeneratorParams(
+            num_functions=self.num_functions * factor,
+            max_stmts_per_body=self.max_stmts_per_body,
+            max_depth=self.max_depth,
+            max_loop_trip=self.max_loop_trip,
+            uninit_prob=self.uninit_prob,
+            pointer_prob=self.pointer_prob,
+            call_prob=self.call_prob,
+            output_prob=self.output_prob,
+            num_globals=self.num_globals * factor,
+        )
+
+
+_ARITH_OPS = ("+", "-", "*", "/", "%", "<", ">", "==", "&", "|", "^")
+
+
+class _FuncScope:
+    def __init__(self, name: str, params: List[str]) -> None:
+        self.name = name
+        self.params = params
+        self.scalars: List[str] = list(params)
+        self.pointers: List[str] = []
+        self.counter = 0
+
+    def fresh(self, hint: str) -> str:
+        self.counter += 1
+        return f"{hint}{self.counter}"
+
+
+def generate_program(seed: int, params: Optional[GeneratorParams] = None) -> str:
+    """Generate TinyC source text for ``seed``."""
+    return _Generator(random.Random(seed), params or GeneratorParams()).run()
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, params: GeneratorParams) -> None:
+        self.rng = rng
+        self.params = params
+        self.lines: List[str] = []
+        self.globals: List[str] = []
+        self.func_names: List[str] = []
+
+    def run(self) -> str:
+        p = self.params
+        for i in range(p.num_globals):
+            name = f"g{i}"
+            self.globals.append(name)
+            if self.rng.random() < 0.3:
+                self.lines.append(f"global {name}[{self.rng.randint(2, 6)}];")
+            else:
+                self.lines.append(f"global {name};")
+        for index in range(p.num_functions):
+            self._gen_function(index)
+        self._gen_main()
+        return "\n".join(self.lines)
+
+    # ------------------------------------------------------------------
+    def _gen_function(self, index: int) -> None:
+        name = f"f{index}"
+        arity = self.rng.randint(1, 3)
+        fparams = [f"a{i}" for i in range(arity)]
+        self.func_names.append(name)
+        scope = _FuncScope(name, fparams)
+        self.lines.append(f"def {name}({', '.join(fparams)}) {{")
+        self._gen_body(scope, depth=0, callable_below=index)
+        self.lines.append(f"  return {self._expr(scope, callable_below=index)};")
+        self.lines.append("}")
+
+    def _gen_main(self) -> None:
+        scope = _FuncScope("main", [])
+        self.lines.append("def main() {")
+        # Seed a couple of scalars so expressions have material.
+        for i in range(2):
+            var = scope.fresh("s")
+            scope.scalars.append(var)
+            self.lines.append(f"  var {var} = {self.rng.randint(0, 9)};")
+        self._gen_body(scope, depth=0, callable_below=len(self.func_names))
+        self.lines.append(f"  output({self._expr(scope, len(self.func_names))});")
+        self.lines.append("  return 0;")
+        self.lines.append("}")
+
+    # ------------------------------------------------------------------
+    def _gen_body(self, scope: _FuncScope, depth: int, callable_below: int) -> None:
+        # Block scoping: names declared here are invisible afterwards —
+        # otherwise a pointer declared in one branch could be
+        # dereferenced (uninitialized) on the other path, which is a
+        # memory fault rather than the undefined-value defect class.
+        scalars_mark = len(scope.scalars)
+        pointers_mark = len(scope.pointers)
+        count = self.rng.randint(1, self.params.max_stmts_per_body)
+        for _ in range(count):
+            self._gen_stmt(scope, depth, callable_below)
+        del scope.scalars[scalars_mark:]
+        del scope.pointers[pointers_mark:]
+
+    def _gen_stmt(self, scope: _FuncScope, depth: int, callable_below: int) -> None:
+        rng = self.rng
+        pad = "  " * (depth + 1)
+        roll = rng.random()
+        if roll < 0.25:
+            # Declaration, possibly uninitialized (the defect source).
+            var = scope.fresh("v")
+            if rng.random() < self.params.uninit_prob:
+                self.lines.append(f"{pad}var {var};")
+            else:
+                init = self._expr(scope, callable_below)
+                self.lines.append(f"{pad}var {var} = {init};")
+            scope.scalars.append(var)  # after the initializer: no self-init
+        elif roll < 0.45 and scope.scalars:
+            target = rng.choice(scope.scalars)
+            self.lines.append(
+                f"{pad}{target} = {self._expr(scope, callable_below)};"
+            )
+        elif roll < 0.55 and rng.random() < self.params.pointer_prob:
+            self._gen_pointer_stmt(scope, pad, callable_below)
+        elif roll < 0.7 and depth < self.params.max_depth:
+            self.lines.append(f"{pad}if ({self._expr(scope, callable_below)}) {{")
+            self._gen_body(scope, depth + 1, callable_below)
+            if rng.random() < 0.5:
+                self.lines.append(f"{pad}}} else {{")
+                self._gen_body(scope, depth + 1, callable_below)
+            self.lines.append(f"{pad}}}")
+        elif roll < 0.8 and depth < self.params.max_depth:
+            trip = rng.randint(1, self.params.max_loop_trip)
+            induction = scope.fresh("li")
+            self.lines.append(f"{pad}var {induction} = 0;")
+            self.lines.append(f"{pad}while ({induction} < {trip}) {{")
+            self._gen_body(scope, depth + 1, callable_below)
+            self.lines.append(f"{pad}  {induction} = {induction} + 1;")
+            self.lines.append(f"{pad}}}")
+        elif roll < 0.9 and rng.random() < self.params.output_prob:
+            self.lines.append(f"{pad}output({self._expr(scope, callable_below)});")
+        else:
+            var = scope.fresh("t")
+            init = self._expr(scope, callable_below)
+            self.lines.append(f"{pad}var {var} = {init};")
+            scope.scalars.append(var)
+
+    def _gen_pointer_stmt(self, scope: _FuncScope, pad: str, callable_below: int) -> None:
+        rng = self.rng
+        if not scope.pointers or rng.random() < 0.5:
+            ptr = scope.fresh("p")
+            scope.pointers.append(ptr)
+            choice = rng.random()
+            # Uninitialized allocations are an undefinedness source and
+            # therefore also governed by uninit_prob.
+            uninit = rng.random() < self.params.uninit_prob
+            if choice < 0.4:
+                size = rng.randint(1, 4)
+                alloc = "malloc" if uninit else "calloc"
+                self.lines.append(f"{pad}var {ptr} = {alloc}({size});")
+            elif choice < 0.7 and self.globals:
+                glob = rng.choice(self.globals)
+                self.lines.append(f"{pad}var {ptr} = &{glob};")
+            else:
+                size = rng.randint(2, 5)
+                alloc = "malloc_array" if uninit else "calloc_array"
+                self.lines.append(f"{pad}var {ptr} = {alloc}({size});")
+        else:
+            ptr = rng.choice(scope.pointers)
+            if rng.random() < 0.6:
+                index = rng.randint(0, 3)
+                self.lines.append(
+                    f"{pad}{ptr}[{index}] = {self._expr(scope, callable_below)};"
+                )
+            else:
+                self.lines.append(
+                    f"{pad}*{ptr} = {self._expr(scope, callable_below)};"
+                )
+
+    # ------------------------------------------------------------------
+    def _expr(self, scope: _FuncScope, callable_below: int, depth: int = 0) -> str:
+        rng = self.rng
+        roll = rng.random()
+        if depth >= 2 or roll < 0.25:
+            return self._atom(scope)
+        if roll < 0.65:
+            op = rng.choice(_ARITH_OPS)
+            lhs = self._expr(scope, callable_below, depth + 1)
+            rhs = self._expr(scope, callable_below, depth + 1)
+            return f"({lhs} {op} {rhs})"
+        if roll < 0.75 and scope.pointers:
+            ptr = rng.choice(scope.pointers)
+            if rng.random() < 0.5:
+                return f"{ptr}[{rng.randint(0, 3)}]"
+            return f"(*{ptr})"
+        if (
+            roll < 0.9
+            and callable_below > 0
+            and rng.random() < self.params.call_prob
+        ):
+            target_index = rng.randrange(callable_below)
+            target = f"f{target_index}"
+            arity = self._arity_of(target_index)
+            args = ", ".join(
+                self._atom(scope) for _ in range(arity)
+            )
+            if rng.random() < 0.2:
+                # Through a function pointer.
+                fp = scope.fresh("fp")
+                pad = "  "
+                self.lines.append(f"{pad}var {fp} = {target};")
+                scope.counter += 0
+                return f"{fp}({args})"
+            return f"{target}({args})"
+        return self._atom(scope)
+
+    def _arity_of(self, index: int) -> int:
+        header = next(
+            line for line in self.lines if line.startswith(f"def f{index}(")
+        )
+        inside = header[header.index("(") + 1 : header.index(")")]
+        return 0 if not inside.strip() else inside.count(",") + 1
+
+    def _atom(self, scope: _FuncScope) -> str:
+        rng = self.rng
+        pool: List[str] = []
+        pool.extend(scope.scalars)
+        if rng.random() < 0.4 or not pool:
+            return str(rng.randint(0, 20))
+        return rng.choice(pool)

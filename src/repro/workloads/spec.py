@@ -1,0 +1,882 @@
+"""The 15 SPEC CPU2000-shaped synthetic workloads.
+
+The paper evaluates on all 15 SPEC CPU2000 C programs.  Those sources
+and reference inputs cannot be redistributed, so each benchmark is
+replaced by a synthetic TinyC program named after it whose *profile*
+matches what Table 1 and §4.5 report drives the results.  Each program
+mixes, in benchmark-specific proportions, the value-flow categories
+that real C programs exhibit:
+
+- **defined memory traffic** — global/calloc'd tables and records whose
+  initialising stores are strongly or semi-strongly updatable: full
+  instrumentation (and Usher_TL) pays for every access, Usher_TL+AT
+  proves them ⊤ and drops everything;
+- **fog** — flows that are dynamically always defined but statically
+  unprovable: ``malloc``'d arrays initialised element-by-element (the
+  collapsed array merges the undefined-at-allocation state forever),
+  records initialised through shared helper functions (points-to
+  merging forces weak updates), conditionally-initialised scalars.
+  These are what keep Usher's residual overhead (the paper's 123%);
+- **pure scalar arithmetic** — only full instrumentation pays;
+- **dominated check chains** — one ⊥ value used at several critical
+  statements in dominance order (what Opt II elides);
+- **long must-flow chains** — arithmetic pipelines from ⊥ sources into
+  one consumer (what Opt I collapses); bitwise variants (186.crafty)
+  stop Opt I, as §4.1 requires for bit-level precision.
+
+=============  ====================================================
+Benchmark      Profile reproduced
+=============  ====================================================
+164.gzip       LZ window compression; mostly defined tables, light fog
+175.vpr        grid placement; defined grid + fogged net weights
+176.gcc        pass dispatch via function-pointer table; wide call graph
+177.mesa       span interpolation; heap-allocation heavy, fogged vertices
+179.art        neural resonance scan; defined weights, fogged input
+181.mcf        network simplex on calloc'd records: ~everything defined
+               → near-zero Usher overhead (the paper's 2%)
+183.equake     CSR sparse matrix-vector; fogged matrix values
+186.crafty     bitboard scoring; *bitwise* fog (limits Opt I)
+188.ammp       many-field molecule records initialised by a shared
+               helper (weak updates keep them ⊥)
+197.parser     tokenizer with a **genuine uninitialized-variable bug**
+               in ``ppmatch`` (§4.5: detected by all tools)
+253.perlbmk    bytecode interpreter over a fogged opcode stream: most
+               values feed checks (high %B → small TL→TL+AT gap)
+254.gap        arena allocator handing out uninitialized blocks (high
+               %F, few strong updates → small TL→TL+AT gap)
+255.vortex     object store accessor chains over a fogged store
+256.bzip2      counting sort + RLE over a defined block, fogged input
+300.twolf      annealing over a defined grid with an LCG; fogged costs
+=============  ====================================================
+
+Every program terminates, is memory-safe under the interpreter's
+clamping semantics, and emits checksums via ``output`` so instrumented
+and native runs can be compared for semantic equality.  Only
+``197.parser`` contains a true undefined-value use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark program generator.
+
+    ``source(scale)`` renders TinyC text; ``scale=1.0`` is the
+    "reference input" used by the figures; tests use smaller scales.
+    """
+
+    name: str
+    description: str
+    _render: Callable[[int], str]
+    base_iterations: int
+    has_true_bug: bool = False
+
+    def source(self, scale: float = 1.0) -> str:
+        iterations = max(2, int(self.base_iterations * scale))
+        return self._render(iterations)
+
+
+def _gzip(n: int) -> str:
+    return f"""
+// 164.gzip: LZ-style sliding-window compression.
+// Window/hash tables are defined memory traffic; the input stream is a
+// fogged malloc'd array (initialized dynamically, unprovable statically).
+global hash_head[64];
+global checksum;
+
+def fill_input(buf, len) {{
+  var k = 0;
+  while (k < len) {{
+    buf[k] = (k * 17 + 5) % 97;     // fully initialized at run time
+    k = k + 1;
+  }}
+  return len;
+}}
+
+def update_hash(h, c) {{
+  return ((h * 31) + c) % 64;
+}}
+
+def longest_match(win, pos, cand) {{
+  var len = 0;
+  while (len < 8) {{
+    if (win[(pos + len) % 128] != win[(cand + len) % 128]) {{ break; }}
+    len = len + 1;
+  }}
+  return len;
+}}
+
+def main() {{
+  var win = calloc_array(128);       // defined traffic: AT proves it
+  var input = malloc_array(256);     // fog: collapsed array stays ⊥
+  fill_input(input, 256);
+  var i = 0, h = 0, emitted = 0;
+  while (i < {n}) {{
+    var c = input[i % 256];
+    win[i % 128] = c;
+    h = update_hash(h, c % 64);
+    var cand = hash_head[h % 64];
+    var m = longest_match(win, i % 128, cand % 128);
+    if (m > 2) {{ emitted = emitted + 1; }} else {{ emitted = emitted + m; }}
+    hash_head[h % 64] = i % 128;
+    checksum = (checksum + m + c) % 65536;
+    i = i + 1;
+  }}
+  output(checksum);
+  output(emitted);
+  return 0;
+}}
+"""
+
+
+def _vpr(n: int) -> str:
+    return f"""
+// 175.vpr: grid placement with swap-based cost improvement.  The grid
+// is a defined global; per-net weights are fogged (helper-initialized
+// heap records shared between call sites force weak updates).
+global grid[100];
+global best_cost;
+
+def set_weight(net, w) {{
+  net[0] = w;
+  net[1] = w * 2 + 1;
+  return net;
+}}
+
+def cell_cost(idx, net) {{
+  var here = grid[idx % 100];
+  var right = grid[(idx + 1) % 100];
+  var d = here - right;
+  if (d < 0) {{ d = 0 - d; }}
+  return d * net[0] + net[1];
+}}
+
+def try_swap(a, b, net) {{
+  var before = cell_cost(a, net) + cell_cost(b, net);
+  var tmp = grid[a % 100];
+  grid[a % 100] = grid[b % 100];
+  grid[b % 100] = tmp;
+  var after = cell_cost(a, net) + cell_cost(b, net);
+  if (after > before) {{
+    tmp = grid[a % 100];
+    grid[a % 100] = grid[b % 100];
+    grid[b % 100] = tmp;
+    return 0;
+  }}
+  return before - after;
+}}
+
+def main() {{
+  var i = 0;
+  while (i < 100) {{ grid[i] = (i * 37) % 50; i = i + 1; }}
+  var net1 = set_weight(malloc(2), 3);   // two call sites into
+  var net2 = set_weight(malloc(2), 5);   // set_weight: pts merge → weak
+  var step = 0, gain = 0;
+  while (step < {n}) {{
+    var net = net1;
+    if (step % 2) {{ net = net2; }}
+    gain = gain + try_swap(step * 7, step * 13 + 3, net);
+    step = step + 1;
+  }}
+  best_cost = gain;
+  output(best_cost);
+  return 0;
+}}
+"""
+
+
+def _gcc(n: int) -> str:
+    return f"""
+// 176.gcc: pass pipeline dispatched through a function-pointer table
+// over an RTL buffer.  The RTL buffer is fogged (malloc'd, initialized
+// by a loop); pass bookkeeping is defined.
+global pass_count;
+
+def fold_const(x) {{ return (x * 2) % 251; }}
+def cse_pass(x) {{ return (x + 7) % 251; }}
+def dce_pass(x) {{ if (x % 3) {{ return x - 1; }} return x; }}
+def loop_pass(x) {{
+  var acc = x, k = 0;
+  while (k < 3) {{ acc = (acc * 5 + 1) % 251; k = k + 1; }}
+  return acc;
+}}
+def sched_pass(x) {{ return (x + 42) % 251; }}
+
+def run_pass(fn, rtl, count) {{
+  var j = 0;
+  while (j < count) {{
+    rtl[j % 64] = fn(rtl[j % 64]);
+    j = j + 1;
+  }}
+  pass_count = pass_count + 1;
+  return pass_count;
+}}
+
+def main() {{
+  var rtl = malloc_array(64);          // fog
+  var i = 0;
+  while (i < 64) {{ rtl[i] = i; i = i + 1; }}
+  var passes = malloc_array(5);
+  passes[0] = fold_const; passes[1] = cse_pass; passes[2] = dce_pass;
+  passes[3] = loop_pass;  passes[4] = sched_pass;
+  var round = 0;
+  while (round < {n}) {{
+    run_pass(passes[round % 5], rtl, 16);
+    round = round + 1;
+  }}
+  var sum = 0; i = 0;
+  while (i < 64) {{ sum = (sum + rtl[i]) % 100000; i = i + 1; }}
+  output(sum);
+  output(pass_count);
+  return 0;
+}}
+"""
+
+
+def _mesa(n: int) -> str:
+    return f"""
+// 177.mesa: span shading.  A fresh vertex record per span (heap-heavy,
+// as in Table 1); vertices are initialized through a *loop* with a
+// computed index — the classic memset-by-loop idiom that defeats
+// strong and semi-strong updates (all fields stay statically ⊥).
+global frames;
+
+def make_vertex(x, y, z) {{
+  var v = malloc(4);
+  var k = 0;
+  while (k < 4) {{
+    v[k] = (x * (k + 1) + y * k + z) % 256;   // computed index: fog
+    k = k + 1;
+  }}
+  return v;
+}}
+
+def lerp(a, b, t) {{
+  return a + ((b - a) * t) / 16;
+}}
+
+def shade_span(v0, v1, t) {{
+  var r = lerp(v0[0], v1[0], t);
+  var g = lerp(v0[1], v1[1], t);
+  var b = lerp(v0[2], v1[2], t);
+  return (r * 3 + g * 5 + b * 7) % 4096;
+}}
+
+def main() {{
+  var zbuf = calloc_array(64);         // defined traffic
+  var frame = 0, acc = 0;
+  while (frame < {n}) {{
+    frames = frames + 1;
+    var a = make_vertex(frame % 255, (frame * 3) % 255, 9);
+    var b = make_vertex((frame * 7) % 255, 100, frame % 31);
+    var t = 0;
+    while (t < 8) {{
+      var c = shade_span(a, b, t);
+      if (c > zbuf[(frame + t) % 64]) {{ zbuf[(frame + t) % 64] = c % 512; }}
+      acc = (acc + c) % 65536;
+      t = t + 1;
+    }}
+    frame = frame + 1;
+  }}
+  output(acc);
+  output(zbuf[7]);
+  return 0;
+}}
+"""
+
+
+def _art(n: int) -> str:
+    return f"""
+// 179.art: adaptive resonance scan.  Weights are a defined global;
+// the input feature window is fogged (malloc + dynamic init).
+global weights[32];
+global trained;
+
+def train(val, idx) {{
+  weights[idx % 32] = (weights[idx % 32] * 3 + val) / 4;
+  trained = trained + 1;
+  return weights[idx % 32];
+}}
+
+def match_score(f1, idx) {{
+  var s = 0, k = 0;
+  while (k < 8) {{
+    var d = f1[(idx + k) % 32] - weights[(idx + k) % 32];
+    if (d < 0) {{ d = 0 - d; }}
+    s = s + d;
+    k = k + 1;
+  }}
+  return s;
+}}
+
+def main() {{
+  var f1 = malloc_array(32);           // fog
+  var i = 0;
+  while (i < 32) {{ f1[i] = (i * 11) % 64; i = i + 1; }}
+  var scan = 0, winner = 0, best = 9999;
+  while (scan < {n}) {{
+    var idx = scan % 32;
+    var s = match_score(f1, idx);
+    if (s < best) {{ best = s; winner = idx; }}
+    train(f1[idx], idx);
+    scan = scan + 1;
+  }}
+  output(winner);
+  output(best);
+  return 0;
+}}
+"""
+
+
+def _mcf(n: int) -> str:
+    return f"""
+// 181.mcf: network simplex sweep over calloc'd node/arc records —
+// essentially every value is provably defined, reproducing the paper's
+// 2% Usher slowdown on this benchmark.
+global pivots;
+
+def make_node(id) {{
+  var node = calloc(4);
+  node[0] = id;
+  node[1] = (id * 7) % 100;  // potential
+  return node;
+}}
+
+def make_arc(src, dst, cost) {{
+  var arc = calloc(4);
+  arc[0] = src; arc[1] = dst; arc[2] = cost;
+  return arc;
+}}
+
+def reduced_cost(arc, nodes) {{
+  var src = nodes[arc[0] % 16];
+  var dst = nodes[arc[1] % 16];
+  return arc[2] - src[1] + dst[1];
+}}
+
+def main() {{
+  var nodes = calloc_array(16);
+  var i = 0;
+  while (i < 16) {{ nodes[i] = make_node(i); i = i + 1; }}
+  // Deleted-arc bookkeeping carries a fogged cost into a *second*
+  // make_arc call site.  1-callsite heap cloning and context-sensitive
+  // resolution keep the hot arcs below provably defined; without either
+  // the fogged clone pollutes them (the ablation benchmarks show this).
+  var dead_costs = malloc_array(8);
+  i = 0;
+  while (i < 8) {{ dead_costs[i] = i * 3; i = i + 1; }}
+  var flow = 0, ghost = 0, iter = 0;
+  while (iter < {n}) {{
+    var tomb = make_arc(iter, iter, dead_costs[iter % 8]);
+    ghost = ghost + tomb[0];
+    var arc = make_arc(iter, iter * 3 + 1, (iter * 13) % 50);
+    var rc = reduced_cost(arc, nodes);
+    if (rc < 0) {{
+      flow = flow + 1;
+      pivots = pivots + 1;
+      var pivot = nodes[iter % 16];
+      pivot[1] = pivot[1] + rc;
+    }}
+    iter = iter + 1;
+  }}
+  output(flow);
+  output(pivots);
+  output(ghost % 1000);
+  return 0;
+}}
+"""
+
+
+def _equake(n: int) -> str:
+    return f"""
+// 183.equake: CSR sparse matrix-vector products.  Index structure is
+// defined (globals); the value array and the vector are fogged.
+global colidx[96];
+global rowptr[17];
+global iters;
+
+def spmv_row(row, vals, x) {{
+  var acc = 0;
+  var k = rowptr[row];
+  var end = rowptr[row + 1];
+  while (k < end) {{
+    acc = acc + vals[k % 96] * x[colidx[k % 96] % 16];
+    k = k + 1;
+  }}
+  return acc;
+}}
+
+def main() {{
+  var i = 0;
+  while (i < 96) {{ colidx[i] = (i * 5) % 16; i = i + 1; }}
+  i = 0;
+  while (i < 17) {{ rowptr[i] = (i * 96) / 16; i = i + 1; }}
+  var vals = malloc_array(96);         // fog
+  i = 0;
+  while (i < 96) {{ vals[i] = (i % 7) + 1; i = i + 1; }}
+  var x = malloc_array(16);            // fog
+  i = 0;
+  while (i < 16) {{ x[i] = i + 1; i = i + 1; }}
+  var step = 0, norm = 0;
+  while (step < {n}) {{
+    var row = 0;
+    while (row < 16) {{
+      var y = spmv_row(row, vals, x);
+      x[row] = (x[row] + y) % 1000;
+      row = row + 1;
+    }}
+    norm = (norm + x[step % 16]) % 100000;
+    iters = iters + 1;
+    step = step + 1;
+  }}
+  output(norm);
+  output(iters);
+  return 0;
+}}
+"""
+
+
+def _crafty(n: int) -> str:
+    return f"""
+// 186.crafty: bitboard attack generation.  The board state is fogged
+// AND the chains are bitwise, so Opt I cannot simplify them (bit-level
+// precision, §4.1).
+global zobrist;
+
+def init_board(bb) {{
+  var p = 0;
+  while (p < 12) {{
+    bb[p] = (p * 2479) ^ (p << 5);
+    p = p + 1;
+  }}
+  return bb;
+}}
+
+def popcount(v) {{
+  var c = 0, k = 0;
+  while (k < 16) {{
+    c = c + (v & 1);
+    v = v >> 1;
+    k = k + 1;
+  }}
+  return c;
+}}
+
+def rook_attacks(occ, sq) {{
+  var mask = (255 << ((sq / 8) * 8));
+  return (occ & mask) | (1 << (sq % 16));
+}}
+
+def evaluate(bb, occ) {{
+  var score = 0, p = 0;
+  while (p < 12) {{
+    score = score + popcount(bb[p] & occ) * (p + 1);
+    p = p + 1;
+  }}
+  return score;
+}}
+
+def main() {{
+  var bb = init_board(malloc_array(12));   // fog
+  var ply = 0, best = 0;
+  while (ply < {n}) {{
+    var occ = bb[ply % 12] | bb[(ply + 5) % 12];
+    var att = rook_attacks(occ, ply % 64);
+    var score = evaluate(bb, att);
+    zobrist = zobrist ^ (score << (ply % 8));
+    if (score > best) {{ best = score; }}
+    ply = ply + 1;
+  }}
+  output(best);
+  output(zobrist & 65535);
+  return 0;
+}}
+"""
+
+
+def _ammp(n: int) -> str:
+    return f"""
+// 188.ammp: molecular dynamics over many-field atom records whose
+// coordinate fields are filled by a computed-index loop (memset-by-loop
+// fog); only the serial and mass use constant offsets.
+global steps;
+
+def make_atom(id) {{
+  var atom = malloc(6);
+  atom[0] = id;
+  var k = 1;
+  while (k < 5) {{
+    atom[k] = (id * (13 + 16 * k)) % 40;   // computed index: fog
+    k = k + 1;
+  }}
+  atom[5] = 1 + id % 3;
+  return atom;
+}}
+
+def interact(a, b) {{
+  var dx = a[1] - b[1];
+  var dy = a[2] - b[2];
+  var dz = a[3] - b[3];
+  var r2 = dx * dx + dy * dy + dz * dz + 1;
+  var f = 1000 / r2;
+  a[4] = a[4] + f;
+  b[4] = b[4] - f;
+  return f;
+}}
+
+def main() {{
+  var atoms = calloc_array(12);
+  var i = 0;
+  while (i < 12) {{ atoms[i] = make_atom(i); i = i + 1; }}
+  var step = 0, energy = 0;
+  while (step < {n}) {{
+    var a = atoms[step % 12];
+    var b = atoms[(step * 5 + 1) % 12];
+    energy = (energy + interact(a, b)) % 1000000;
+    a[1] = (a[1] + a[4] / a[5]) % 40;
+    steps = steps + 1;
+    step = step + 1;
+  }}
+  output(energy);
+  return 0;
+}}
+"""
+
+
+def _parser(n: int) -> str:
+    return f"""
+// 197.parser: token scan + dictionary link with the paper's genuine
+// bug — ppmatch reads `power` before every path defines it (the one
+// true use of an undefined value all tools detect, §4.5).
+global dict[32];
+global tokens;
+
+def hash_word(w) {{
+  return ((w * 26544357) >> 4) % 32;
+}}
+
+def ppmatch(kind, strength) {{
+  var power;                 // BUG: undefined when kind % 4 == 3
+  if (kind % 4 == 0) {{ power = strength + 1; }}
+  else {{ if (kind % 4 == 1) {{ power = strength * 2; }}
+  else {{ if (kind % 4 == 2) {{ power = 0 - strength; }} }} }}
+  if (power > 4) {{          // reads the undefined value
+    return 1;
+  }}
+  return 0;
+}}
+
+def scan_token(text, pos) {{
+  var c = text[pos % 64];
+  if (c % 5 == 0) {{ return c + 1; }}
+  return c;
+}}
+
+def link_word(w) {{
+  var h = hash_word(w);
+  var prev = dict[h % 32];
+  dict[h % 32] = (w + prev) % 65536;
+  return prev;
+}}
+
+def main() {{
+  var text = malloc_array(64);         // fog
+  var i = 0;
+  while (i < 64) {{ text[i] = (i * 31 + 7) % 127; i = i + 1; }}
+  var tok = 0, matches = 0, links = 0;
+  while (tok < {n}) {{
+    var w = scan_token(text, tok);
+    links = (links + link_word(w)) % 65536;
+    matches = matches + ppmatch(tok, w % 10);
+    tokens = tokens + 1;
+    tok = tok + 1;
+  }}
+  output(matches);
+  output(links);
+  return 0;
+}}
+"""
+
+
+def _perlbmk(n: int) -> str:
+    return f"""
+// 253.perlbmk: bytecode interpreter.  Opcode stream and operand stack
+// are both fogged, and almost every computed value steers a branch or
+// an indirect dispatch — the paper's 84% of VFG nodes reaching a check
+// and the smallest TL→TL+AT improvement.
+global executed;
+
+def op_add(stk, sp) {{ stk[(sp - 1) % 16] = stk[(sp - 1) % 16] + stk[sp % 16]; return sp - 1; }}
+def op_mul(stk, sp) {{ stk[(sp - 1) % 16] = stk[(sp - 1) % 16] * stk[sp % 16] % 9973; return sp - 1; }}
+def op_dup(stk, sp) {{ stk[(sp + 1) % 16] = stk[sp % 16]; return sp + 1; }}
+def op_mod(stk, sp) {{ stk[(sp - 1) % 16] = stk[(sp - 1) % 16] % (stk[sp % 16] + 1); return sp - 1; }}
+
+def main() {{
+  var code = malloc_array(48);         // fog: the bytecode stream
+  var i = 0;
+  while (i < 48) {{ code[i] = (i * 19 + 3) % 97; i = i + 1; }}
+  var stk = malloc_array(16);          // fog: the operand stack
+  i = 0;
+  while (i < 16) {{ stk[i] = i + 1; i = i + 1; }}
+  var ops = malloc_array(4);
+  ops[0] = op_add; ops[1] = op_mul; ops[2] = op_dup; ops[3] = op_mod;
+  var pc = 0, sp = 1, trace = 0;
+  while (pc < {n}) {{
+    var insn = code[pc % 48];
+    var arg = code[(pc + 1) % 48];     // operand fetch: more fog
+    var opcode = (insn + arg) % 4;
+    if (insn % 7 == 0) {{
+      stk[(sp + 1) % 16] = insn + arg; // push literal
+      sp = sp + 1;
+    }} else {{
+      var fn = ops[opcode];
+      sp = fn(stk, sp);
+      if (sp < 1) {{ sp = 1; }}
+    }}
+    var top = stk[sp % 16];
+    if (top > 5000) {{ trace = trace + 1; }}
+    if ((top + arg) % 11 == 0) {{      // flag computation over fog
+      stk[sp % 16] = top % 4096;
+    }}
+    executed = executed + 1;
+    // Stack rewinds driven by the opcode stream fog the stack pointer
+    // itself, and variable-length instructions fog the pc: nearly every
+    // value in the dispatch loop feeds a runtime check (the paper's 84%
+    // of VFG nodes reaching a check on this benchmark).
+    if (insn % 13 == 0) {{ sp = (insn % 8) + 1; }}
+    pc = pc + 1 + (insn % 2);
+  }}
+  output(stk[sp % 16]);
+  output(trace);
+  return 0;
+}}
+"""
+
+
+def _gap(n: int) -> str:
+    return f"""
+// 254.gap: bump-arena allocator handing out *uninitialized* blocks
+// (high %F) that callers only partially initialize before use — few
+// strong updates, so analyzing address-taken variables helps little
+// (the paper's small TL→TL+AT gap on this benchmark).
+global allocs;
+
+def arena_new(size) {{
+  allocs = allocs + 1;
+  return malloc(4);          // fresh, uninitialized handout
+}}
+
+def make_int_obj(v) {{
+  var h = arena_new(4);
+  h[0] = 1;
+  h[1] = v;                  // h[2], h[3] stay undefined (never read)
+  return h;
+}}
+
+def obj_sum(a, b) {{
+  return a[1] + b[1];
+}}
+
+def main() {{
+  var acc = 0, i = 0;
+  while (i < {n}) {{
+    var x = make_int_obj(i);
+    var y = make_int_obj(i * 3);
+    var s = obj_sum(x, y);
+    if (s % 3 == 0) {{ acc = (acc + s) % 1000003; }}
+    else {{ acc = (acc + 1) % 1000003; }}
+    i = i + 1;
+  }}
+  output(acc);
+  output(allocs);
+  return 0;
+}}
+"""
+
+
+def _vortex(n: int) -> str:
+    return f"""
+// 255.vortex: object store with accessor call chains over a fogged
+// backing array — store/call dense, long interprocedural value flows.
+global next_id;
+
+def obj_base(id) {{ return (id % 16) * 3; }}
+
+def obj_create(store, kind, payload) {{
+  var id = next_id;
+  next_id = next_id + 1;
+  var base = obj_base(id);
+  store[base] = id;
+  store[base + 1] = kind;
+  store[base + 2] = payload;
+  return id;
+}}
+
+def obj_kind(store, id) {{ return store[obj_base(id) + 1]; }}
+def obj_payload(store, id) {{ return store[obj_base(id) + 2]; }}
+
+def obj_update(store, id, delta) {{
+  var base = obj_base(id);
+  store[base + 2] = store[base + 2] + delta;
+  return store[base + 2];
+}}
+
+def main() {{
+  var store = malloc_array(48);        // fog
+  var k = 0;
+  while (k < 48) {{ store[k] = 0; k = k + 1; }}
+  var i = 0, digest = 0;
+  while (i < {n}) {{
+    var id = obj_create(store, i % 5, i * 11);
+    if (obj_kind(store, id) == 3) {{
+      digest = (digest + obj_update(store, id, 7)) % 999983;
+    }} else {{
+      digest = (digest + obj_payload(store, id)) % 999983;
+    }}
+    i = i + 1;
+  }}
+  output(digest);
+  output(next_id);
+  return 0;
+}}
+"""
+
+
+def _bzip2(n: int) -> str:
+    return f"""
+// 256.bzip2: counting sort + run-length pass.  The working block and
+// frequency tables are defined traffic (globals); the input generator
+// array is fogged.
+global block[64];
+global freq[16];
+global passes;
+
+def rle_emit(v, run) {{
+  if (run > 3) {{ return v * 4 + run; }}
+  return v * run;
+}}
+
+def main() {{
+  var src = malloc_array(64);          // fog
+  var i = 0;
+  while (i < 64) {{ src[i] = (i * 13 + 1) % 256; i = i + 1; }}
+  var pass = 0, out = 0;
+  while (pass < {n}) {{
+    i = 0;
+    while (i < 64) {{ block[i] = (src[i] * (pass + 7)) % 16; i = i + 1; }}
+    i = 0;
+    while (i < 16) {{ freq[i] = 0; i = i + 1; }}
+    i = 0;
+    while (i < 64) {{ freq[block[i] % 16] = freq[block[i] % 16] + 1; i = i + 1; }}
+    i = 1;
+    while (i < 16) {{ freq[i] = freq[i] + freq[i - 1]; i = i + 1; }}
+    var run = 1;
+    i = 1;
+    while (i < 64) {{
+      if (block[i] == block[i - 1]) {{ run = run + 1; }}
+      else {{ out = (out + rle_emit(block[i - 1], run)) % 65536; run = 1; }}
+      i = i + 1;
+    }}
+    passes = passes + 1;
+    pass = pass + 1;
+  }}
+  output(out);
+  output(freq[15]);
+  return 0;
+}}
+"""
+
+
+def _twolf(n: int) -> str:
+    return f"""
+// 300.twolf: simulated annealing over a standard-cell grid, LCG-driven.
+// The grid is defined; per-move cost scratch records are heap-fresh and
+// rescued by semi-strong updates (Figure 6's pattern).
+global cells[80];
+global seed;
+
+def lcg() {{
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return seed / 65536;
+}}
+
+def wirelen(a, b) {{
+  // Per-call scratch record: the allocation dominates both stores, so
+  // the semi-strong update rule (Figure 6) proves the reads defined.
+  var scratch = malloc(2);
+  var d = cells[a % 80] - cells[b % 80];
+  if (d < 0) {{ d = 0 - d; }}
+  scratch[0] = d;
+  scratch[1] = d * 2;
+  return scratch[0] + scratch[1] / 2;
+}}
+
+def anneal_move(temp, noise) {{
+  var a = lcg() % 80;
+  var b = lcg() % 80;
+  var before = wirelen(a, b);
+  var tmp = cells[a % 80];
+  cells[a % 80] = cells[b % 80];
+  cells[b % 80] = tmp;
+  var after = wirelen(a, b);
+  if (after > before + temp + noise) {{
+    tmp = cells[a % 80];
+    cells[a % 80] = cells[b % 80];
+    cells[b % 80] = tmp;
+    return 0;
+  }}
+  return before - after;
+}}
+
+def main() {{
+  seed = 42;
+  var i = 0;
+  while (i < 80) {{ cells[i] = (i * 73) % 200; i = i + 1; }}
+  var jitter = malloc_array(16);       // fog: annealing noise table
+  i = 0;
+  while (i < 16) {{ jitter[i] = i % 3; i = i + 1; }}
+  var temp = 40, gain = 0, step = 0;
+  while (step < {n}) {{
+    gain = gain + anneal_move(temp, jitter[step % 16]);
+    if (step % 8 == 7) {{
+      if (temp > 0) {{ temp = temp - 1; }}
+    }}
+    step = step + 1;
+  }}
+  output(gain);
+  output(temp);
+  return 0;
+}}
+"""
+
+
+#: All 15 workloads in SPEC numbering order.
+WORKLOADS: List[Workload] = [
+    Workload("164.gzip", "LZ window compression", _gzip, 200),
+    Workload("175.vpr", "grid placement annealing", _vpr, 120),
+    Workload("176.gcc", "pass pipeline over RTL buffer", _gcc, 55),
+    Workload("177.mesa", "span interpolation (heap-heavy)", _mesa, 55),
+    Workload("179.art", "neural resonance scan", _art, 100),
+    Workload("181.mcf", "network simplex (all-defined)", _mcf, 130),
+    Workload("183.equake", "CSR sparse matrix-vector", _equake, 40),
+    Workload("186.crafty", "bitboard evaluation (bitwise)", _crafty, 55),
+    Workload("188.ammp", "molecular dynamics records", _ammp, 150),
+    Workload("197.parser", "tokenizer with the ppmatch bug", _parser, 160,
+             has_true_bug=True),
+    Workload("253.perlbmk", "bytecode interpreter (high %B)", _perlbmk, 130),
+    Workload("254.gap", "arena allocator (high %F)", _gap, 140),
+    Workload("255.vortex", "object store call chains", _vortex, 130),
+    Workload("256.bzip2", "counting sort + RLE", _bzip2, 10),
+    Workload("300.twolf", "annealing with LCG", _twolf, 100),
+]
+
+BY_NAME: Dict[str, Workload] = {w.name: w for w in WORKLOADS}
+
+
+def workload(name: str) -> Workload:
+    """Look up a workload by its SPEC-style name (e.g. ``"181.mcf"``)."""
+    return BY_NAME[name]

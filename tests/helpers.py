@@ -1,0 +1,77 @@
+"""Shared test helpers: small programs and pipeline shortcuts."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis import CallGraph, ModRefResult, analyze_pointers
+from repro.core import prepare_module
+from repro.ir import Module, verify_module
+from repro.memssa import build_memory_ssa
+from repro.opt import run_pipeline
+from repro.tinyc import compile_source
+
+
+def compile_and_optimize(source: str, level: str = "O0+IM") -> Module:
+    """Compile TinyC and run the named optimization pipeline."""
+    module = compile_source(source)
+    run_pipeline(module, level)
+    verify_module(module)
+    return module
+
+
+def analyzed(source: str, level: str = "O0+IM"):
+    """Compile, optimize and run phases 1-2 (pointer analysis + memory
+    SSA); returns the PreparedModule."""
+    module = compile_and_optimize(source, level)
+    prepared = prepare_module(module)
+    verify_module(module, ssa=True)
+    return prepared
+
+
+def pointer_pipeline(source: str, level: str = "O0+IM"):
+    """Compile + optimize + pointer analysis (no SSA)."""
+    module = compile_and_optimize(source, level)
+    pointers = analyze_pointers(module)
+    callgraph = CallGraph(module, pointers)
+    modref = ModRefResult(module, pointers, callgraph)
+    return module, pointers, callgraph, modref
+
+
+#: A program with a genuine use-before-def of a scalar.
+BUGGY_SCALAR = """
+def main() {
+  var x;
+  var c = 3;
+  if (c > 5) { x = 1; }
+  output(x);
+  return 0;
+}
+"""
+
+#: A program with an uninitialized heap field flowing to a branch.
+BUGGY_HEAP = """
+def main() {
+  var p = malloc(2);
+  p[0] = 7;
+  if (p[1] > 0) { output(1); } else { output(2); }
+  return 0;
+}
+"""
+
+#: A correct program exercising pointers, calls and loops.
+CLEAN_PROGRAM = """
+global total;
+def bump(q, v) { *q = *q + v; return *q; }
+def main() {
+  var i = 0;
+  var acc = calloc(1);
+  while (i < 6) {
+    bump(acc, i);
+    i = i + 1;
+  }
+  total = *acc;
+  output(total);
+  return 0;
+}
+"""

@@ -1,0 +1,114 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+BUGGY = """
+def main() {
+  var x;
+  if (0) { x = 1; }
+  output(x);
+  return 0;
+}
+"""
+
+CLEAN = """
+def main() {
+  var x = 1;
+  output(x + 2);
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.tc"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.tc"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+class TestCheck:
+    def test_buggy_program_exits_1(self, buggy_file, capsys):
+        assert main(["check", buggy_file]) == 1
+        out = capsys.readouterr().out
+        assert "use of undefined value" in out
+        assert "line 5" in out  # the output statement
+
+    def test_clean_program_exits_0(self, clean_file, capsys):
+        assert main(["check", clean_file]) == 0
+        assert "no uses of undefined values" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "config", ["msan", "usher_tl", "usher_tl_at", "usher_opt1", "usher"]
+    )
+    def test_every_config_detects(self, buggy_file, config):
+        assert main(["check", buggy_file, "--config", config]) == 1
+
+    def test_show_plan(self, buggy_file, capsys):
+        main(["check", buggy_file, "--show-plan"])
+        out = capsys.readouterr().out
+        assert "instrumentation plan" in out
+        assert "σ(" in out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["check", "/nonexistent.tc"]) == 2
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.tc"
+        bad.write_text("def main( {")
+        assert main(["check", str(bad)]) == 2
+        assert "compile error" in capsys.readouterr().err
+
+
+class TestRunAndIR:
+    def test_run_prints_outputs(self, clean_file, capsys):
+        assert main(["run", clean_file]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+    def test_ir_dump(self, clean_file, capsys):
+        assert main(["ir", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "def main()" in out
+        assert "output" in out
+
+    def test_ir_ssa_dump(self, clean_file, capsys):
+        assert main(["ir", clean_file, "--ssa", "--uids"]) == 0
+        out = capsys.readouterr().out
+        assert ".1" in out  # SSA versions
+
+    def test_ir_levels(self, clean_file, capsys):
+        main(["ir", clean_file, "--level", "O1"])
+        o1 = capsys.readouterr().out
+        main(["ir", clean_file, "--level", "O0"])
+        o0 = capsys.readouterr().out
+        assert len(o1) <= len(o0)
+
+
+class TestReportAndSweep:
+    def test_report_sections(self, capsys):
+        assert main(["report", "--scale", "0.05",
+                     "--sections", "figure11"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "Table 1" not in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "r.md"
+        assert main(["report", "--scale", "0.05",
+                     "--sections", "figure11", "-o", str(target)]) == 0
+        assert "Figure 11" in target.read_text()
+
+    def test_sweep_prints_both_figures(self, capsys):
+        assert main(["sweep", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "average" in out
+        assert "usher_tl_at" in out

@@ -1,0 +1,59 @@
+"""Integration tests for §4.6: optimization levels vs overhead."""
+
+import pytest
+
+from repro.api import analyze_source
+from repro.workloads import workload
+
+NAMES = ("164.gzip", "181.mcf", "253.perlbmk", "255.vortex")
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def by_level():
+    result = {}
+    for name in NAMES:
+        w = workload(name)
+        result[name] = {
+            level: analyze_source(w.source(SCALE), name, level=level)
+            for level in ("O0+IM", "O1", "O2")
+        }
+    return result
+
+
+class TestOptimizationLevels:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_outputs_stable_across_levels(self, by_level, name):
+        outs = {
+            level: a.run_native().outputs for level, a in by_level[name].items()
+        }
+        assert outs["O0+IM"] == outs["O1"] == outs["O2"]
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_native_baseline_shrinks(self, by_level, name):
+        ops = {
+            level: a.run_native().native_ops
+            for level, a in by_level[name].items()
+        }
+        assert ops["O1"] <= ops["O0+IM"]
+        assert ops["O2"] <= ops["O1"]
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_ordering_holds_at_every_level(self, by_level, name):
+        for level, analysis in by_level[name].items():
+            assert analysis.slowdown("msan") >= analysis.slowdown("usher"), level
+
+    def test_reduction_narrows_at_higher_levels(self, by_level):
+        """§4.6: the usher-vs-msan gap narrows when the native baseline
+        is optimized (59.3% reduction at O0+IM vs ~38-39% at O1/O2)."""
+        def avg_reduction(level):
+            reductions = []
+            for name in NAMES:
+                a = by_level[name][level]
+                msan = a.slowdown("msan")
+                if msan == 0:
+                    continue
+                reductions.append((msan - a.slowdown("usher")) / msan)
+            return sum(reductions) / len(reductions)
+
+        assert avg_reduction("O0+IM") > 0.3  # usher clearly wins at O0+IM

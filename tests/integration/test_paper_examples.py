@@ -1,0 +1,165 @@
+"""Integration tests for the paper's running examples.
+
+Recreates the code of Figures 2, 5, 6 and 9 and checks the behaviour
+the paper derives from each.
+"""
+
+from repro.api import analyze_source
+from repro.core import UsherConfig, prepare_module, run_usher
+from repro.runtime import run_instrumented, run_native
+from tests.helpers import analyzed, compile_and_optimize
+
+
+class TestFigure2:
+    """int **a, *b; int c, i; a=&b; b=&c; c=10; i=c;"""
+
+    SOURCE = """
+    def main() {
+      var a, b, c, i;
+      a = &b;
+      *a = &c;
+      c = 10;
+      i = c;
+      output(i);
+      return 0;
+    }
+    """
+
+    def test_runs_and_is_defined(self):
+        analysis = analyze_source(self.SOURCE)
+        native = analysis.run_native()
+        assert native.outputs == [10]
+        assert not native.true_undefined_uses
+        report = analysis.run("usher")
+        assert not report.warnings
+
+
+class TestFigure5:
+    """A call with virtual parameters: foo reads/writes memory reached
+    through its pointer argument."""
+
+    SOURCE = """
+    def foo(q) {
+      var x = *q;
+      if (x) {
+        var t = 10;
+        x = x * t;
+        *q = x;
+      }
+      return x;
+    }
+    def main() {
+      var a = malloc(1);
+      *a = 3;
+      output(foo(a));
+      output(*a);
+      return 0;
+    }
+    """
+
+    def test_memory_flows_across_the_call(self):
+        prepared = analyzed(self.SOURCE)
+        foo = prepared.module.functions["foo"]
+        assert foo.virtual_params  # [ρ] list of Figure 4
+        analysis = analyze_source(self.SOURCE)
+        assert analysis.run_native().outputs == [30, 30]
+        assert not analysis.run("usher").warnings
+
+    def test_chi_at_call_site(self):
+        prepared = analyzed(self.SOURCE)
+        from repro.ir import instructions as ins
+
+        calls = [
+            i
+            for i in prepared.module.functions["main"].instructions()
+            if isinstance(i, ins.Call)
+        ]
+        assert any(c.chis for c in calls)
+
+
+class TestFigure6:
+    """The semi-strong update example: an allocation wrapper called in
+    a loop, with the store dominated by the allocation."""
+
+    SOURCE = """
+    def foo() {
+      var q = malloc(1);
+      var p = q;
+      var t = 0;
+      *p = t;
+      return *p;
+    }
+    def main() {
+      var i = 0, s = 0;
+      while (i < 4) {
+        s = s + foo();
+        i = i + 1;
+      }
+      output(s);
+      return 0;
+    }
+    """
+
+    def test_semi_strong_update_applied(self):
+        prepared = analyzed(self.SOURCE)
+        result = run_usher(prepared, UsherConfig.tl_at())
+        assert result.vfg.stats.semi_strong_applied >= 1
+
+    def test_load_proved_defined(self):
+        prepared = analyzed(self.SOURCE)
+        result = run_usher(prepared, UsherConfig.tl_at())
+        # With the semi-strong update, *p is defined: no checks remain.
+        assert result.plan.count_checks() == 0
+
+    def test_without_semi_strong_checks_remain(self):
+        from repro.vfg import build_vfg, resolve_definedness
+        from repro.core import build_guided_plan
+
+        prepared = analyzed(self.SOURCE)
+        vfg = build_vfg(
+            prepared.module,
+            prepared.pointers,
+            prepared.callgraph,
+            prepared.modref,
+            semi_strong=False,
+        )
+        gamma = resolve_definedness(vfg)
+        plan, _ = build_guided_plan(
+            prepared.module, vfg, gamma, prepared.callgraph
+        )
+        assert plan.count_checks() > 0
+
+
+class TestFigure9:
+    """Redundant check elimination: an undefined value checked at l1
+    (dominating) and again at l2."""
+
+    SOURCE = """
+    def main() {
+      var a = 1;
+      var b;
+      if (0) { b = 1; }
+      var c = a + b;
+      var p = calloc(1);
+      *p = c;             // l1: store uses a pointer; c flows to l1's
+      var d = 0;
+      var e = b + d;
+      if (e) { skip; }    // l2: dominated check on the same culprit b
+      output(*p);
+      return 0;
+    }
+    """
+
+    def test_opt2_removes_the_dominated_check(self):
+        prepared = analyzed(self.SOURCE)
+        without = run_usher(prepared, UsherConfig.opt_i())
+        with_opt2 = run_usher(prepared, UsherConfig.full())
+        assert with_opt2.plan.count_checks() <= without.plan.count_checks()
+        assert with_opt2.opt2_stats.redirected_nodes >= 0
+
+    def test_detection_still_happens_at_l1(self):
+        analysis = analyze_source(self.SOURCE)
+        native = analysis.run_native()
+        assert native.true_undefined_uses  # b is really undefined
+        report = analysis.run("usher")
+        assert report.warnings  # the dominating check fires

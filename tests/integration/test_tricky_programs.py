@@ -1,0 +1,166 @@
+"""Integration tests for tricky whole-program scenarios.
+
+Each case stresses an interaction between subsystems (pointer analysis
+× memory SSA × instrumentation × runtime) that unit tests cover only in
+isolation.  Every scenario asserts full agreement between the oracle,
+MSan and Usher.
+"""
+
+import pytest
+
+from repro.api import CONFIG_ORDER, analyze_source
+
+SCENARIOS = {
+    # Pointers stored inside records, two levels deep.
+    "pointer_in_record": (
+        """
+        def main() {
+          var inner = calloc(2);
+          inner[0] = 41;
+          var outer = malloc(2);
+          outer[0] = inner;          // record holding a pointer
+          var fetched = outer[0];
+          output(fetched[0] + 1);
+          return 0;
+        }
+        """,
+        False,
+    ),
+    # Function pointer stored in a record, called after retrieval.
+    "function_pointer_in_record": (
+        """
+        def triple(v) { return v * 3; }
+        def main() {
+          var vtbl = malloc(1);
+          *vtbl = triple;
+          var fn = *vtbl;
+          output(fn(14));
+          return 0;
+        }
+        """,
+        False,
+    ),
+    # Recursion writing through memory each level.
+    "recursive_memory_writes": (
+        """
+        def fill(p, n) {
+          if (n == 0) { return *p; }
+          *p = *p + n;
+          return fill(p, n - 1);
+        }
+        def main() {
+          var acc = calloc(1);
+          output(fill(acc, 5));
+          return 0;
+        }
+        """,
+        False,
+    ),
+    # The undefined value flows through two memory hops and a call.
+    "two_hop_memory_taint": (
+        """
+        def relay(dst, src) { *dst = *src; return 0; }
+        def main() {
+          var a = malloc(1);
+          var b = malloc(1);
+          relay(b, a);             // copies undefined *a into *b
+          if (*b) { output(1); } else { output(2); }
+          return 0;
+        }
+        """,
+        True,
+    ),
+    # A conditionally-initialized record field used on the other branch.
+    "cross_branch_field": (
+        """
+        def main() {
+          var r = malloc(2);
+          var mode = 1;
+          if (mode) { r[0] = 10; } else { r[1] = 20; }
+          output(r[0]);            // fine: mode is 1
+          output(r[1]);            // BUG: never written on this run
+          return 0;
+        }
+        """,
+        True,
+    ),
+    # Aliased writes: the second pointer cures the first's cell.
+    "alias_cure": (
+        """
+        def main() {
+          var p = malloc(1);
+          var q = p;
+          *q = 9;
+          output(*p);
+          return 0;
+        }
+        """,
+        False,
+    ),
+    # Loop-carried undefinedness: poisoned on iteration 3, used on 4.
+    "loop_carried_taint": (
+        """
+        def main() {
+          var cur = 1;
+          var hole;
+          var i = 0;
+          while (i < 6) {
+            if (i == 3) { cur = hole; }
+            if (i == 4) { output(cur); }   // BUG surfaces here
+            i = i + 1;
+          }
+          return 0;
+        }
+        """,
+        True,
+    ),
+    # Short-circuit keeps the undefined operand unevaluated.
+    "short_circuit_guard": (
+        """
+        def main() {
+          var flag = 0;
+          var u;
+          if (flag && u) { output(1); } else { output(2); }
+          return 0;
+        }
+        """,
+        # `flag && u` lowers to a branch on flag first; u's branch never
+        # executes, so no dynamic bug.
+        False,
+    ),
+    # Bit-level laundering across a call boundary.
+    "laundered_across_call": (
+        """
+        def mask_low(v) { return v & 0; }
+        def main() {
+          var u;
+          output(mask_low(u));     // all undefined bits laundered
+          return 0;
+        }
+        """,
+        False,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+class TestTrickyPrograms:
+    def test_oracle_matches_expectation(self, name):
+        source, expect_bug = SCENARIOS[name]
+        analysis = analyze_source(source, name)
+        native = analysis.run_native()
+        assert bool(native.true_bug_set()) == expect_bug
+
+    def test_all_tools_agree_with_oracle(self, name):
+        source, expect_bug = SCENARIOS[name]
+        analysis = analyze_source(source, name)
+        native = analysis.run_native()
+        for config in CONFIG_ORDER:
+            report = analysis.run(config)
+            assert report.outputs == native.outputs, config
+            assert bool(report.warnings) == expect_bug, config
+
+    def test_usher_never_costs_more_than_msan(self, name):
+        source, _ = SCENARIOS[name]
+        analysis = analyze_source(source, name)
+        assert analysis.slowdown("usher") <= analysis.slowdown("msan") + 1e-9

@@ -1,0 +1,106 @@
+"""Integration tests over the 15 SPEC-shaped workloads."""
+
+import pytest
+
+from repro.api import CONFIG_ORDER, analyze_source
+from repro.runtime import DEFAULT_COST_MODEL
+from repro.workloads import WORKLOADS, workload
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    return {
+        w.name: analyze_source(w.source(SCALE), w.name) for w in WORKLOADS
+    }
+
+
+class TestAllWorkloads:
+    def test_fifteen_workloads_present(self):
+        assert len(WORKLOADS) == 15
+        assert workload("181.mcf").description
+
+    @pytest.mark.parametrize("name", [w.name for w in WORKLOADS])
+    def test_semantics_preserved_under_every_plan(self, analyses, name):
+        analysis = analyses[name]
+        native = analysis.run_native()
+        for config in CONFIG_ORDER:
+            report = analysis.run(config)
+            assert report.outputs == native.outputs, config
+            assert report.exit_value == native.exit_value, config
+
+    @pytest.mark.parametrize("name", [w.name for w in WORKLOADS])
+    def test_overhead_ordering(self, analyses, name):
+        analysis = analyses[name]
+        slow = {c: analysis.slowdown(c) for c in CONFIG_ORDER}
+        assert slow["msan"] >= slow["usher_tl"] >= slow["usher_tl_at"]
+        assert slow["usher_tl_at"] >= slow["usher_opt1"] >= slow["usher"]
+
+    @pytest.mark.parametrize("name", [w.name for w in WORKLOADS])
+    def test_static_counts_ordering(self, analyses, name):
+        analysis = analyses[name]
+        props = {c: analysis.static_propagations(c) for c in CONFIG_ORDER}
+        checks = {c: analysis.static_checks(c) for c in CONFIG_ORDER}
+        assert props["msan"] >= props["usher_tl"] >= props["usher_tl_at"]
+        assert props["usher_tl_at"] >= props["usher_opt1"] >= props["usher"]
+        assert checks["msan"] >= checks["usher_tl"] >= checks["usher"]
+
+    @pytest.mark.parametrize(
+        "name", [w.name for w in WORKLOADS if not w.has_true_bug]
+    )
+    def test_clean_workloads_warning_free(self, analyses, name):
+        analysis = analyses[name]
+        assert not analysis.run_native().true_undefined_uses
+        for config in CONFIG_ORDER:
+            assert not analysis.run(config).warnings, config
+
+
+class TestSpecificProfiles:
+    def test_mcf_is_nearly_free(self, analyses):
+        """The paper's 181.mcf: 2% slowdown — almost everything defined."""
+        slowdown = analyses["181.mcf"].slowdown("usher")
+        assert slowdown < 10.0
+
+    def test_mcf_much_cheaper_than_average(self, analyses):
+        avg = sum(a.slowdown("usher") for a in analyses.values()) / len(analyses)
+        assert analyses["181.mcf"].slowdown("usher") < avg / 4 + 1.0
+
+    def test_gap_tl_at_gap_is_small(self, analyses):
+        """254.gap: high %F, few strong updates → TL ≈ TL+AT (§4.5)."""
+        analysis = analyses["254.gap"]
+        tl = analysis.slowdown("usher_tl")
+        tl_at = analysis.slowdown("usher_tl_at")
+        assert tl_at > 0.6 * tl
+
+    def test_crafty_resists_opt1(self, analyses):
+        """186.crafty is bitwise-heavy: Opt I must stop at bit ops, so
+        its gain is relatively small."""
+        analysis = analyses["186.crafty"]
+        tl_at = analysis.static_propagations("usher_tl_at")
+        opt1 = analysis.static_propagations("usher_opt1")
+        assert opt1 > 0.5 * tl_at
+
+    def test_msan_is_roughly_3x(self, analyses):
+        avg = sum(a.slowdown("msan") for a in analyses.values()) / len(analyses)
+        assert 200.0 < avg < 400.0
+
+
+class TestParserBug:
+    def test_oracle_sees_the_bug(self, analyses):
+        native = analyses["197.parser"].run_native()
+        assert native.true_undefined_uses
+
+    def test_all_tools_detect_it(self, analyses):
+        """§4.5: 'One use of an undefined value is detected in the
+        function ppmatch() of 197.parser by all the analysis tools.'"""
+        analysis = analyses["197.parser"]
+        for config in CONFIG_ORDER:
+            assert analysis.run(config).warnings, config
+
+    def test_detection_is_in_ppmatch(self, analyses):
+        analysis = analyses["197.parser"]
+        by_uid = analysis.module.instr_by_uid()
+        for uid in analysis.run("usher").warning_set():
+            instr = by_uid[uid]
+            assert instr.block.function.name == "ppmatch"

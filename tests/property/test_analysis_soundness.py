@@ -1,0 +1,123 @@
+"""Property-based soundness of the static analyses themselves.
+
+- **Pointer analysis**: every memory object a load/store *concretely*
+  touches at run time is covered by the instruction's points-to-derived
+  μ/χ annotations (Andersen's is an over-approximation).
+- **Definedness resolution**: Γ(v)=⊤ is conservative — no value the
+  oracle sees as undefined is ever used at a critical operation whose
+  node was resolved ⊤ (otherwise a check would be missing).
+- **SSA form**: every pipeline output is verifiable single-assignment.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import UsherConfig, prepare_module, run_usher
+from repro.ir import instructions as ins
+from repro.ir import verify_module
+from repro.opt import run_pipeline
+from repro.runtime import Interpreter, StepLimitExceeded
+from repro.tinyc import compile_source
+from repro.workloads import GeneratorParams, generate_program
+
+_PARAMS = GeneratorParams(uninit_prob=0.3)
+
+_SETTINGS = dict(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def prepared_random(seed: int):
+    module = compile_source(generate_program(seed, _PARAMS), f"seed{seed}")
+    run_pipeline(module, "O0+IM")
+    return prepare_module(module)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_points_to_covers_concrete_accesses(seed):
+    prepared = prepared_random(seed)
+    interp = Interpreter(prepared.module, max_steps=400_000)
+    interp.trace_memory = True
+    try:
+        interp.run()
+    except StepLimitExceeded:
+        return
+    by_uid = prepared.module.instr_by_uid()
+    for uid, origins in interp.mem_accesses.items():
+        instr = by_uid[uid]
+        annotated = instr.mus if isinstance(instr, ins.Load) else instr.chis
+        static_origins = set()
+        for ann in annotated:
+            obj = ann.loc.obj
+            if obj.kind == "global":
+                static_origins.add(("global", obj.name[2:]))  # strip "g:"
+            elif obj.alloc_uid is not None:
+                static_origins.add(("alloc", obj.alloc_uid))
+        assert origins <= static_origins, (str(instr), origins, static_origins)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_gamma_top_is_conservative(seed):
+    prepared = prepared_random(seed)
+    result = run_usher(prepared, UsherConfig.tl_at())
+    vfg, gamma = result.vfg, result.gamma
+    try:
+        from repro.runtime import run_native
+
+        native = run_native(prepared.module, max_steps=400_000)
+    except StepLimitExceeded:
+        return
+    # Critical sites resolved ⊤ must never be true undefined uses.
+    top_sites = {
+        site.instr_uid
+        for site in vfg.check_sites
+        if site.node is None or gamma.is_defined(site.node)
+    }
+    bot_sites = {
+        site.instr_uid
+        for site in vfg.check_sites
+        if site.node is not None and not gamma.is_defined(site.node)
+    }
+    for uid in native.true_bug_set():
+        assert uid not in (top_sites - bot_sites), uid
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_pipeline_output_is_valid_ssa(seed):
+    prepared = prepared_random(seed)
+    verify_module(prepared.module, ssa=True)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_optimization_levels_preserve_outputs(seed):
+    source = generate_program(seed, _PARAMS)
+    from repro.runtime import run_native
+
+    baseline = None
+    for level in ("O0", "O0+IM", "O1", "O2"):
+        module = compile_source(source, f"seed{seed}")
+        run_pipeline(module, level)
+        verify_module(module)
+        try:
+            report = run_native(module, max_steps=400_000)
+        except StepLimitExceeded:
+            return
+        if baseline is None:
+            baseline = report.outputs
+        else:
+            assert report.outputs == baseline, level
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_memory_ssa_is_well_formed(seed):
+    from repro.memssa import verify_memory_ssa
+
+    prepared = prepared_random(seed)
+    verify_memory_ssa(prepared.module)

@@ -1,0 +1,61 @@
+"""Property tests relating the two definedness resolvers.
+
+The summary-based tabulation must be (a) sound — every truly undefined
+critical use still sits on a ⊥ node — and (b) at least as precise as
+every k-limited call-string resolution.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import UsherConfig, prepare_module, run_usher
+from repro.opt import run_pipeline
+from repro.runtime import StepLimitExceeded, run_instrumented, run_native
+from repro.tinyc import compile_source
+from repro.vfg import resolve_definedness
+from repro.vfg.tabulation import resolve_definedness_summary
+from repro.workloads import GeneratorParams, generate_program
+
+_PARAMS = GeneratorParams(uninit_prob=0.3, call_prob=0.6)
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def prepared_random(seed: int):
+    module = compile_source(generate_program(seed, _PARAMS), f"seed{seed}")
+    run_pipeline(module, "O0+IM")
+    return prepare_module(module)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_summary_at_least_as_precise_as_call_strings(seed):
+    prepared = prepared_random(seed)
+    base = run_usher(prepared, UsherConfig.tl_at())
+    summary = resolve_definedness_summary(base.vfg)
+    for depth in (0, 1, 3):
+        limited = resolve_definedness(base.vfg, depth)
+        assert summary.bottom_nodes <= limited.bottom_nodes, depth
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_summary_resolver_sound_end_to_end(seed):
+    prepared = prepared_random(seed)
+    config = replace(UsherConfig.full(), resolver="summary")
+    result = run_usher(prepared, config)
+    try:
+        native = run_native(prepared.module, max_steps=400_000)
+    except StepLimitExceeded:
+        return
+    report = run_instrumented(prepared.module, result.plan, max_steps=2_000_000)
+    assert report.outputs == native.outputs
+    if native.true_bug_set():
+        assert report.warnings
+    else:
+        assert not report.warnings
+    assert report.warning_set() <= native.true_bug_set()

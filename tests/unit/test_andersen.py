@@ -1,0 +1,197 @@
+"""Unit tests for Andersen's pointer analysis."""
+
+from repro.analysis import analyze_pointers
+from repro.analysis.memobjects import MemLoc, MemObject, PVar
+from repro.ir.values import Var
+from repro.tinyc import compile_source
+from repro.opt import run_pipeline
+
+
+def pts(source, func, var_name, level="O0+IM", heap_cloning=True):
+    module = compile_source(source)
+    run_pipeline(module, level)
+    pointers = analyze_pointers(module, heap_cloning=heap_cloning)
+    matches = {
+        node: locs
+        for node, locs in pointers.pts.items()
+        if isinstance(node, PVar)
+        and node.func == func
+        and var_name in node.name
+    }
+    out = set()
+    for locs in matches.values():
+        out |= {str(loc) for loc in locs}
+    return pointers, out
+
+
+class TestBasics:
+    def test_alloc_flows_to_variable(self):
+        _, locs = pts(
+            "def main() { var p = malloc(1); *p = 1; return *p; }", "main", "p"
+        )
+        assert any("heap" in l for l in locs)
+
+    def test_copy_propagates_points_to(self):
+        source = "def main() { var p = malloc(1); var q = p; *q = 2; return *q; }"
+        _, p_locs = pts(source, "main", "p")
+        _, q_locs = pts(source, "main", "q")
+        assert p_locs and p_locs == q_locs
+
+    def test_global_address(self):
+        _, locs = pts(
+            "global g; def main() { var p = &g; *p = 1; return 0; }", "main", "p"
+        )
+        assert "g:g" in locs
+
+    def test_function_pointer(self):
+        source = "def f(x) { return x; } def main() { var fp = f; return fp(1); }"
+        _, locs = pts(source, "main", "fp")
+        assert "fn:f" in locs
+
+    def test_distinct_allocs_stay_distinct(self):
+        source = """
+        def main() {
+          var p = malloc(1);
+          var q = malloc(1);
+          *p = 1; *q = 2;
+          return *p + *q;
+        }
+        """
+        _, p_locs = pts(source, "main", "p.")
+        _, q_locs = pts(source, "main", "q.")
+        assert p_locs.isdisjoint(q_locs)
+
+
+class TestFieldSensitivity:
+    def test_constant_offsets_distinguish_fields(self):
+        source = """
+        def main() {
+          var r = malloc(3);
+          r[0] = 1; r[2] = 2;
+          return r[0];
+        }
+        """
+        module = compile_source(source)
+        run_pipeline(module, "O0+IM")
+        pointers = analyze_pointers(module)
+        fields = set()
+        for node, locs in pointers.pts.items():
+            for loc in locs:
+                if loc.obj.kind == "heap":
+                    fields.add(loc.field)
+        assert {0, 2} <= fields
+
+    def test_variable_offset_covers_all_fields(self):
+        source = """
+        def main() {
+          var r = malloc(3);
+          var i = 1;
+          r[i] = 5;
+          return r[i];
+        }
+        """
+        module = compile_source(source)
+        run_pipeline(module, "O0+IM")
+        pointers = analyze_pointers(module)
+        # The gep with non-constant index must point to every field.
+        all_fields = set()
+        for node, locs in pointers.pts.items():
+            if isinstance(node, PVar) and "%e" in node.name:
+                all_fields |= {loc.field for loc in locs}
+        assert all_fields == {0, 1, 2}
+
+    def test_arrays_collapse(self):
+        source = """
+        def main() {
+          var a = malloc_array(8);
+          a[5] = 1;
+          return a[5];
+        }
+        """
+        module = compile_source(source)
+        run_pipeline(module, "O0+IM")
+        pointers = analyze_pointers(module)
+        for node, locs in pointers.pts.items():
+            for loc in locs:
+                if loc.obj.is_array:
+                    assert loc.field == 0
+
+
+class TestInterprocedural:
+    def test_argument_passing(self):
+        source = """
+        def write(q) { *q = 1; return 0; }
+        def main() { var p = malloc(1); write(p); return *p; }
+        """
+        _, locs = pts(source, "write", "q")
+        assert any("heap" in l for l in locs)
+
+    def test_return_value_flow(self):
+        source = """
+        def make() { return malloc(1); }
+        def main() { var p = make(); *p = 1; return *p; }
+        """
+        _, locs = pts(source, "main", "p")
+        assert any("heap" in l for l in locs)
+
+    def test_indirect_call_resolution(self):
+        source = """
+        def f(x) { return x; }
+        def g(x) { return x + 1; }
+        def main() {
+          var fp = f;
+          if (1) { fp = g; }
+          return fp(1);
+        }
+        """
+        module = compile_source(source)
+        run_pipeline(module, "O0+IM")
+        pointers = analyze_pointers(module)
+        targets = set()
+        for t in pointers.call_targets.values():
+            targets |= t
+        assert {"f", "g"} <= targets
+
+
+class TestHeapCloning:
+    WRAPPER = """
+    def mk() { return malloc(1); }
+    def main() {
+      var a = mk();
+      var b = mk();
+      *a = 1; *b = 2;
+      return *a + *b;
+    }
+    """
+
+    def test_wrapper_detected(self):
+        module = compile_source(self.WRAPPER)
+        run_pipeline(module, "O0+IM")
+        pointers = analyze_pointers(module)
+        assert pointers.wrappers == {"mk"}
+
+    def test_call_sites_get_distinct_objects(self):
+        source = self.WRAPPER
+        _, a_locs = pts(source, "main", "a.")
+        _, b_locs = pts(source, "main", "b.")
+        assert a_locs and b_locs
+        assert a_locs.isdisjoint(b_locs)
+
+    def test_cloning_disabled_merges(self):
+        source = self.WRAPPER
+        _, a_locs = pts(source, "main", "a.", heap_cloning=False)
+        _, b_locs = pts(source, "main", "b.", heap_cloning=False)
+        assert a_locs == b_locs
+
+    def test_recursive_function_not_cloned(self):
+        source = """
+        def mk(n) {
+          if (n > 0) { return mk(n - 1); }
+          return malloc(1);
+        }
+        def main() { var p = mk(2); *p = 1; return *p; }
+        """
+        module = compile_source(source)
+        run_pipeline(module, "O0+IM")
+        pointers = analyze_pointers(module)
+        assert "mk" not in pointers.wrappers

@@ -1,0 +1,95 @@
+"""Unit tests for the high-level API, events and cost model."""
+
+import pytest
+
+from repro.api import CONFIG_ORDER, EXTENDED_CONFIG_ORDER, analyze_source
+from repro.runtime import CostModel, DynamicEvents, ExecutionReport
+
+SOURCE = """
+def main() {
+  var x = 2;
+  var p = malloc(1);
+  *p = x * 3;
+  output(*p);
+  return 0;
+}
+"""
+
+
+class TestAnalysisAPI:
+    def test_all_configs_by_default(self):
+        analysis = analyze_source(SOURCE)
+        assert set(analysis.plans) == set(CONFIG_ORDER)
+        assert set(analysis.results) == set(CONFIG_ORDER) - {"msan"}
+
+    def test_selected_configs_only(self):
+        analysis = analyze_source(SOURCE, configs=["msan", "usher"])
+        assert set(analysis.plans) == {"msan", "usher"}
+
+    def test_extended_order_includes_extension(self):
+        assert EXTENDED_CONFIG_ORDER[-1] == "usher_ext"
+        assert set(CONFIG_ORDER) < set(EXTENDED_CONFIG_ORDER)
+
+    def test_runs_are_cached(self):
+        analysis = analyze_source(SOURCE, configs=["usher"])
+        first = analysis.run("usher")
+        second = analysis.run("usher")
+        assert first is second
+        assert analysis.run_native() is analysis.run_native()
+
+    def test_unknown_config_raises(self):
+        with pytest.raises(KeyError):
+            analyze_source(SOURCE, configs=["nonsense"])
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            analyze_source(SOURCE, level="O9")
+
+    def test_static_counts_accessible(self):
+        analysis = analyze_source(SOURCE, configs=["msan", "usher"])
+        assert analysis.static_propagations("msan") > 0
+        assert analysis.static_checks("msan") >= 3  # store, load ptr, output
+
+
+class TestEvents:
+    def test_merge(self):
+        a = DynamicEvents(shadow_reads=1, shadow_writes=2, checks=3)
+        b = DynamicEvents(shadow_reads=10, shadow_writes=20, checks=30)
+        a.merge(b)
+        assert a.as_dict() == {
+            "shadow_reads": 11,
+            "shadow_writes": 22,
+            "checks": 33,
+        }
+
+    def test_report_helpers(self):
+        report = ExecutionReport(
+            warnings=[3, 3, 5], true_undefined_uses=[5, 3]
+        )
+        assert report.detected
+        assert report.has_true_bug
+        assert report.warning_set() == {3, 5}
+        assert report.true_bug_set() == {3, 5}
+
+    def test_empty_report(self):
+        report = ExecutionReport()
+        assert not report.detected and not report.has_true_bug
+
+
+class TestCostModel:
+    def test_shadow_work_composition(self):
+        report = ExecutionReport()
+        report.events.shadow_reads = 10
+        report.events.shadow_writes = 4
+        report.events.checks = 2
+        model = CostModel(read_cost=2.0, write_cost=0.5, check_cost=1.0)
+        assert model.shadow_work(report) == pytest.approx(20 + 2 + 2)
+
+    def test_slowdown_normalizes_by_native_ops(self):
+        report = ExecutionReport(native_ops=100)
+        report.events.shadow_reads = 100
+        model = CostModel(read_cost=1.0, write_cost=0.0, check_cost=0.0)
+        assert model.slowdown_percent(report) == pytest.approx(100.0)
+
+    def test_zero_native_ops(self):
+        assert CostModel().slowdown_percent(ExecutionReport()) == 0.0

@@ -1,0 +1,242 @@
+"""Unit tests for the array initialization-loop analysis (extension)."""
+
+import pytest
+
+from repro.api import analyze_source
+
+FULL_INIT = """
+def main() {
+  var a = malloc_array(8);
+  var i = 0;
+  while (i < 8) { a[i] = i * 2; i = i + 1; }
+  output(a[5]);
+  return 0;
+}
+"""
+
+
+def results(source, name="t"):
+    analysis = analyze_source(source, name, configs=["usher", "usher_ext"])
+    return analysis
+
+
+class TestPositive:
+    def test_canonical_loop_recognized(self):
+        analysis = results(FULL_INIT)
+        assert analysis.results["usher_ext"].vfg.stats.array_init_cuts == 1
+        assert analysis.results["usher"].vfg.stats.array_init_cuts == 0
+
+    def test_extension_removes_instrumentation(self):
+        analysis = results(FULL_INIT)
+        assert analysis.static_checks("usher_ext") < analysis.static_checks("usher") or (
+            analysis.static_propagations("usher_ext")
+            < analysis.static_propagations("usher")
+        )
+
+    def test_semantics_preserved(self):
+        analysis = results(FULL_INIT)
+        assert (
+            analysis.run("usher_ext").outputs
+            == analysis.run("usher").outputs
+            == analysis.run_native().outputs
+        )
+        assert not analysis.run("usher_ext").warnings
+
+    def test_overshooting_bound_accepted(self):
+        # i < 10 covers an 8-cell array.
+        analysis = results(FULL_INIT.replace("i < 8", "i < 10"))
+        assert analysis.results["usher_ext"].vfg.stats.array_init_cuts == 1
+
+    def test_local_stack_array_in_helper(self):
+        # A non-escaping stack array in a non-main function qualifies.
+        analysis = results(
+            """
+            def sum_squares(n) {
+              var a[6];
+              var i = 0;
+              while (i < 6) { a[i] = i * i; i = i + 1; }
+              var s = 0;
+              i = 0;
+              while (i < 6) { s = s + a[i]; i = i + 1; }
+              return s;
+            }
+            def main() { output(sum_squares(3) + sum_squares(4)); return 0; }
+            """
+        )
+        assert analysis.results["usher_ext"].vfg.stats.array_init_cuts >= 1
+        assert not analysis.run("usher_ext").warnings
+
+
+class TestNegativeSoundness:
+    """Cases where the cut would be unsound — they must NOT match, and
+    the genuine bug (if any) must stay detected under usher_ext."""
+
+    def _assert_detects(self, source):
+        analysis = results(source)
+        native = analysis.run_native()
+        assert native.true_undefined_uses, "scenario should contain a bug"
+        assert analysis.run("usher_ext").warnings
+        assert analysis.run("usher").warnings
+
+    def test_partial_loop_rejected(self):
+        # Only 7 of 8 cells initialized: reading a[7] is a real bug.
+        self._assert_detects(
+            """
+            def main() {
+              var a = malloc_array(8);
+              var i = 0;
+              while (i < 7) { a[i] = i; i = i + 1; }
+              output(a[7]);
+              return 0;
+            }
+            """
+        )
+
+    def test_conditional_store_rejected(self):
+        # The store skips odd cells.
+        self._assert_detects(
+            """
+            def main() {
+              var a = malloc_array(8);
+              var i = 0;
+              while (i < 8) {
+                if (i % 2 == 0) { a[i] = i; }
+                i = i + 1;
+              }
+              output(a[3]);
+              return 0;
+            }
+            """
+        )
+
+    def test_nonzero_start_rejected(self):
+        self._assert_detects(
+            """
+            def main() {
+              var a = malloc_array(8);
+              var i = 1;
+              while (i < 8) { a[i] = i; i = i + 1; }
+              output(a[0]);
+              return 0;
+            }
+            """
+        )
+
+    def test_non_unit_stride_rejected(self):
+        self._assert_detects(
+            """
+            def main() {
+              var a = malloc_array(8);
+              var i = 0;
+              while (i < 8) { a[i] = i; i = i + 2; }
+              output(a[1]);
+              return 0;
+            }
+            """
+        )
+
+    def test_read_in_body_rejected(self):
+        # A prefix-sum loop reads a[i] (its own uninitialized cell on
+        # iteration 0 via a[i-1] clamping): must not be treated as init.
+        analysis = results(
+            """
+            def main() {
+              var a = malloc_array(8);
+              var i = 0;
+              while (i < 8) { a[i] = a[i] + i; i = i + 1; }
+              output(a[4]);
+              return 0;
+            }
+            """
+        )
+        assert analysis.results["usher_ext"].vfg.stats.array_init_cuts == 0
+
+    def test_call_in_body_rejected(self):
+        analysis = results(
+            """
+            def peek(p) { return *p; }
+            def main() {
+              var a = malloc_array(8);
+              var i = 0;
+              while (i < 8) { a[i] = peek(a) + i; i = i + 1; }
+              output(a[4]);
+              return 0;
+            }
+            """
+        )
+        assert analysis.results["usher_ext"].vfg.stats.array_init_cuts == 0
+
+    def test_cloned_wrapper_array_rejected(self):
+        # Two call sites clone the wrapper's object: cutting would
+        # bypass the other clone's state.
+        analysis = results(
+            """
+            def mk() { return malloc_array(4); }
+            def fill(a) {
+              var i = 0;
+              while (i < 4) { *a = i; i = i + 1; }
+              return 0;
+            }
+            def main() {
+              var x = mk();
+              var y = mk();
+              var i = 0;
+              while (i < 4) { x[i] = i; i = i + 1; }
+              output(x[2] + y[0]);
+              return 0;
+            }
+            """
+        )
+        native = analysis.run_native()
+        assert native.true_undefined_uses  # y[0] is undefined
+        assert analysis.run("usher_ext").warnings
+
+    def test_escaping_helper_array_rejected(self):
+        # The array persists across invocations via a global: the cut
+        # must not apply in a non-main function for it.
+        analysis = results(
+            """
+            global stash;
+            def touch() {
+              var a = malloc_array(4);
+              var i = 0;
+              while (i < 4) { a[i] = i; i = i + 1; }
+              stash = a;
+              return a[0];
+            }
+            def main() {
+              touch();
+              touch();
+              return 0;
+            }
+            """
+        )
+        assert analysis.results["usher_ext"].vfg.stats.array_init_cuts == 0
+
+
+class TestWorkloadsUnderExtension:
+    def test_workloads_stay_sound(self):
+        from repro.workloads import WORKLOADS
+
+        for w in WORKLOADS[:6]:
+            analysis = analyze_source(
+                w.source(0.1), w.name, configs=["usher", "usher_ext"]
+            )
+            native = analysis.run_native()
+            ext = analysis.run("usher_ext")
+            assert ext.outputs == native.outputs, w.name
+            if w.has_true_bug:
+                assert ext.warnings, w.name
+            else:
+                assert not ext.warnings, w.name
+
+    def test_extension_never_costs_more(self):
+        from repro.workloads import WORKLOADS
+
+        for w in WORKLOADS[:6]:
+            analysis = analyze_source(
+                w.source(0.1), w.name, configs=["usher", "usher_ext"]
+            )
+            assert analysis.static_propagations(
+                "usher_ext"
+            ) <= analysis.static_propagations("usher"), w.name

@@ -1,0 +1,184 @@
+"""Unit and property tests for bit-level definedness propagation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.opt.localopt import fold_binop, fold_unop
+from repro.runtime.bits import (
+    DEFINED,
+    UNDEFINED,
+    binop_mask,
+    is_bitwise,
+    spread,
+    unop_mask,
+)
+from repro.runtime.interpreter import _wrap
+
+_U64 = (1 << 64) - 1
+
+
+class TestLaunderingRules:
+    def test_and_with_defined_zero_launders(self):
+        # x & 0 is fully defined even when x is not.
+        assert binop_mask("&", 0xFF, UNDEFINED, 0, DEFINED) == DEFINED
+
+    def test_and_with_defined_ones_keeps_mask(self):
+        assert binop_mask("&", 0, 0b1010, -1, DEFINED) == 0b1010
+
+    def test_or_with_defined_ones_launders(self):
+        assert binop_mask("|", 0, UNDEFINED, -1, DEFINED) == DEFINED
+
+    def test_or_with_defined_zero_keeps_mask(self):
+        assert binop_mask("|", 0, 0b0110, 0, DEFINED) == 0b0110
+
+    def test_xor_unions_masks(self):
+        assert binop_mask("^", 0, 0b0011, 0, 0b0110) == 0b0111
+
+    def test_shift_left_moves_mask(self):
+        assert binop_mask("<<", 0, 0b1, 2, DEFINED) == 0b100
+
+    def test_shift_right_moves_mask(self):
+        assert binop_mask(">>", 0, 0b100, 2, DEFINED) == 0b1
+
+    def test_shift_by_undefined_amount_poisons(self):
+        assert binop_mask("<<", 0, DEFINED, 1, 0b1) == UNDEFINED
+
+    def test_arithmetic_spreads(self):
+        assert binop_mask("+", 1, 0b1, 2, DEFINED) == UNDEFINED
+        assert binop_mask("*", 1, DEFINED, 2, 0b1000) == UNDEFINED
+        assert binop_mask("-", 1, DEFINED, 2, DEFINED) == DEFINED
+
+    def test_comparison_spreads(self):
+        assert binop_mask("<", 1, 0b1, 2, DEFINED) == UNDEFINED
+        assert binop_mask("==", 1, DEFINED, 2, DEFINED) == DEFINED
+
+    def test_unop_rules(self):
+        assert unop_mask("~", 0, 0b101) == 0b101
+        assert unop_mask("-", 0, 0b101) == UNDEFINED
+        assert unop_mask("!", 0, DEFINED) == DEFINED
+
+    def test_spread(self):
+        assert spread(0) == DEFINED
+        assert spread(1) == UNDEFINED
+
+    def test_is_bitwise(self):
+        assert all(is_bitwise(op) for op in ("&", "|", "^", "<<", ">>"))
+        assert not any(is_bitwise(op) for op in ("+", "-", "*", "/", "<"))
+
+
+def _fill(value: int, mask: int, filler: int) -> int:
+    """Replace the undefined bits of ``value`` with bits from ``filler``."""
+    unsigned = (value & _U64 & ~mask) | (filler & mask)
+    return unsigned - (1 << 64) if unsigned >= 1 << 63 else unsigned
+
+
+@given(
+    op=st.sampled_from(("+", "-", "*", "/", "%", "<", "==", "&", "|", "^",
+                        "<<", ">>")),
+    lhs=st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    rhs=st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    lhs_mask=st.integers(min_value=0, max_value=_U64),
+    rhs_mask=st.integers(min_value=0, max_value=_U64),
+    fill_a=st.integers(min_value=0, max_value=_U64),
+    fill_b=st.integers(min_value=0, max_value=_U64),
+)
+@settings(max_examples=300, deadline=None)
+def test_mask_soundness(op, lhs, rhs, lhs_mask, rhs_mask, fill_a, fill_b):
+    """The metamorphic soundness property of the mask rules: bits the
+    output mask declares *defined* must not depend on how the undefined
+    input bits are filled in."""
+    out_mask = binop_mask(op, lhs, lhs_mask, rhs, rhs_mask)
+    result_a = _wrap(
+        fold_binop(op, _fill(lhs, lhs_mask, fill_a), _fill(rhs, rhs_mask, fill_a))
+    )
+    result_b = _wrap(
+        fold_binop(op, _fill(lhs, lhs_mask, fill_b), _fill(rhs, rhs_mask, fill_b))
+    )
+    defined_bits = ~out_mask & _U64
+    assert (result_a & defined_bits & _U64) == (result_b & defined_bits & _U64), (
+        op, hex(out_mask)
+    )
+
+
+@given(
+    op=st.sampled_from(("-", "!", "~")),
+    operand=st.integers(min_value=-(2 ** 31), max_value=2 ** 31),
+    mask=st.integers(min_value=0, max_value=_U64),
+    fill_a=st.integers(min_value=0, max_value=_U64),
+    fill_b=st.integers(min_value=0, max_value=_U64),
+)
+@settings(max_examples=200, deadline=None)
+def test_unop_mask_soundness(op, operand, mask, fill_a, fill_b):
+    out_mask = unop_mask(op, operand, mask)
+    result_a = _wrap(fold_unop(op, _fill(operand, mask, fill_a)))
+    result_b = _wrap(fold_unop(op, _fill(operand, mask, fill_b)))
+    defined_bits = ~out_mask & _U64
+    assert (result_a & defined_bits & _U64) == (result_b & defined_bits & _U64)
+
+
+class TestBitLevelDetection:
+    """End-to-end: laundering changes what counts as a bug."""
+
+    def _native(self, source):
+        from repro.runtime import run_native
+        from repro.tinyc import compile_source
+
+        return run_native(compile_source(source))
+
+    def test_masked_undefined_bits_are_not_a_bug(self):
+        report = self._native(
+            """
+            def main() {
+              var x;                 // fully undefined
+              var clean = x & 0;     // every bit laundered by defined 0s
+              if (clean) { output(1); } else { output(2); }
+              return 0;
+            }
+            """
+        )
+        assert not report.true_undefined_uses
+
+    def test_partially_masked_bits_still_a_bug(self):
+        report = self._native(
+            """
+            def main() {
+              var x;
+              var low = x & 1;       // bit 0 still undefined
+              if (low) { output(1); } else { output(2); }
+              return 0;
+            }
+            """
+        )
+        assert report.true_undefined_uses
+
+    def test_or_with_all_ones_launders(self):
+        report = self._native(
+            """
+            def main() {
+              var x;
+              var all = x | (0 - 1);   // every bit a defined 1
+              output(all);
+              return 0;
+            }
+            """
+        )
+        assert not report.true_undefined_uses
+
+    def test_msan_agrees_with_oracle_on_laundering(self):
+        from repro.core import build_msan_plan
+        from repro.runtime import run_instrumented
+        from tests.helpers import analyzed
+
+        source = """
+        def main() {
+          var x;
+          var clean = x & 0;
+          var dirty = x & 3;
+          if (clean) { output(1); }
+          if (dirty) { output(2); }
+          return 0;
+        }
+        """
+        prepared = analyzed(source)
+        report = run_instrumented(prepared.module, build_msan_plan(prepared.module))
+        assert report.warning_set() == report.true_bug_set()
+        assert len(report.true_bug_set()) == 1  # only the `dirty` branch

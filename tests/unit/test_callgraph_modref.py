@@ -1,0 +1,143 @@
+"""Unit tests for call graph construction and mod/ref analysis."""
+
+from repro.analysis.memobjects import GLOBAL, HEAP, STACK
+from tests.helpers import pointer_pipeline
+
+
+class TestCallGraph:
+    def test_direct_edges(self):
+        module, _, cg, _ = pointer_pipeline(
+            "def a() { return 1; } def main() { return a(); }"
+        )
+        assert cg.successors("main") == {"a"}
+        assert cg.successors("a") == set()
+
+    def test_indirect_edges_resolved(self):
+        module, _, cg, _ = pointer_pipeline(
+            """
+            def a() { return 1; }
+            def main() { var f = a; return f(); }
+            """
+        )
+        assert "a" in cg.successors("main")
+
+    def test_recursion_detection_direct(self):
+        module, _, cg, _ = pointer_pipeline(
+            """
+            def fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+            def main() { return fact(4); }
+            """
+        )
+        assert cg.recursive == {"fact"}
+
+    def test_recursion_detection_mutual(self):
+        module, _, cg, _ = pointer_pipeline(
+            """
+            def even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+            def odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+            def main() { return even(4); }
+            """
+        )
+        assert cg.recursive == {"even", "odd"}
+
+    def test_bottom_up_order(self):
+        module, _, cg, _ = pointer_pipeline(
+            """
+            def leaf() { return 1; }
+            def mid() { return leaf(); }
+            def main() { return mid(); }
+            """
+        )
+        order = cg.topo_order_bottom_up()
+        assert order.index("leaf") < order.index("mid") < order.index("main")
+
+
+class TestModRef:
+    def test_global_write_propagates_to_caller(self):
+        module, _, cg, mr = pointer_pipeline(
+            """
+            global g;
+            def set() { g = 1; return 0; }
+            def main() { set(); return g; }
+            """
+        )
+        assert any(l.obj.kind == GLOBAL for l in mr.mod["set"])
+        assert any(l.obj.kind == GLOBAL for l in mr.mod["main"])
+
+    def test_readonly_callee_has_no_global_mod(self):
+        module, _, cg, mr = pointer_pipeline(
+            """
+            global g;
+            def get() { return g; }
+            def main() { g = 1; return get(); }
+            """
+        )
+        assert not any(l.obj.kind == GLOBAL for l in mr.mod["get"])
+        assert any(l.obj.kind == GLOBAL for l in mr.ref["get"])
+
+    def test_private_stack_not_lifted(self):
+        module, _, cg, mr = pointer_pipeline(
+            """
+            def local() {
+              var a[4];
+              a[0] = 1;
+              return a[0];
+            }
+            def main() { return local(); }
+            """
+        )
+        assert not any(
+            l.obj.kind == STACK and l.obj.func == "local" for l in mr.mod["main"]
+        )
+
+    def test_escaping_stack_is_lifted(self):
+        module, _, cg, mr = pointer_pipeline(
+            """
+            def write(q) { *q = 1; return 0; }
+            def main() { var a[4]; write(a); return a[0]; }
+            """
+        )
+        assert any(
+            l.obj.kind == STACK and l.obj.func == "main" for l in mr.mod["write"]
+        )
+
+    def test_heap_lifted_even_when_private(self):
+        # Figure 6's situation: the wrapper's own heap object is a
+        # virtual parameter because the abstract object merges instances.
+        module, _, cg, mr = pointer_pipeline(
+            """
+            def foo() {
+              var q = malloc(1);
+              *q = 0;
+              return *q;
+            }
+            def main() { foo(); return foo(); }
+            """
+        )
+        assert any(l.obj.kind == HEAP for l in mr.mod["main"])
+
+    def test_callsite_mod_filters_other_clones(self):
+        module, pointers, cg, mr = pointer_pipeline(
+            """
+            def mk() { return malloc(1); }
+            def main() {
+              var a = mk();
+              var b = mk();
+              *a = 1; *b = 2;
+              return *a + *b;
+            }
+            """
+        )
+        from repro.ir import instructions as ins
+
+        calls = [
+            i
+            for i in module.functions["main"].instructions()
+            if isinstance(i, ins.Call)
+        ]
+        mods = [mr.callsite_mod(c) for c in calls]
+        contexts = [
+            {l.obj.context for l in mod if l.obj.kind == HEAP} for mod in mods
+        ]
+        # Each call site only modifies its own clone.
+        assert contexts[0].isdisjoint(contexts[1])

@@ -1,0 +1,116 @@
+"""Unit tests for CFG utilities and dominance computation."""
+
+from repro.ir import CFG, Const, DominatorTree, IRBuilder, Var, loop_blocks
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.tinyc import compile_source
+
+
+def diamond():
+    """entry -> (then | else) -> join -> exit."""
+    b = IRBuilder()
+    f = b.start_function("main")
+    entry = b.block
+    then = b.new_block("then")
+    els = b.new_block("else")
+    join = b.new_block("join")
+    cond = b.fresh_temp()
+    b.const(cond, 1)
+    b.branch(cond, then.label, els.label)
+    b.position_at(then)
+    b.jump(join.label)
+    b.position_at(els)
+    b.jump(join.label)
+    b.position_at(join)
+    b.ret(Const(0))
+    b.finish()
+    return f, entry, then, els, join
+
+
+class TestCFG:
+    def test_successors_and_predecessors(self):
+        f, entry, then, els, join = diamond()
+        cfg = CFG(f)
+        assert set(cfg.succs[entry.label]) == {then.label, els.label}
+        assert set(cfg.preds[join.label]) == {then.label, els.label}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        f, entry, *_ = diamond()
+        rpo = CFG(f).reverse_postorder()
+        assert rpo[0] == entry.label
+        assert len(rpo) == 4
+
+    def test_remove_unreachable(self):
+        f, *_ = diamond()
+        dead = f.add_block("dead")
+        dead.append(__import__("repro.ir.instructions", fromlist=["Ret"]).Ret(Const(1)))
+        assert remove_unreachable_blocks(f) == 1
+        assert not f.has_block("dead")
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        f, entry, then, els, join = diamond()
+        dt = DominatorTree(f)
+        assert dt.idom[then.label] == entry.label
+        assert dt.idom[els.label] == entry.label
+        assert dt.idom[join.label] == entry.label
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        f, entry, then, _, join = diamond()
+        dt = DominatorTree(f)
+        assert dt.dominates(entry.label, entry.label)
+        assert dt.dominates(entry.label, join.label)
+        assert not dt.dominates(then.label, join.label)
+        assert dt.strictly_dominates(entry.label, then.label)
+        assert not dt.strictly_dominates(entry.label, entry.label)
+
+    def test_dominance_frontier_of_diamond(self):
+        f, entry, then, els, join = diamond()
+        dt = DominatorTree(f)
+        assert dt.frontier[then.label] == {join.label}
+        assert dt.frontier[els.label] == {join.label}
+        assert dt.frontier[entry.label] == set()
+
+    def test_iterated_frontier(self):
+        f, entry, then, els, join = diamond()
+        dt = DominatorTree(f)
+        assert dt.iterated_frontier({then.label}) == {join.label}
+
+    def test_instr_dominance_within_block(self):
+        f, entry, *_ = diamond()
+        dt = DominatorTree(f)
+        first, second = entry.instrs[0], entry.instrs[1]
+        assert dt.instr_dominates(first, second)
+        assert not dt.instr_dominates(second, first)
+
+
+class TestLoops:
+    def test_loop_blocks_detected(self):
+        module = compile_source(
+            "def main() { var i = 0; while (i < 3) { i = i + 1; } return i; }"
+        )
+        loops = loop_blocks(module.main)
+        assert loops  # the loop header and body
+        # entry and exit are not loop-resident
+        assert module.main.entry.label not in loops
+
+    def test_loop_free_function(self):
+        module = compile_source("def main() { return 1; }")
+        assert loop_blocks(module.main) == set()
+
+    def test_nested_loops(self):
+        module = compile_source(
+            """
+            def main() {
+              var i = 0, s = 0;
+              while (i < 3) {
+                var j = 0;
+                while (j < 3) { s = s + 1; j = j + 1; }
+                i = i + 1;
+              }
+              return s;
+            }
+            """
+        )
+        loops = loop_blocks(module.main)
+        assert len(loops) >= 4

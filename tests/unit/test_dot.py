@@ -1,0 +1,65 @@
+"""Unit tests for the DOT export of value-flow graphs."""
+
+import pytest
+
+from repro.core import UsherConfig, run_usher
+from repro.vfg.dot import vfg_to_dot
+from tests.helpers import analyzed
+
+SOURCE = """
+def helper(v) { return v + 1; }
+def main() {
+  var u;
+  if (0) { u = 1; }
+  output(helper(u));
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    prepared = analyzed(SOURCE)
+    return run_usher(prepared, UsherConfig.tl_at())
+
+
+class TestDotExport:
+    def test_valid_dot_structure(self, result):
+        dot = vfg_to_dot(result.vfg, result.gamma)
+        assert dot.startswith("digraph vfg {")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_bottom_nodes_colored(self, result):
+        dot = vfg_to_dot(result.vfg, result.gamma)
+        assert "#f4cccc" in dot  # ⊥ fill
+
+    def test_roots_present(self, result):
+        dot = vfg_to_dot(result.vfg, result.gamma)
+        assert 'label="F"' in dot and 'label="T"' in dot
+
+    def test_interprocedural_edges_labeled(self, result):
+        dot = vfg_to_dot(result.vfg, result.gamma)
+        assert "call@" in dot and "ret@" in dot
+
+    def test_function_filter(self, result):
+        dot = vfg_to_dot(result.vfg, result.gamma, only_function="helper")
+        assert "helper::" in dot
+        assert "main::" not in dot
+
+    def test_max_nodes_guard(self, result):
+        with pytest.raises(ValueError, match="max_nodes"):
+            vfg_to_dot(result.vfg, result.gamma, max_nodes=2)
+
+    def test_checked_nodes_double_bordered(self, result):
+        dot = vfg_to_dot(result.vfg, result.gamma)
+        assert "peripheries=2" in dot
+
+    def test_cli_vfg_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        source_file = tmp_path / "p.tc"
+        source_file.write_text(SOURCE)
+        out_file = tmp_path / "g.dot"
+        assert main(["vfg", str(source_file), "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith("digraph")

@@ -1,0 +1,81 @@
+"""Unit tests for the experiment harness itself."""
+
+import pytest
+
+from repro.harness import (
+    build_figure10,
+    build_figure11,
+    build_table1,
+    clear_cache,
+    format_figure10,
+    format_figure11,
+    format_table1,
+    run_workload,
+)
+from repro.harness.figure11 import USHER_CONFIGS
+from repro.harness.runner import _CACHE, nodes_reaching_checks
+from repro.workloads import workload
+
+SCALE = 0.05
+
+
+class TestRunner:
+    def test_cache_hit(self):
+        clear_cache()
+        first = run_workload(workload("181.mcf"), scale=SCALE)
+        second = run_workload(workload("181.mcf"), scale=SCALE)
+        assert first is second
+
+    def test_cache_bypass(self):
+        first = run_workload(workload("181.mcf"), scale=SCALE)
+        fresh = run_workload(workload("181.mcf"), scale=SCALE, use_cache=False)
+        assert first is not fresh
+
+    def test_memory_tracked(self):
+        run = run_workload(workload("181.mcf"), scale=SCALE)
+        assert run.peak_memory_mb > 0
+
+    def test_nodes_reaching_checks_subset_of_nodes(self):
+        run = run_workload(workload("197.parser"), scale=SCALE)
+        reaching = nodes_reaching_checks(run.analysis)
+        vfg = run.analysis.results["usher_tl_at"].vfg
+        assert reaching
+        assert len(reaching) <= vfg.num_nodes
+
+
+class TestFormatters:
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return build_figure10(scale=SCALE)
+
+    def test_figure10_formatting(self, fig10):
+        text = format_figure10(fig10)
+        assert "average" in text
+        assert text.count("%") > 70  # 15 rows + average, 5 configs
+        for name in ("164.gzip", "300.twolf"):
+            assert name in text
+
+    def test_figure10_row_lookup(self, fig10):
+        row = fig10.row("181.mcf")
+        assert row.benchmark == "181.mcf"
+        with pytest.raises(StopIteration):
+            fig10.row("999.unknown")
+
+    def test_figure11_formatting(self):
+        figure = build_figure11(scale=SCALE)
+        text = format_figure11(figure)
+        assert "average" in text
+        for config in USHER_CONFIGS:
+            assert config in text
+
+    def test_table1_formatting(self):
+        rows = build_table1(scale=SCALE)
+        text = format_table1(rows)
+        assert "Benchmark" in text and "%SU" in text
+        assert len(text.splitlines()) == 17  # header + rule + 15 rows
+
+    def test_table1_row_dict(self):
+        rows = build_table1(scale=SCALE)
+        as_dict = rows[0].as_dict()
+        assert as_dict["benchmark"] == "164.gzip"
+        assert "vfg_nodes" in as_dict

@@ -1,0 +1,178 @@
+"""Unit tests for guided instrumentation (Figure 7) and Opt I/Opt II."""
+
+from repro.core import (
+    Check,
+    SetShadowMem,
+    SetShadowVar,
+    UsherConfig,
+    build_msan_plan,
+    prepare_module,
+    run_usher,
+)
+from repro.core.plan import AndShadowVar
+from tests.helpers import analyzed
+
+
+def usher_result(source, config=None):
+    prepared = analyzed(source)
+    return prepared, run_usher(prepared, config or UsherConfig.tl_at())
+
+
+class TestCheckRules:
+    def test_defined_uses_not_checked(self):
+        _, result = usher_result(
+            "def main() { var x = 1; output(x); return 0; }"
+        )
+        assert result.plan.count_checks() == 0
+        assert result.guided_stats.checks_eliminated >= 1
+
+    def test_undefined_uses_checked(self):
+        _, result = usher_result(
+            "def main() { var x; if (0) { x = 1; } output(x); return 0; }"
+        )
+        assert result.plan.count_checks() >= 1
+
+    def test_constant_operands_never_checked(self):
+        _, result = usher_result("def main() { output(5); return 0; }")
+        assert result.plan.count_checks() == 0
+
+
+class TestDemandPropagation:
+    def test_unrelated_code_not_instrumented(self):
+        # A big defined computation next to one undefined use: only the
+        # undefined chain is instrumented.
+        prepared, result = usher_result(
+            """
+            def main() {
+              var a = 1, b = 2, c = a + b, d = c * 3;
+              output(d);
+              var x;
+              if (0) { x = 1; }
+              output(x);
+              return 0;
+            }
+            """
+        )
+        msan = build_msan_plan(prepared.module)
+        assert result.plan.count_propagations() < msan.count_propagations() / 2
+        assert result.plan.count_checks() == 1
+
+    def test_guided_never_exceeds_msan(self):
+        for source in (
+            "def main() { var x; output(x); return 0; }",
+            "def main() { var p = malloc(2); p[0] = 1; output(p[1]); return 0; }",
+        ):
+            prepared, result = usher_result(source)
+            msan = build_msan_plan(prepared.module)
+            assert result.plan.count_propagations() <= msan.count_propagations()
+            assert result.plan.count_checks() <= msan.count_checks()
+
+    def test_top_boundary_gets_strong_update(self):
+        # x is defined, y = x + undef: σ(x) must be strongly set to T.
+        _, result = usher_result(
+            """
+            def main() {
+              var x = 1;
+              var u;
+              if (0) { u = 1; }
+              var y = x + u;
+              output(y);
+              return 0;
+            }
+            """
+        )
+        strong_sets = [
+            op
+            for ops in result.plan.ops.values()
+            for op in ops.post
+            if isinstance(op, SetShadowVar) and op.literal
+        ]
+        assert strong_sets
+
+
+class TestMemoryRules:
+    def test_alloc_f_poisons_when_demanded(self):
+        _, result = usher_result(
+            "def main() { var p = malloc(2); p[0] = 1; output(p[1]); return 0; }"
+        )
+        poisons = [
+            op
+            for ops in result.plan.ops.values()
+            for op in ops.post
+            if isinstance(op, SetShadowMem) and op.whole_object and not op.literal
+        ]
+        assert poisons
+
+    def test_clean_memory_chain_unshadowed(self):
+        _, result = usher_result(
+            """
+            def main() {
+              var p = calloc(2);
+              p[0] = 1;
+              output(p[0] + p[1]);
+              return 0;
+            }
+            """
+        )
+        assert result.plan.count_ops() == 0
+
+
+class TestOpt1:
+    SOURCE = """
+    def main() {
+      var a, b, c, d;
+      if (0) { a = 1; b = 1; c = 1; d = 1; }
+      var x = a + b;
+      var y = c + d;
+      var z = x + y;
+      output(z);
+      return 0;
+    }
+    """
+
+    def test_opt1_reduces_propagations(self):
+        prepared, base = usher_result(self.SOURCE, UsherConfig.tl_at())
+        _, opt1 = usher_result(self.SOURCE, UsherConfig.opt_i())
+        assert opt1.plan.count_propagations() < base.plan.count_propagations()
+        assert opt1.guided_stats.mfcs_simplified >= 1
+
+    def test_opt1_emits_conjunction(self):
+        _, opt1 = usher_result(self.SOURCE, UsherConfig.opt_i())
+        conjunctions = [
+            op
+            for ops in opt1.plan.ops.values()
+            for op in ops.post
+            if isinstance(op, AndShadowVar) and len(op.srcs) >= 4
+        ]
+        assert conjunctions
+
+    def test_opt1_keeps_checks(self):
+        _, base = usher_result(self.SOURCE, UsherConfig.tl_at())
+        _, opt1 = usher_result(self.SOURCE, UsherConfig.opt_i())
+        assert opt1.plan.count_checks() == base.plan.count_checks()
+
+
+class TestOpt2:
+    SOURCE = """
+    def main() {
+      var u;
+      if (0) { u = 1; }
+      var c = u + 1;
+      if (c) { skip; }        // first (dominating) check
+      var e = u + 2;
+      if (e) { skip; }        // redundant: dominated, same culprit u
+      output(0);
+      return 0;
+    }
+    """
+
+    def test_opt2_eliminates_dominated_checks(self):
+        _, opt1 = usher_result(self.SOURCE, UsherConfig.opt_i())
+        _, full = usher_result(self.SOURCE, UsherConfig.full())
+        assert full.plan.count_checks() < opt1.plan.count_checks()
+        assert full.opt2_stats is not None
+        assert full.opt2_stats.redirected_nodes >= 1
+
+    def test_opt2_keeps_first_check(self):
+        _, full = usher_result(self.SOURCE, UsherConfig.full())
+        assert full.plan.count_checks() >= 1

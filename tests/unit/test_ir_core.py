@@ -1,0 +1,179 @@
+"""Unit tests for IR values, instructions, builder, module, printer."""
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.ir import (
+    Const,
+    IRBuilder,
+    Var,
+    module_to_str,
+    verify_module,
+)
+from repro.ir.module import GlobalVariable, Module
+
+
+class TestValues:
+    def test_const_str(self):
+        assert str(Const(42)) == "42"
+
+    def test_var_versioning(self):
+        v = Var("x")
+        v2 = v.with_version(3)
+        assert str(v) == "x" and str(v2) == "x.3"
+        assert v2.base == v
+        assert v2 != v
+
+    def test_vars_are_hashable_value_objects(self):
+        assert Var("x", 1) == Var("x", 1)
+        assert len({Var("x", 1), Var("x", 1), Var("x", 2)}) == 2
+
+
+class TestInstructions:
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            ins.BinOp(Var("x"), "**", Const(1), Const(2))
+
+    def test_defs_and_uses(self):
+        instr = ins.BinOp(Var("x"), "+", Var("a"), Const(2))
+        assert instr.defs() == (Var("x"),)
+        assert instr.uses() == (Var("a"),)
+
+    def test_replace_uses(self):
+        instr = ins.BinOp(Var("x"), "+", Var("a"), Var("b"))
+        instr.replace_uses({Var("a"): Var("a", 2), Var("b"): Const(7)})
+        assert instr.lhs == Var("a", 2) and instr.rhs == Const(7)
+
+    def test_store_uses_both_operands(self):
+        instr = ins.Store(Var("p"), Var("v"))
+        assert set(instr.uses()) == {Var("p"), Var("v")}
+
+    def test_critical_uses(self):
+        assert ins.Load(Var("x"), Var("p")).critical_uses() == (Var("p"),)
+        assert ins.Store(Var("p"), Var("v")).critical_uses() == (Var("p"),)
+        assert ins.Branch(Var("c"), "a", "b").critical_uses() == (Var("c"),)
+        assert ins.Output(Var("v")).critical_uses() == (Var("v"),)
+
+    def test_alloc_array_collapses_fields(self):
+        alloc = ins.Alloc(Var("p"), "obj", False, "heap", size=8, is_array=True)
+        assert alloc.size == 8 and alloc.num_fields == 1
+
+    def test_alloc_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            ins.Alloc(Var("p"), "obj", False, kind="static")
+
+    def test_gep_static_offset(self):
+        assert ins.Gep(Var("x"), Var("p"), Const(3)).static_offset == 3
+        assert ins.Gep(Var("x"), Var("p"), Var("i")).static_offset is None
+
+    def test_gep_rejects_negative_constant(self):
+        with pytest.raises(ValueError):
+            ins.Gep(Var("x"), Var("p"), Const(-1))
+
+    def test_call_indirect_detection(self):
+        direct = ins.Call(Var("x"), "f", [Const(1)])
+        indirect = ins.Call(Var("x"), Var("fp"), [Const(1)])
+        assert not direct.is_indirect and indirect.is_indirect
+        assert Var("fp") in indirect.uses()
+
+    def test_phi_uses_and_replacement(self):
+        phi = ins.Phi(Var("x"), {"a": Var("y", 1), "b": Const(0)})
+        assert phi.uses() == (Var("y", 1),)
+        phi.replace_uses({Var("y", 1): Var("y", 2)})
+        assert phi.incomings["a"] == Var("y", 2)
+
+    def test_terminators(self):
+        assert ins.Jump("x").is_terminator()
+        assert ins.Ret().is_terminator()
+        assert ins.Branch(Const(1), "a", "b").successors() == ("a", "b")
+        assert ins.Ret().successors() == ()
+
+
+class TestBuilderAndModule:
+    def test_builder_produces_verifiable_module(self):
+        b = IRBuilder()
+        b.start_function("main")
+        x = b.fresh_temp()
+        b.const(x, 1)
+        b.ret(x)
+        module = b.finish()
+        verify_module(module)
+
+    def test_duplicate_function_rejected(self):
+        module = Module()
+        from repro.ir.function import Function
+
+        module.add_function(Function("f"))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f"))
+
+    def test_duplicate_block_label_rejected(self):
+        from repro.ir.function import Function
+
+        f = Function("f")
+        f.add_block("bb")
+        with pytest.raises(ValueError):
+            f.add_block("bb")
+
+    def test_append_after_terminator_rejected(self):
+        b = IRBuilder()
+        b.start_function("main")
+        b.ret(Const(0))
+        with pytest.raises(ValueError):
+            b.ret(Const(1))
+
+    def test_global_num_fields(self):
+        g = GlobalVariable("g", size=6, is_array=True)
+        assert g.size == 6 and g.num_fields == 1
+        r = GlobalVariable("r", size=6)
+        assert r.num_fields == 6
+
+
+class TestUidStability:
+    def _module(self):
+        b = IRBuilder()
+        b.start_function("main")
+        x = b.fresh_temp()
+        b.const(x, 1)
+        y = b.fresh_temp()
+        b.binop(y, "+", x, Const(2))
+        b.ret(y)
+        return b.finish()
+
+    def test_uids_assigned_uniquely(self):
+        module = self._module()
+        uids = [i.uid for i in module.instructions()]
+        assert len(set(uids)) == len(uids)
+        assert all(u >= 0 for u in uids)
+
+    def test_existing_uids_survive_reassignment(self):
+        module = self._module()
+        before = {id(i): i.uid for i in module.instructions()}
+        # Insert a new instruction, then re-assign.
+        entry = module.main.entry
+        phi = ins.Phi(Var("z"))
+        phi.block = entry
+        entry.instrs.insert(0, phi)
+        module.assign_uids()
+        for instr in module.instructions():
+            if id(instr) in before:
+                assert instr.uid == before[id(instr)]
+        assert phi.uid not in before.values()
+
+
+class TestPrinter:
+    def test_round_trip_readability(self):
+        b = IRBuilder()
+        b.add_global("g", size=4, is_array=True)
+        b.start_function("main")
+        p = b.fresh_temp("p")
+        b.alloc(p, "cell", initialized=True, kind="heap", size=2)
+        b.store(p, Const(5))
+        x = b.fresh_temp()
+        b.load(x, p)
+        b.output(x)
+        b.ret(Const(0))
+        text = module_to_str(b.finish())
+        assert "alloc_T cell" in text
+        assert "output" in text
+        assert "global g" in text

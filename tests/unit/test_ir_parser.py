@@ -1,0 +1,142 @@
+"""Unit + round-trip tests for the textual IR parser."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import module_to_str, verify_module
+from repro.ir.parser import IRParseError, parse_ir
+from repro.opt import run_pipeline
+from repro.runtime import StepLimitExceeded, run_native
+from repro.tinyc import compile_source
+from repro.workloads import GeneratorParams, generate_program
+
+
+class TestBasicParsing:
+    def test_minimal_module(self):
+        module = parse_ir(
+            """
+            def main() {
+            entry:
+                x := 42
+                ret x
+            }
+            """
+        )
+        verify_module(module)
+        assert run_native(module).exit_value == 42
+
+    def test_globals(self):
+        module = parse_ir(
+            """
+            global g (init=T)
+            global a (init=F array[8])
+            global r (init=T fields=3)
+
+            def main() {
+            entry:
+                ret 0
+            }
+            """
+        )
+        assert module.globals["g"].initialized
+        assert module.globals["a"].is_array and module.globals["a"].size == 8
+        assert module.globals["r"].num_fields == 3
+
+    def test_all_instruction_forms(self):
+        module = parse_ir(
+            """
+            global g (init=T)
+            def f(a) {
+            e:
+                ret a
+            }
+            def main() {
+            entry:
+                x := 1
+                y := x
+                z := x + y
+                n := -z
+                p := alloc_F cell (heap, fields=2)
+                q := alloc_T arr (stack, array[4])
+                e1 := gep p, 1
+                ga := &g
+                fp := &f()
+                *e1 := z
+                v := *e1
+                r1 := f(v)
+                r2 := *fp(v)
+                output r2
+                if v goto a else b
+            a:
+                goto c
+            b:
+                goto c
+            c:
+                ret r1
+            }
+            """
+        )
+        verify_module(module)
+        report = run_native(module)
+        assert report.exit_value == 2
+        assert report.outputs == [2]
+
+    def test_errors(self):
+        with pytest.raises(IRParseError, match="outside a function"):
+            parse_ir("x := 1")
+        with pytest.raises(IRParseError, match="outside a block"):
+            parse_ir("def main() {\n x := 1\n}")
+        with pytest.raises(IRParseError, match="unrecognized"):
+            parse_ir("def main() {\ne:\n x ?= 1\n}")
+
+
+class TestRoundTrip:
+    def _round_trip(self, module):
+        printed = module_to_str(module)
+        reparsed = parse_ir(printed)
+        assert module_to_str(reparsed) == printed
+        return reparsed
+
+    def test_frontend_output_round_trips(self):
+        module = compile_source(
+            """
+            global tbl[4];
+            def twice(v) { return v * 2; }
+            def main() {
+              var p = malloc(2);
+              p[0] = twice(3);
+              tbl[1] = p[0];
+              output(tbl[1]);
+              return 0;
+            }
+            """
+        )
+        reparsed = self._round_trip(module)
+        assert run_native(reparsed).outputs == run_native(module).outputs
+
+    def test_optimized_output_round_trips(self):
+        module = compile_source(
+            "def main() { var i = 0, s = 0; while (i < 5) { s = s + i; i = i + 1; } output(s); return 0; }"
+        )
+        run_pipeline(module, "O0+IM")
+        reparsed = self._round_trip(module)
+        assert run_native(reparsed).outputs == [10]
+
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_programs_round_trip(self, seed):
+        module = compile_source(
+            generate_program(seed, GeneratorParams(uninit_prob=0.2))
+        )
+        run_pipeline(module, "O0+IM")
+        printed = module_to_str(module)
+        reparsed = parse_ir(printed)
+        assert module_to_str(reparsed) == printed
+        try:
+            original = run_native(module, max_steps=300_000)
+            replayed = run_native(reparsed, max_steps=300_000)
+        except StepLimitExceeded:
+            return
+        assert replayed.outputs == original.outputs
+        assert replayed.exit_value == original.exit_value

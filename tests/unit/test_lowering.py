@@ -1,0 +1,158 @@
+"""Unit tests for AST → IR lowering."""
+
+import pytest
+
+from repro.ir import instructions as ins
+from repro.ir import verify_module
+from repro.runtime import run_native
+from repro.tinyc import LoweringError, compile_source
+
+
+def instrs_of(module, func="main"):
+    return list(module.functions[func].instructions())
+
+
+class TestLocalsSpilling:
+    def test_every_local_gets_a_stack_slot(self):
+        module = compile_source("def main() { var x, y; x = 1; y = x; return y; }")
+        allocs = [i for i in instrs_of(module) if isinstance(i, ins.Alloc)]
+        assert len(allocs) == 2
+        assert all(a.kind == "stack" and not a.initialized for a in allocs)
+
+    def test_parameters_are_spilled(self):
+        module = compile_source("def f(a) { return a; } def main() { return f(1); }")
+        allocs = [i for i in instrs_of(module, "f") if isinstance(i, ins.Alloc)]
+        stores = [i for i in instrs_of(module, "f") if isinstance(i, ins.Store)]
+        assert len(allocs) == 1 and len(stores) == 1
+
+    def test_local_accesses_go_through_memory(self):
+        module = compile_source("def main() { var x = 1; return x; }")
+        kinds = [type(i).__name__ for i in instrs_of(module)]
+        assert "Store" in kinds and "Load" in kinds
+
+
+class TestAggregates:
+    def test_local_array_allocation(self):
+        module = compile_source("def main() { var a[8]; a[2] = 1; return a[2]; }")
+        (alloc,) = [i for i in instrs_of(module) if isinstance(i, ins.Alloc)]
+        assert alloc.is_array and alloc.size == 8
+
+    def test_record_field_access_uses_gep(self):
+        module = compile_source("def main() { var r{3}; r[1] = 5; return r[1]; }")
+        geps = [i for i in instrs_of(module) if isinstance(i, ins.Gep)]
+        assert len(geps) == 2
+
+    def test_whole_aggregate_assignment_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("def main() { var a[4]; a = 3; return 0; }")
+
+    def test_aggregate_decays_to_pointer(self):
+        source = "def f(p) { return *p; } def main() { var a[4]; a[0] = 9; return f(a); }"
+        module = compile_source(source)
+        assert run_native(module).exit_value == 9
+
+
+class TestGlobals:
+    def test_global_scalar_read_is_addr_plus_load(self):
+        module = compile_source("global g; def main() { return g; }")
+        kinds = [type(i).__name__ for i in instrs_of(module)]
+        assert "GlobalAddr" in kinds and "Load" in kinds
+
+    def test_global_write(self):
+        module = compile_source("global g; def main() { g = 4; return g; }")
+        assert run_native(module).exit_value == 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("def main() { return nope; }")
+
+
+class TestControlFlow:
+    def test_if_produces_branch(self):
+        module = compile_source("def main() { if (1) { return 1; } return 0; }")
+        branches = [i for i in instrs_of(module) if isinstance(i, ins.Branch)]
+        assert len(branches) == 1
+
+    def test_while_loop_runs(self):
+        source = """
+        def main() {
+          var i = 0, s = 0;
+          while (i < 5) { s = s + i; i = i + 1; }
+          return s;
+        }
+        """
+        assert run_native(compile_source(source)).exit_value == 10
+
+    def test_break_and_continue(self):
+        source = """
+        def main() {
+          var i = 0, s = 0;
+          while (i < 10) {
+            i = i + 1;
+            if (i == 3) { continue; }
+            if (i > 6) { break; }
+            s = s + i;
+          }
+          return s;
+        }
+        """
+        # 1 + 2 + 4 + 5 + 6 = 18
+        assert run_native(compile_source(source)).exit_value == 18
+
+    def test_unreachable_code_after_return_is_pruned(self):
+        module = compile_source("def main() { return 1; output(2); return 3; }")
+        verify_module(module)
+        assert run_native(module).outputs == []
+
+    def test_missing_return_yields_zero(self):
+        module = compile_source("def f() { skip; } def main() { return f(); }")
+        assert run_native(module).exit_value == 0
+
+
+class TestShortCircuit:
+    def test_and_short_circuits(self):
+        # The deref on the right must not execute when lhs is false:
+        # p points nowhere valid at that index but is never dereferenced.
+        source = """
+        def main() {
+          var p = malloc(1);
+          *p = 1;
+          var c = 0;
+          if (c && *p) { return 9; }
+          return 1;
+        }
+        """
+        assert run_native(compile_source(source)).exit_value == 1
+
+    def test_or_value_is_boolean(self):
+        source = "def main() { var x = 7; return (x || 0) + (0 || x); }"
+        assert run_native(compile_source(source)).exit_value == 2
+
+    def test_and_evaluates_rhs_when_needed(self):
+        source = "def main() { var x = 3; return x && (x + 1); }"
+        assert run_native(compile_source(source)).exit_value == 1
+
+
+class TestCalls:
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("def main() { var x; var x; return 0; }")
+
+    def test_function_pointer_call(self):
+        source = """
+        def inc(v) { return v + 1; }
+        def main() { var f = inc; return f(41); }
+        """
+        assert run_native(compile_source(source)).exit_value == 42
+
+    def test_call_as_statement_discards_result(self):
+        source = """
+        global g;
+        def touch() { g = 5; return 1; }
+        def main() { touch(); return g; }
+        """
+        assert run_native(compile_source(source)).exit_value == 5
+
+    def test_local_shadowing_parameter_rejected(self):
+        with pytest.raises(LoweringError):
+            compile_source("def f(a) { var a; return 0; } def main() { return 0; }")

@@ -1,0 +1,238 @@
+"""Unit tests for μ/χ annotation and SSA construction."""
+
+from repro.ir import instructions as ins
+from repro.ir import verify_module
+from tests.helpers import analyzed
+
+
+def find(module, func, kind):
+    return [i for i in module.functions[func].instructions() if isinstance(i, kind)]
+
+
+class TestMuChi:
+    def test_load_gets_mu(self):
+        prepared = analyzed(
+            "def main() { var p = malloc(1); *p = 1; output(*p); return 0; }"
+        )
+        loads = find(prepared.module, "main", ins.Load)
+        assert loads and all(l.mus for l in loads)
+        for load in loads:
+            for mu in load.mus:
+                assert mu.version is not None
+
+    def test_store_gets_chi_with_versions(self):
+        prepared = analyzed(
+            "def main() { var p = malloc(1); *p = 1; return *p; }"
+        )
+        (store,) = find(prepared.module, "main", ins.Store)
+        (chi,) = store.chis
+        assert chi.new_version is not None and chi.old_version is not None
+        assert chi.new_version != chi.old_version
+
+    def test_alloc_chis_cover_fields(self):
+        prepared = analyzed(
+            "def main() { var r = malloc(3); r[0] = 1; return r[0]; }"
+        )
+        allocs = [
+            a
+            for a in find(prepared.module, "main", ins.Alloc)
+            if a.kind == "heap"
+        ]
+        (alloc,) = allocs
+        assert len(alloc.chis) == 3  # one per field
+
+    def test_call_carries_callee_effects(self):
+        prepared = analyzed(
+            """
+            global g;
+            def set(v) { g = v; return v; }
+            def main() { set(3); output(g); return 0; }
+            """
+        )
+        calls = find(prepared.module, "main", ins.Call)
+        assert any(
+            any("g:g" in str(chi.loc) for chi in c.chis) for c in calls
+        )
+
+    def test_ret_reads_virtual_outputs(self):
+        prepared = analyzed(
+            """
+            global g;
+            def set(v) { g = v; return v; }
+            def main() { set(3); return g; }
+            """
+        )
+        rets = find(prepared.module, "set", ins.Ret)
+        assert any(any("g:g" in str(mu.loc) for mu in r.mus) for r in rets)
+
+    def test_virtual_params_recorded(self):
+        prepared = analyzed(
+            """
+            global g;
+            def get() { return g; }
+            def main() { g = 1; return get(); }
+            """
+        )
+        vparams = prepared.module.functions["get"].virtual_params
+        assert any("g:g" in str(loc) for loc in vparams)
+        entry_versions = prepared.module.functions["get"].entry_versions
+        assert all(v == 1 for v in entry_versions.values())
+
+
+class TestTopLevelSSA:
+    def test_single_assignment_holds(self):
+        prepared = analyzed(
+            """
+            def main() {
+              var x = 1;
+              x = x + 1;
+              x = x * 2;
+              return x;
+            }
+            """
+        )
+        verify_module(prepared.module, ssa=True)
+
+    def test_phi_inserted_at_join(self):
+        prepared = analyzed(
+            "def main() { var x; if (1) { x = 1; } else { x = 2; } return x; }"
+        )
+        phis = find(prepared.module, "main", ins.Phi)
+        assert phis
+
+    def test_loop_gets_phi(self):
+        prepared = analyzed(
+            "def main() { var i = 0; while (i < 3) { i = i + 1; } return i; }"
+        )
+        phis = find(prepared.module, "main", ins.Phi)
+        assert any(len(p.incomings) == 2 for p in phis)
+
+    def test_use_before_def_becomes_version_zero(self):
+        prepared = analyzed(
+            "def main() { var x; if (0) { x = 1; } return x; }"
+        )
+        zero_uses = [
+            v
+            for i in prepared.module.functions["main"].instructions()
+            for v in i.uses()
+            if v.version == 0
+        ]
+        phi_zero = [
+            v
+            for p in find(prepared.module, "main", ins.Phi)
+            for v in p.incomings.values()
+            if getattr(v, "version", None) == 0
+        ]
+        assert zero_uses or phi_zero
+
+
+class TestMemorySSA:
+    def test_mem_phi_at_loop_head(self):
+        prepared = analyzed(
+            """
+            global g;
+            def main() {
+              var i = 0;
+              while (i < 3) { g = g + 1; i = i + 1; }
+              return g;
+            }
+            """
+        )
+        mem_phis = [
+            mp
+            for block in prepared.module.functions["main"].blocks
+            for mp in block.mem_phis
+        ]
+        assert any("g:g" in str(mp.loc) for mp in mem_phis)
+        for mp in mem_phis:
+            assert mp.new_version is not None
+            assert len(mp.incomings) >= 2
+
+    def test_chi_chain_versions_increase(self):
+        prepared = analyzed(
+            """
+            def main() {
+              var p = malloc(1);
+              *p = 1;
+              *p = 2;
+              return *p;
+            }
+            """
+        )
+        stores = find(prepared.module, "main", ins.Store)
+        versions = [c.new_version for s in stores for c in s.chis]
+        assert len(set(versions)) == len(versions)
+
+    def test_mu_reads_latest_chi(self):
+        prepared = analyzed(
+            "def main() { var p = malloc(1); *p = 1; return *p; }"
+        )
+        (store,) = find(prepared.module, "main", ins.Store)
+        (load,) = [
+            l for l in find(prepared.module, "main", ins.Load)
+        ]
+        (chi,) = store.chis
+        (mu,) = load.mus
+        assert mu.version == chi.new_version
+
+
+class TestMemSSAVerifier:
+    def test_pipeline_output_verifies(self):
+        from repro.memssa import verify_memory_ssa
+
+        prepared = analyzed(
+            """
+            global g;
+            def bump(q) { *q = *q + 1; return *q; }
+            def main() {
+              var i = 0;
+              var cell = malloc(1);
+              *cell = 0;
+              while (i < 3) { bump(cell); g = g + i; i = i + 1; }
+              output(*cell + g);
+              return 0;
+            }
+            """
+        )
+        verify_memory_ssa(prepared.module)
+
+    def test_detects_double_definition(self):
+        from repro.memssa import MemSSAError, verify_memory_ssa
+
+        prepared = analyzed(
+            "def main() { var p = malloc(1); *p = 1; return *p; }"
+        )
+        store = find(prepared.module, "main", ins.Store)[0]
+        chi = store.chis[0]
+        chi.new_version = chi.old_version  # corrupt: redefinition
+        import pytest
+
+        with pytest.raises(MemSSAError):
+            verify_memory_ssa(prepared.module)
+
+    def test_detects_dangling_use(self):
+        from repro.memssa import MemSSAError, verify_memory_ssa
+
+        prepared = analyzed(
+            "def main() { var p = malloc(1); *p = 1; return *p; }"
+        )
+        load = find(prepared.module, "main", ins.Load)[0]
+        load.mus[0].version = 99  # corrupt: no such definition
+        import pytest
+
+        with pytest.raises(MemSSAError):
+            verify_memory_ssa(prepared.module)
+
+    def test_workloads_verify(self):
+        from repro.memssa import verify_memory_ssa
+        from repro.workloads import WORKLOADS
+
+        for w in WORKLOADS[:5]:
+            from repro.tinyc import compile_source
+            from repro.opt import run_pipeline
+            from repro.core import prepare_module
+
+            module = compile_source(w.source(0.05), w.name)
+            run_pipeline(module, "O0+IM")
+            prepare_module(module)
+            verify_memory_ssa(module)

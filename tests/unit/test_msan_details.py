@@ -1,0 +1,212 @@
+"""Detailed unit tests for the MSan plan's per-instruction composition."""
+
+from repro.core import build_msan_plan
+from repro.core.plan import (
+    AndShadowVar,
+    BinOpShadow,
+    Check,
+    CopyShadowVar,
+    LoadShadow,
+    PhiShadow,
+    RelayIn,
+    RelayOut,
+    SetShadowMem,
+    SetShadowVar,
+    StoreShadow,
+    UnOpShadow,
+)
+from repro.ir import instructions as ins
+from tests.helpers import analyzed
+
+
+def plan_for(source):
+    prepared = analyzed(source)
+    return prepared.module, build_msan_plan(prepared.module)
+
+
+def ops_at(module, plan, kind):
+    for instr in module.instructions():
+        if isinstance(instr, kind):
+            slot = plan.ops.get(instr.uid)
+            yield instr, (slot.pre if slot else []), (slot.post if slot else [])
+
+
+class TestPerInstruction:
+    def test_const_copy_sets_defined(self):
+        # ConstCopy only appears in hand-built IR (the front end lowers
+        # constants through stores); build one directly.
+        from repro.ir import Const, IRBuilder
+
+        b = IRBuilder()
+        b.start_function("main")
+        x = b.fresh_temp()
+        b.const(x, 5)
+        b.output(x)
+        b.ret(Const(0))
+        module = b.finish()
+        plan = build_msan_plan(module)
+        found = [
+            op
+            for _, _, post in ops_at(module, plan, ins.ConstCopy)
+            for op in post
+        ]
+        assert found and all(
+            isinstance(op, SetShadowVar) and op.literal for op in found
+        )
+
+    def test_copy_of_constant_sets_defined(self):
+        module, plan = plan_for(
+            "def main() { var x = 5; output(x); return 0; }"
+        )
+        found = [
+            op
+            for instr, _, post in ops_at(module, plan, ins.Copy)
+            for op in post
+            if isinstance(op, SetShadowVar)
+        ]
+        assert found and all(op.literal for op in found)
+
+    def test_copy_propagates(self):
+        module, plan = plan_for(
+            "def main() { var x = 1; var y = x; output(y); return 0; }"
+        )
+        copies = [
+            op
+            for _, _, post in ops_at(module, plan, ins.Copy)
+            for op in post
+            if isinstance(op, CopyShadowVar)
+        ]
+        assert copies
+
+    def test_binop_carries_operator_and_operands(self):
+        module, plan = plan_for(
+            "def main() { var a = 1; var b = 2; output(a & b); return 0; }"
+        )
+        bitops = [
+            op
+            for instr, _, post in ops_at(module, plan, ins.BinOp)
+            for op in post
+            if isinstance(op, BinOpShadow) and op.op == "&"
+        ]
+        assert bitops
+        assert all(op.reads >= 1 for op in bitops)
+
+    def test_unop_shadowed(self):
+        module, plan = plan_for(
+            "def main() { var a = 3; output(~a); return 0; }"
+        )
+        unops = [
+            op
+            for _, _, post in ops_at(module, plan, ins.UnOp)
+            for op in post
+            if isinstance(op, UnOpShadow)
+        ]
+        assert unops and unops[0].op == "~"
+
+    def test_load_checks_pointer_then_loads_shadow(self):
+        module, plan = plan_for(
+            "def main() { var p = calloc(1); output(*p); return 0; }"
+        )
+        for instr, pre, post in ops_at(module, plan, ins.Load):
+            assert any(isinstance(op, Check) for op in pre)
+            assert any(isinstance(op, LoadShadow) for op in post)
+
+    def test_store_checks_pointer_then_stores_shadow(self):
+        module, plan = plan_for(
+            "def main() { var p = calloc(1); *p = 3; return *p; }"
+        )
+        for instr, pre, post in ops_at(module, plan, ins.Store):
+            assert any(isinstance(op, Check) for op in pre)
+            assert any(isinstance(op, StoreShadow) for op in post)
+
+    def test_alloc_blesses_pointer_and_poisons_memory(self):
+        module, plan = plan_for(
+            "def main() { var p = malloc(2); p[0] = 1; return p[0]; }"
+        )
+        heap_allocs = [
+            (instr, post)
+            for instr, _, post in ops_at(module, plan, ins.Alloc)
+            if instr.kind == "heap"
+        ]
+        for instr, post in heap_allocs:
+            set_vars = [op for op in post if isinstance(op, SetShadowVar)]
+            set_mems = [op for op in post if isinstance(op, SetShadowMem)]
+            assert set_vars and set_vars[0].literal  # the pointer is defined
+            assert set_mems and not set_mems[0].literal  # contents poisoned
+            assert set_mems[0].whole_object
+
+    def test_call_relays_argument_and_result(self):
+        module, plan = plan_for(
+            """
+            def f(a) { return a; }
+            def main() { output(f(1)); return 0; }
+            """
+        )
+        for instr, pre, post in ops_at(module, plan, ins.Call):
+            assert any(isinstance(op, RelayOut) for op in pre)
+            assert any(
+                isinstance(op, RelayIn) and op.slot == "ret" for op in post
+            )
+
+    def test_ret_relays_value(self):
+        module, plan = plan_for(
+            """
+            def f(a) { return a; }
+            def main() { output(f(1)); return 0; }
+            """
+        )
+        f_rets = [
+            (instr, pre)
+            for instr, pre, _ in ops_at(module, plan, ins.Ret)
+            if instr.block.function.name == "f"
+        ]
+        assert f_rets
+        for _, pre in f_rets:
+            assert any(
+                isinstance(op, RelayOut) and op.slot == "ret" for op in pre
+            )
+
+    def test_branch_and_output_checked(self):
+        module, plan = plan_for(
+            "def main() { var c = 1; if (c) { output(c); } return 0; }"
+        )
+        for kind in (ins.Branch, ins.Output):
+            for _, pre, _ in ops_at(module, plan, kind):
+                assert any(isinstance(op, Check) for op in pre)
+
+    def test_phi_gets_shadow_phi_with_all_incomings(self):
+        module, plan = plan_for(
+            "def main() { var x; if (1) { x = 1; } else { x = 2; } output(x); return 0; }"
+        )
+        shadow_phis = [
+            op
+            for _, _, post in ops_at(module, plan, ins.Phi)
+            for op in post
+            if isinstance(op, PhiShadow)
+        ]
+        assert shadow_phis
+        for op in shadow_phis:
+            assert len(op.incomings) == 2
+
+
+class TestCounting:
+    def test_static_counts_scale_with_program(self):
+        small = plan_for("def main() { var x = 1; output(x); return 0; }")[1]
+        large = plan_for(
+            """
+            def main() {
+              var a = 1, b = 2, c = 3;
+              output(a + b * c - a);
+              output(b);
+              output(c);
+              return 0;
+            }
+            """
+        )[1]
+        assert large.count_propagations() > small.count_propagations()
+        assert large.count_checks() > small.count_checks()
+
+    def test_describe_mentions_counts(self):
+        _, plan = plan_for("def main() { var x = 1; output(x); return 0; }")
+        text = plan.describe()
+        assert "propagations" in text and "checks" in text

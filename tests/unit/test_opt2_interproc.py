@@ -1,0 +1,139 @@
+"""Unit tests for the interprocedural Opt II extension."""
+
+from dataclasses import replace
+
+from repro.api import analyze_source
+from repro.core import UsherConfig, redundant_check_elimination, run_usher
+from tests.helpers import analyzed
+
+#: The culprit reaches the callee through MEMORY (a global), so only
+#: the interprocedural extension can suppress the callee's check: the
+#: callee is reachable exclusively through a call site dominated by the
+#: check in main.
+DOMINATED_CALLEE = """
+global g;
+def ripple() {
+  if (g) { skip; }       // redundant: main checked the same culprit
+  return g + 1;
+}
+def main() {
+  var u;
+  if (0) { u = 1; }
+  g = u;
+  var x = g;
+  if (x) { skip; }       // the dominating check
+  output(ripple());
+  return 0;
+}
+"""
+
+#: The callee is also reachable from an UNdominated context.
+SHARED_CALLEE = """
+global g;
+def ripple() {
+  if (g) { skip; }
+  return g + 1;
+}
+def early() {
+  return ripple();       // runs before main's check
+}
+def main() {
+  var u;
+  if (0) { u = 1; }
+  g = u;
+  early();
+  var x = g;
+  if (x) { skip; }
+  output(ripple());
+  return 0;
+}
+"""
+
+
+def bottom_checks_in(prepared, gamma, vfg, func):
+    return [
+        s
+        for s in vfg.check_sites
+        if s.func == func
+        and s.node is not None
+        and not gamma.is_defined(s.node)
+    ]
+
+
+class TestInterproceduralOpt2:
+    def test_dominated_callee_check_suppressed(self):
+        prepared = analyzed(DOMINATED_CALLEE)
+        result = run_usher(prepared, UsherConfig.tl_at())
+        gamma, stats = redundant_check_elimination(
+            prepared.module,
+            result.vfg,
+            prepared.callgraph,
+            interprocedural=True,
+        )
+        assert stats.interprocedural_redirects >= 1
+        assert not bottom_checks_in(prepared, gamma, result.vfg, "ripple")
+
+    def test_off_by_default(self):
+        prepared = analyzed(DOMINATED_CALLEE)
+        result = run_usher(prepared, UsherConfig.full())
+        assert result.opt2_stats.interprocedural_redirects == 0
+
+    def test_shared_callee_not_suppressed(self):
+        # ripple is also called from `other`, whose call site is not
+        # dominated by main's check: the callee's check must stay.
+        prepared = analyzed(SHARED_CALLEE)
+        result = run_usher(prepared, UsherConfig.tl_at())
+        gamma, _ = redundant_check_elimination(
+            prepared.module,
+            result.vfg,
+            prepared.callgraph,
+            interprocedural=True,
+        )
+        assert bottom_checks_in(prepared, gamma, result.vfg, "ripple")
+
+    def test_detection_preserved_under_extension(self):
+        analysis = analyze_source(DOMINATED_CALLEE, configs=["usher_ext"])
+        native = analysis.run_native()
+        report = analysis.run("usher_ext")
+        assert native.true_bug_set()
+        assert report.warnings
+        assert report.outputs == native.outputs
+
+    def test_extension_reduces_checks(self):
+        base = analyze_source(DOMINATED_CALLEE, configs=["usher"])
+        ext = analyze_source(DOMINATED_CALLEE, configs=["usher_ext"])
+        assert ext.static_checks("usher_ext") < base.static_checks("usher")
+
+    def test_recursive_callee_cycle_handled(self):
+        source = """
+        global g;
+        def spin(n) {
+          if (n == 0) { return g; }
+          if (g) { skip; }
+          return spin(n - 1);
+        }
+        def main() {
+          var u;
+          if (0) { u = 1; }
+          g = u;
+          var x = g;
+          if (x) { skip; }
+          output(spin(3));
+          return 0;
+        }
+        """
+        prepared = analyzed(source)
+        result = run_usher(prepared, UsherConfig.tl_at())
+        gamma, stats = redundant_check_elimination(
+            prepared.module,
+            result.vfg,
+            prepared.callgraph,
+            interprocedural=True,
+        )
+        # spin's only external entry is dominated; the self-call is
+        # cycle-internal — the optimistic fixpoint covers it.
+        assert stats.interprocedural_redirects >= 1
+        analysis = analyze_source(source, configs=["usher_ext"])
+        native = analysis.run_native()
+        report = analysis.run("usher_ext")
+        assert native.true_bug_set() and report.warnings

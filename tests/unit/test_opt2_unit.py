@@ -1,0 +1,182 @@
+"""Direct unit tests for Opt II (Algorithm 1)."""
+
+from repro.core import UsherConfig, redundant_check_elimination, run_usher
+from repro.vfg import resolve_definedness
+from tests.helpers import analyzed
+
+
+def setup(source):
+    prepared = analyzed(source)
+    result = run_usher(prepared, UsherConfig.tl_at())
+    return prepared, result
+
+
+class TestAlgorithm1:
+    DOMINATED = """
+    def main() {
+      var u;
+      if (0) { u = 1; }
+      var c = u + 1;
+      if (c) { skip; }
+      var e = u + 2;
+      if (e) { skip; }
+      output(0);
+      return 0;
+    }
+    """
+
+    def test_refined_gamma_has_fewer_bottoms(self):
+        prepared, result = setup(self.DOMINATED)
+        gamma, stats = redundant_check_elimination(
+            prepared.module, result.vfg, prepared.callgraph
+        )
+        base = resolve_definedness(result.vfg)
+        assert gamma.count_bottom() < base.count_bottom()
+        assert stats.redirected_nodes >= 1
+        assert stats.sites_processed >= 1
+
+    def test_original_vfg_untouched(self):
+        prepared, result = setup(self.DOMINATED)
+        before = result.vfg.num_edges
+        redundant_check_elimination(
+            prepared.module, result.vfg, prepared.callgraph
+        )
+        assert result.vfg.num_edges == before
+
+    def test_non_dominated_check_survives(self):
+        # Two checks in sibling branches: neither dominates the other.
+        source = """
+        def main() {
+          var u;
+          if (0) { u = 1; }
+          var k = 1;
+          if (k) {
+            var c = u + 1;
+            if (c) { skip; }
+          } else {
+            var e = u + 2;
+            if (e) { skip; }
+          }
+          return 0;
+        }
+        """
+        prepared, result = setup(source)
+        gamma, _ = redundant_check_elimination(
+            prepared.module, result.vfg, prepared.callgraph
+        )
+        bottom_checks = [
+            s
+            for s in result.vfg.check_sites
+            if s.node is not None and not gamma.is_defined(s.node)
+        ]
+        assert len(bottom_checks) >= 2
+
+    def test_callee_check_suppressed_when_call_is_dominated(self):
+        # main checks u, then passes it to sink: the argument copy is
+        # dominated by the check, so sink's report is a redundant
+        # ripple and is elided.
+        source = """
+        def sink(v) { if (v) { skip; } return 0; }
+        def main() {
+          var u;
+          if (0) { u = 1; }
+          if (u) { skip; }
+          sink(u);
+          return 0;
+        }
+        """
+        prepared, result = setup(source)
+        gamma, _ = redundant_check_elimination(
+            prepared.module, result.vfg, prepared.callgraph
+        )
+        sink_bottom = [
+            s
+            for s in result.vfg.check_sites
+            if s.func == "sink"
+            and s.node is not None
+            and not gamma.is_defined(s.node)
+        ]
+        assert not sink_bottom
+
+    def test_callee_check_survives_when_call_precedes(self):
+        # The call happens *before* main's check: no dominance, so the
+        # callee's check must stay.
+        source = """
+        def sink(v) { if (v) { skip; } return 0; }
+        def main() {
+          var u;
+          if (0) { u = 1; }
+          sink(u);
+          if (u) { skip; }
+          return 0;
+        }
+        """
+        prepared, result = setup(source)
+        gamma, _ = redundant_check_elimination(
+            prepared.module, result.vfg, prepared.callgraph
+        )
+        sink_bottom = [
+            s
+            for s in result.vfg.check_sites
+            if s.func == "sink"
+            and s.node is not None
+            and not gamma.is_defined(s.node)
+        ]
+        assert sink_bottom
+
+    def test_detection_preserved_end_to_end(self):
+        from repro.api import analyze_source
+
+        analysis = analyze_source(self.DOMINATED)
+        native = analysis.run_native()
+        report = analysis.run("usher")
+        assert native.true_bug_set()
+        assert report.warnings
+        # The surviving warning is at (or before) the first check.
+        assert min(report.warning_set()) <= min(
+            analysis.run("msan").warning_set()
+        )
+
+
+class TestStaticWarner:
+    """Unit tests for the purely static client (§1 foil)."""
+
+    def test_warns_on_real_bug(self):
+        from repro.core import static_warnings
+
+        prepared = analyzed(
+            "def main() { var x; if (0) { x = 1; } output(x); return 0; }"
+        )
+        warnings = static_warnings(prepared)
+        assert warnings
+        assert "may be uninitialized" in str(warnings[0])
+        assert warnings[0].function == "main"
+
+    def test_silent_on_provably_clean_code(self):
+        from repro.core import static_warnings
+
+        prepared = analyzed(
+            "def main() { var x = 1; output(x + 2); return 0; }"
+        )
+        assert static_warnings(prepared) == []
+
+    def test_false_positive_on_fog(self):
+        from repro.core import false_positive_report
+        from repro.runtime import run_native
+
+        prepared = analyzed(
+            """
+            def main() {
+              var a = malloc_array(4);
+              var i = 0;
+              while (i < 4) { a[i] = i; i = i + 1; }
+              output(a[2]);     // defined dynamically, ⊥ statically
+              return 0;
+            }
+            """
+        )
+        native = run_native(prepared.module)
+        report = false_positive_report("t", prepared, native.true_bug_set())
+        assert report.missed_bugs == 0
+        assert report.false_positives >= 1
+        assert report.false_positive_rate == 1.0

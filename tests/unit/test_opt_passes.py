@@ -1,0 +1,252 @@
+"""Unit tests for the optimizer substrate (mem2reg, inline, scalar
+opts, DCE, CFG simplification, pipelines)."""
+
+from repro.ir import instructions as ins
+from repro.ir import verify_module
+from repro.opt import (
+    eliminate_dead_code,
+    fold_binop,
+    functions_with_fp_params,
+    inline_fp_functions,
+    local_optimize,
+    mem2reg,
+    promotable_slots,
+    run_pipeline,
+    simplify_cfg,
+)
+from repro.runtime import run_native
+from repro.tinyc import compile_source
+
+
+def kinds(module, func="main"):
+    return [type(i).__name__ for i in module.functions[func].instructions()]
+
+
+class TestMem2Reg:
+    def test_scalar_slots_promoted(self):
+        module = compile_source("def main() { var x = 1; return x + 1; }")
+        promoted = mem2reg(module)
+        assert promoted == 1
+        assert "Alloc" not in kinds(module)
+        assert "Load" not in kinds(module)
+
+    def test_address_taken_slot_not_promoted(self):
+        module = compile_source(
+            """
+            def write(q) { *q = 2; return 0; }
+            def main() { var x = 1; write(&x); return x; }
+            """
+        )
+        slots = promotable_slots(module.functions["main"])
+        assert not slots  # &x escapes
+        mem2reg(module)
+        assert "Alloc" in kinds(module)
+
+    def test_aggregates_not_promoted(self):
+        module = compile_source("def main() { var a[4]; a[0] = 1; return a[0]; }")
+        mem2reg(module)
+        assert "Alloc" in kinds(module)
+
+    def test_semantics_preserved(self):
+        source = """
+        def main() {
+          var x = 3, y;
+          y = x * 2;
+          if (y > 5) { y = y - 1; }
+          return y;
+        }
+        """
+        module = compile_source(source)
+        before = run_native(module).exit_value
+        mem2reg(module)
+        verify_module(module)
+        assert run_native(module).exit_value == before == 5
+
+    def test_read_before_write_becomes_undef_use(self):
+        module = compile_source(
+            "def main() { var x; if (0) { x = 1; } output(x); return 0; }"
+        )
+        mem2reg(module)
+        report = run_native(module)
+        assert report.true_undefined_uses
+
+
+class TestInline:
+    SOURCE = """
+    def apply(f, x) { return f(x); }
+    def double(v) { return v + v; }
+    def main() { return apply(double, 21); }
+    """
+
+    def test_fp_param_functions_detected(self):
+        module = compile_source(self.SOURCE)
+        assert functions_with_fp_params(module) == {"apply"}
+
+    def test_inlining_removes_call(self):
+        module = compile_source(self.SOURCE)
+        count = inline_fp_functions(module)
+        assert count == 1
+        calls = [
+            i
+            for i in module.functions["main"].instructions()
+            if isinstance(i, ins.Call) and not i.is_indirect
+            and i.callee == "apply"
+        ]
+        assert not calls
+        verify_module(module)
+
+    def test_inlining_preserves_semantics(self):
+        module = compile_source(self.SOURCE)
+        inline_fp_functions(module)
+        assert run_native(module).exit_value == 42
+
+    def test_recursive_fp_function_not_inlined(self):
+        source = """
+        def walk(f, n) {
+          if (n == 0) { return f(0); }
+          return walk(f, n - 1);
+        }
+        def id(x) { return x + 1; }
+        def main() { return walk(id, 3); }
+        """
+        module = compile_source(source)
+        inline_fp_functions(module)
+        assert run_native(module).exit_value == 1
+
+
+class TestLocalOpt:
+    def test_constant_folding(self):
+        module = compile_source("def main() { var x = 2 + 3; return x * 4; }")
+        mem2reg(module)
+        local_optimize(module)
+        eliminate_dead_code(module)
+        binops = [i for i in module.functions["main"].instructions()
+                  if isinstance(i, ins.BinOp)]
+        assert not binops  # everything folded to a constant
+        assert run_native(module).exit_value == 20
+
+    def test_fold_binop_division_semantics(self):
+        assert fold_binop("/", 7, 2) == 3
+        assert fold_binop("/", -7, 2) == -3  # truncation toward zero
+        assert fold_binop("/", 7, 0) == 0  # total semantics
+        assert fold_binop("%", -7, 2) == -1
+        assert fold_binop("%", 5, 0) == 0
+
+    def test_cse_within_block(self):
+        module = compile_source(
+            "def main() { var a = 4; var x = a * a; var y = a * a; return x + y; }"
+        )
+        mem2reg(module)
+        before = run_native(module).exit_value
+        local_optimize(module)
+        eliminate_dead_code(module)
+        muls = [
+            i
+            for i in module.functions["main"].instructions()
+            if isinstance(i, ins.BinOp) and i.op == "*"
+        ]
+        assert len(muls) <= 1
+        assert run_native(module).exit_value == before
+
+    def test_store_to_load_forwarding(self):
+        module = compile_source(
+            "def main() { var p = malloc(1); *p = 7; return *p; }"
+        )
+        mem2reg(module)
+        local_optimize(module, forward_loads=True)
+        eliminate_dead_code(module)
+        loads = [
+            i
+            for i in module.functions["main"].instructions()
+            if isinstance(i, ins.Load)
+        ]
+        assert not loads
+        assert run_native(module).exit_value == 7
+
+    def test_calls_invalidate_memory_facts(self):
+        source = """
+        global g;
+        def set9(q) { *q = 9; return 0; }
+        def main() {
+          var p = &g;
+          *p = 1;
+          set9(p);
+          return *p;
+        }
+        """
+        module = compile_source(source)
+        mem2reg(module)
+        local_optimize(module, forward_loads=True)
+        assert run_native(module).exit_value == 9
+
+
+class TestDCEAndCFG:
+    def test_dead_arith_removed(self):
+        module = compile_source(
+            "def main() { var dead = 1 + 2; return 7; }"
+        )
+        mem2reg(module)
+        local_optimize(module)
+        removed = eliminate_dead_code(module)
+        assert removed >= 1
+
+    def test_output_never_removed(self):
+        module = compile_source("def main() { output(3); return 0; }")
+        mem2reg(module)
+        eliminate_dead_code(module)
+        assert run_native(module).outputs == [3]
+
+    def test_constant_branch_folded(self):
+        module = compile_source(
+            "def main() { if (1) { return 5; } return 6; }"
+        )
+        mem2reg(module)
+        local_optimize(module)
+        changed = simplify_cfg(module)
+        assert changed >= 1
+        branches = [
+            i
+            for i in module.functions["main"].instructions()
+            if isinstance(i, ins.Branch)
+        ]
+        assert not branches
+        assert run_native(module).exit_value == 5
+
+
+class TestPipelines:
+    SOURCE = """
+    global total;
+    def work(n) {
+      var i = 0, s = 0;
+      while (i < n) { s = s + i * 2; i = i + 1; }
+      return s;
+    }
+    def main() {
+      total = work(5) + (3 - 3);
+      output(total);
+      return 0;
+    }
+    """
+
+    def test_levels_preserve_outputs(self):
+        baseline = run_native(compile_source(self.SOURCE)).outputs
+        for level in ("O0", "O0+IM", "O1", "O2"):
+            module = compile_source(self.SOURCE)
+            run_pipeline(module, level)
+            verify_module(module)
+            assert run_native(module).outputs == baseline, level
+
+    def test_higher_levels_execute_fewer_ops(self):
+        counts = {}
+        for level in ("O0", "O0+IM", "O1"):
+            module = compile_source(self.SOURCE)
+            run_pipeline(module, level)
+            counts[level] = run_native(module).native_ops
+        assert counts["O1"] < counts["O0+IM"] < counts["O0"]
+
+    def test_unknown_level_rejected(self):
+        import pytest
+
+        module = compile_source(self.SOURCE)
+        with pytest.raises(ValueError):
+            run_pipeline(module, "O3")

@@ -1,0 +1,131 @@
+"""Unit tests for the TinyC parser."""
+
+import pytest
+
+from repro.tinyc import ast, parse
+from repro.tinyc.lexer import TinyCSyntaxError
+
+
+def parse_main(body: str) -> ast.FuncDef:
+    program = parse("def main() { %s }" % body)
+    return program.functions[0]
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        program = parse("global g; def f(a, b) { return a; } def main() { return 0; }")
+        assert [g.name for g in program.globals] == ["g"]
+        assert [f.name for f in program.functions] == ["f", "main"]
+        assert program.functions[0].params == ["a", "b"]
+
+    def test_global_array_and_record(self):
+        program = parse("global a[8]; global r{3}; global uninit u;")
+        array, record, uninit = program.globals
+        assert array.is_array and array.num_fields == 8
+        assert not record.is_array and record.num_fields == 3
+        assert uninit.initialized is False
+        assert array.initialized and record.initialized
+
+    def test_rejects_stray_tokens(self):
+        with pytest.raises(TinyCSyntaxError):
+            parse("42;")
+
+
+class TestStatements:
+    def test_var_declarations(self):
+        func = parse_main("var x, y = 2, a[4], r{2};")
+        (stmt,) = func.body
+        assert isinstance(stmt, ast.VarStmt)
+        names = [d.name for d in stmt.decls]
+        assert names == ["x", "y", "a", "r"]
+        assert stmt.decls[1].init is not None
+        assert stmt.decls[2].is_array
+        assert stmt.decls[3].num_fields == 2
+
+    def test_aggregate_initializer_rejected(self):
+        with pytest.raises(TinyCSyntaxError):
+            parse_main("var a[3] = 5;")
+
+    def test_if_else_chain(self):
+        func = parse_main("if (1) { skip; } else if (2) { skip; } else { skip; }")
+        (stmt,) = func.body
+        assert isinstance(stmt, ast.IfStmt)
+        assert isinstance(stmt.else_body[0], ast.IfStmt)
+
+    def test_while_break_continue(self):
+        func = parse_main("while (1) { break; continue; }")
+        (stmt,) = func.body
+        assert isinstance(stmt, ast.WhileStmt)
+        assert isinstance(stmt.body[0], ast.BreakStmt)
+        assert isinstance(stmt.body[1], ast.ContinueStmt)
+
+    def test_assignment_targets(self):
+        func = parse_main("x = 1; *p = 2; a[3] = 4;")
+        targets = [s.target for s in func.body]
+        assert isinstance(targets[0], ast.NameExpr)
+        assert isinstance(targets[1], ast.DerefExpr)
+        assert isinstance(targets[2], ast.IndexExpr)
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(TinyCSyntaxError):
+            parse_main("(a + b) = 2;")
+
+    def test_return_with_and_without_value(self):
+        func = parse_main("return; return 5;")
+        assert func.body[0].value is None
+        assert isinstance(func.body[1].value, ast.NumberExpr)
+
+
+class TestExpressions:
+    def _expr(self, text: str) -> ast.Expr:
+        func = parse_main(f"x = {text};")
+        return func.body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.BinaryExpr) and expr.rhs.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        expr = self._expr("a < b && c > d")
+        assert isinstance(expr, ast.ShortCircuitExpr) and expr.op == "&&"
+        assert expr.lhs.op == "<" and expr.rhs.op == ">"
+
+    def test_left_associativity(self):
+        expr = self._expr("a - b - c")
+        assert expr.op == "-" and expr.lhs.op == "-"
+
+    def test_unary_operators(self):
+        for op in ("-", "!", "~"):
+            expr = self._expr(f"{op}a")
+            assert isinstance(expr, ast.UnaryExpr) and expr.op == op
+
+    def test_deref_and_addrof(self):
+        assert isinstance(self._expr("*p"), ast.DerefExpr)
+        assert isinstance(self._expr("&g"), ast.AddrOfExpr)
+
+    def test_alloc_expressions(self):
+        m = self._expr("malloc(4)")
+        assert isinstance(m, ast.AllocExpr)
+        assert not m.initialized and not m.is_array and m.num_fields == 4
+        c = self._expr("calloc_array(8)")
+        assert c.initialized and c.is_array
+
+    def test_calls_direct_and_chained(self):
+        call = self._expr("f(1, g(2))")
+        assert isinstance(call, ast.CallExpr)
+        assert isinstance(call.args[1], ast.CallExpr)
+
+    def test_indirect_call_through_deref(self):
+        call = self._expr("(*fp)(3)")
+        assert isinstance(call, ast.CallExpr)
+        assert isinstance(call.callee, ast.DerefExpr)
+
+    def test_index_chain(self):
+        expr = self._expr("m[1][2]")
+        assert isinstance(expr, ast.IndexExpr)
+        assert isinstance(expr.base, ast.IndexExpr)
+
+    def test_parenthesized(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*" and expr.lhs.op == "+"

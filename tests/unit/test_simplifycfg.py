@@ -1,0 +1,114 @@
+"""Unit tests for CFG simplification."""
+
+from repro.ir import CFG, instructions as ins, verify_module
+from repro.opt import local_optimize, mem2reg, simplify_cfg
+from repro.runtime import run_native
+from repro.tinyc import compile_source
+
+
+def prep(source):
+    module = compile_source(source)
+    mem2reg(module)
+    local_optimize(module)
+    return module
+
+
+class TestBranchFolding:
+    def test_true_branch_folds_to_then(self):
+        module = prep("def main() { if (1) { return 5; } return 6; }")
+        simplify_cfg(module)
+        branches = [
+            i for i in module.main.instructions() if isinstance(i, ins.Branch)
+        ]
+        assert not branches
+        assert run_native(module).exit_value == 5
+
+    def test_false_branch_folds_to_else(self):
+        module = prep("def main() { if (0) { return 5; } return 6; }")
+        simplify_cfg(module)
+        assert run_native(module).exit_value == 6
+
+    def test_variable_branch_kept(self):
+        module = prep(
+            "def main() { var c = 1; c = c + 0; if (c > 0) { return 1; } return 2; }"
+        )
+        # c's value is constant-foldable locally, but keep the test
+        # focused: a branch on a loaded global is never foldable.
+        module = prep(
+            "global g; def main() { if (g) { return 1; } return 2; }"
+        )
+        simplify_cfg(module)
+        branches = [
+            i for i in module.main.instructions() if isinstance(i, ins.Branch)
+        ]
+        assert branches
+
+
+class TestThreadingAndMerging:
+    def test_trivial_jump_threaded(self):
+        module = prep(
+            """
+            def main() {
+              var x = 1;
+              if (x) { skip; } else { skip; }
+              return x;
+            }
+            """
+        )
+        before = len(module.main.blocks)
+        simplify_cfg(module)
+        after = len(module.main.blocks)
+        assert after <= before
+        verify_module(module)
+        assert run_native(module).exit_value == 1
+
+    def test_straightline_blocks_merged(self):
+        module = prep("def main() { if (1) { output(3); } return 0; }")
+        simplify_cfg(module)
+        verify_module(module)
+        # Constant fold + thread + merge should leave very few blocks.
+        assert len(module.main.blocks) <= 2
+        assert run_native(module).outputs == [3]
+
+    def test_entry_block_never_merged_away(self):
+        module = prep("def main() { return 7; }")
+        simplify_cfg(module)
+        assert module.main.entry is module.main.blocks[0]
+        assert run_native(module).exit_value == 7
+
+    def test_loop_structure_preserved(self):
+        module = prep(
+            """
+            def main() {
+              var i = 0, s = 0;
+              while (i < 4) { s = s + i; i = i + 1; }
+              return s;
+            }
+            """
+        )
+        simplify_cfg(module)
+        verify_module(module)
+        assert run_native(module).exit_value == 6
+        cfg = CFG(module.main)
+        # A back edge must survive.
+        assert any(
+            label in cfg.succs[succ]
+            for label in cfg.succs
+            for succ in cfg.succs[label]
+        )
+
+    def test_unreachable_branch_arm_removed(self):
+        module = prep(
+            """
+            def main() {
+              if (0) { output(111); }
+              return 9;
+            }
+            """
+        )
+        simplify_cfg(module)
+        outputs = [
+            i for i in module.main.instructions() if isinstance(i, ins.Output)
+        ]
+        assert not outputs
+        assert run_native(module).exit_value == 9

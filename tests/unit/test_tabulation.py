@@ -1,0 +1,150 @@
+"""Unit tests for the summary-based (tabulation) resolver."""
+
+from dataclasses import replace
+
+from repro.core import UsherConfig, prepare_module, run_usher
+from repro.vfg import BOT, CALL, RET, TOP, TopNode, VFG, resolve_definedness
+from repro.vfg.tabulation import resolve_definedness_summary
+from tests.helpers import analyzed
+
+
+def n(name):
+    return TopNode("f", name, 1)
+
+
+class TestDyckReachability:
+    def test_intra_chain(self):
+        vfg = VFG()
+        vfg.add_edge(BOT, n("a"))
+        vfg.add_edge(n("a"), n("b"))
+        gamma = resolve_definedness_summary(vfg)
+        assert not gamma.is_defined(n("b"))
+
+    def test_matched_call_return(self):
+        # F -> arg -(call@1)-> formal -> ret -(ret@1)-> out : realizable.
+        vfg = VFG()
+        vfg.add_edge(BOT, n("arg"))
+        vfg.add_edge(n("arg"), n("formal"), CALL, 1)
+        vfg.add_edge(n("formal"), n("ret"))
+        vfg.add_edge(n("ret"), n("out"), RET, 1)
+        gamma = resolve_definedness_summary(vfg)
+        assert not gamma.is_defined(n("out"))
+
+    def test_mismatched_call_return_blocked(self):
+        vfg = VFG()
+        vfg.add_edge(BOT, n("arg"))
+        vfg.add_edge(n("arg"), n("formal"), CALL, 1)
+        vfg.add_edge(n("formal"), n("ret"))
+        vfg.add_edge(n("ret"), n("out2"), RET, 2)
+        gamma = resolve_definedness_summary(vfg)
+        assert gamma.is_defined(n("out2"))
+
+    def test_unmatched_return_allowed(self):
+        # Undefinedness born in a callee escapes to the caller.
+        vfg = VFG()
+        vfg.add_edge(BOT, n("local"))
+        vfg.add_edge(n("local"), n("caller"), RET, 9)
+        gamma = resolve_definedness_summary(vfg)
+        assert not gamma.is_defined(n("caller"))
+
+    def test_unmatched_call_allowed(self):
+        vfg = VFG()
+        vfg.add_edge(BOT, n("arg"))
+        vfg.add_edge(n("arg"), n("formal"), CALL, 9)
+        gamma = resolve_definedness_summary(vfg)
+        assert not gamma.is_defined(n("formal"))
+
+    def test_return_after_unmatched_call_blocked(self):
+        # ...-(call@1)-> formal -> ret -(ret@2)-> elsewhere: after an
+        # unmatched open, only a matching close is realizable.
+        vfg = VFG()
+        vfg.add_edge(BOT, n("arg"))
+        vfg.add_edge(n("arg"), n("formal"), CALL, 1)
+        vfg.add_edge(n("formal"), n("ret"))
+        vfg.add_edge(n("ret"), n("weird"), RET, 2)
+        gamma = resolve_definedness_summary(vfg)
+        assert gamma.is_defined(n("weird"))
+
+    def test_nested_matched_calls(self):
+        # Two levels of matched calls: summaries must compose.
+        vfg = VFG()
+        vfg.add_edge(BOT, n("a0"))
+        vfg.add_edge(n("a0"), n("f1in"), CALL, 1)
+        vfg.add_edge(n("f1in"), n("a1"))
+        vfg.add_edge(n("a1"), n("f2in"), CALL, 2)
+        vfg.add_edge(n("f2in"), n("f2out"))
+        vfg.add_edge(n("f2out"), n("b1"), RET, 2)
+        vfg.add_edge(n("b1"), n("f1out"))
+        vfg.add_edge(n("f1out"), n("b0"), RET, 1)
+        # A decoy call site into f2 that must not leak.
+        vfg.add_edge(TOP, n("decoy"))
+        vfg.add_edge(n("decoy"), n("f2in"), CALL, 3)
+        vfg.add_edge(n("f2out"), n("clean"), RET, 3)
+        gamma = resolve_definedness_summary(vfg)
+        assert not gamma.is_defined(n("b0"))
+        assert gamma.is_defined(n("clean"))
+
+    def test_recursion_terminates(self):
+        vfg = VFG()
+        vfg.add_edge(BOT, n("x"))
+        vfg.add_edge(n("x"), n("f"), CALL, 1)
+        vfg.add_edge(n("f"), n("f"), CALL, 2)  # self call
+        vfg.add_edge(n("f"), n("r"))
+        vfg.add_edge(n("r"), n("out"), RET, 1)
+        gamma = resolve_definedness_summary(vfg)
+        assert not gamma.is_defined(n("out"))
+
+
+class TestAgainstCallStrings:
+    DEEP = """
+    def id(v) { return v; }
+    def wrap1(v) { return id(v); }
+    def wrap2(v) { return wrap1(v); }
+    def main() {
+      var u;
+      var good = wrap2(7);
+      var bad = wrap2(u);
+      output(good);
+      return 0;
+    }
+    """
+
+    def test_summary_beats_shallow_call_strings(self):
+        prepared = analyzed(self.DEEP)
+        k1 = run_usher(
+            prepared, replace(UsherConfig.tl_at(), context_depth=1)
+        )
+        summary = run_usher(
+            prepared, replace(UsherConfig.tl_at(), resolver="summary")
+        )
+        # k=1 conflates the two wrap2 call chains; summaries do not.
+        assert summary.plan.count_checks() == 0
+        assert k1.plan.count_checks() >= 1
+        assert summary.gamma.bottom_nodes <= k1.gamma.bottom_nodes
+
+    def test_summary_subset_of_every_depth(self):
+        prepared = analyzed(self.DEEP)
+        base = run_usher(prepared, UsherConfig.tl_at())
+        vfg = base.vfg
+        summary = resolve_definedness_summary(vfg)
+        for depth in (0, 1, 2, 3):
+            limited = resolve_definedness(vfg, depth)
+            assert summary.bottom_nodes <= limited.bottom_nodes, depth
+
+    def test_full_config_with_summary_resolver(self):
+        from repro.api import analyze_source
+
+        prepared = analyzed(self.DEEP)
+        config = replace(UsherConfig.full(), resolver="summary")
+        result = run_usher(prepared, config)
+        assert result.plan.count_checks() == 0
+
+    def test_unknown_resolver_rejected(self):
+        import pytest
+
+        from repro.core.usher import resolve_for_config
+
+        prepared = analyzed("def main() { return 0; }")
+        base = run_usher(prepared, UsherConfig.tl_at())
+        with pytest.raises(ValueError):
+            resolve_for_config(base.vfg, replace(UsherConfig.tl_at(), resolver="x"))

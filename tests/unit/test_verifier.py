@@ -1,0 +1,95 @@
+"""Unit tests for the IR verifier."""
+
+import pytest
+
+from repro.ir import Const, IRBuilder, VerificationError, Var, verify_module
+from repro.ir import instructions as ins
+from tests.helpers import analyzed
+
+
+def minimal_builder():
+    b = IRBuilder()
+    b.start_function("main")
+    return b
+
+
+class TestStructure:
+    def test_unterminated_block(self):
+        b = minimal_builder()
+        x = b.fresh_temp()
+        b.const(x, 1)
+        module = b.finish()
+        with pytest.raises(VerificationError, match="lacks a terminator"):
+            verify_module(module)
+
+    def test_branch_to_unknown_block(self):
+        b = minimal_builder()
+        b.jump("nowhere")
+        with pytest.raises(VerificationError, match="unknown"):
+            verify_module(b.finish())
+
+    def test_call_to_unknown_function(self):
+        b = minimal_builder()
+        b.call(None, "ghost", [])
+        b.ret(Const(0))
+        with pytest.raises(VerificationError, match="unknown function"):
+            verify_module(b.finish())
+
+    def test_unknown_global_address(self):
+        b = minimal_builder()
+        g = b.fresh_temp()
+        b.global_addr(g, "ghost")
+        b.ret(Const(0))
+        with pytest.raises(VerificationError, match="unknown global"):
+            verify_module(b.finish())
+
+    def test_terminator_mid_block(self):
+        b = minimal_builder()
+        block = b.block
+        block.instrs.append(ins.Ret(Const(0)))
+        block.instrs.append(ins.Ret(Const(1)))
+        with pytest.raises(VerificationError, match="mid-block"):
+            verify_module(b.module)
+
+    def test_valid_module_passes(self):
+        b = minimal_builder()
+        b.ret(Const(0))
+        verify_module(b.finish())
+
+
+class TestSSAChecks:
+    def test_double_definition_caught(self):
+        b = minimal_builder()
+        x = Var("x", 1)
+        b.const(x, 1)
+        b.const(x, 2)
+        b.ret(x)
+        with pytest.raises(VerificationError, match="defined 2 times"):
+            verify_module(b.finish(), ssa=True)
+
+    def test_unversioned_def_caught(self):
+        b = minimal_builder()
+        b.const(Var("x"), 1)
+        b.ret(Const(0))
+        with pytest.raises(VerificationError, match="unversioned"):
+            verify_module(b.finish(), ssa=True)
+
+    def test_pipeline_output_is_valid_ssa(self):
+        prepared = analyzed(
+            """
+            global g;
+            def main() {
+              var i = 0;
+              while (i < 3) { g = g + i; i = i + 1; }
+              output(g);
+              return 0;
+            }
+            """
+        )
+        verify_module(prepared.module, ssa=True)
+
+    def test_phi_incoming_labels_match_predecessors(self):
+        prepared = analyzed(
+            "def main() { var x; if (1) { x = 1; } else { x = 2; } return x; }"
+        )
+        verify_module(prepared.module, ssa=True)

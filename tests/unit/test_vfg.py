@@ -1,0 +1,237 @@
+"""Unit tests for VFG construction, update flavors and definedness."""
+
+from repro.core import prepare_module
+from repro.vfg import (
+    BOT,
+    TOP,
+    MemNode,
+    TopNode,
+    build_vfg,
+    resolve_definedness,
+)
+from tests.helpers import compile_and_optimize
+
+
+def build(source, level="O0+IM", address_taken=True, semi_strong=True):
+    module = compile_and_optimize(source, level)
+    prepared = prepare_module(module)
+    vfg = build_vfg(
+        module,
+        prepared.pointers,
+        prepared.callgraph,
+        prepared.modref,
+        address_taken=address_taken,
+        semi_strong=semi_strong,
+    )
+    gamma = resolve_definedness(vfg)
+    return module, vfg, gamma
+
+
+def check_states(vfg, gamma):
+    return [
+        (site.operand, gamma.gamma(site.node))
+        for site in vfg.check_sites
+        if site.node is not None
+    ]
+
+
+class TestRoots:
+    def test_constants_are_defined(self):
+        _, vfg, gamma = build("def main() { var x = 5; output(x); return 0; }")
+        assert all(state == "⊤" for _, state in check_states(vfg, gamma))
+
+    def test_use_before_def_is_bottom(self):
+        _, vfg, gamma = build(
+            "def main() { var x; if (0) { x = 1; } output(x); return 0; }"
+        )
+        assert "⊥" in [s for _, s in check_states(vfg, gamma)]
+
+    def test_initialized_global_is_top(self):
+        _, vfg, gamma = build("global g; def main() { output(g); return 0; }")
+        assert all(state == "⊤" for _, state in check_states(vfg, gamma))
+
+    def test_uninit_global_is_bottom(self):
+        _, vfg, gamma = build(
+            "global uninit g; def main() { output(g); return 0; }"
+        )
+        assert "⊥" in [s for _, s in check_states(vfg, gamma)]
+
+
+class TestStoreFlavors:
+    def test_strong_update_kills_undefined(self):
+        # x's slot is uninitialized, but the store dominates the read.
+        _, vfg, gamma = build(
+            """
+            def main() {
+              var a[1];        // address-taken (not promotable): alloc_F
+              a[0] = 7;        // strong update? no: array. Use a global.
+              output(a[0]);
+              return 0;
+            }
+            """
+        )
+        # Arrays never get strong updates; the read merges alloc_F.
+        assert "⊥" in [s for _, s in check_states(vfg, gamma)]
+        assert vfg.stats.stores_strong == 0
+
+    def test_strong_update_on_global(self):
+        _, vfg, gamma = build(
+            """
+            global uninit g;
+            def main() {
+              g = 3;           // strong update on a unique concrete cell
+              output(g);
+              return 0;
+            }
+            """
+        )
+        assert all(s == "⊤" for _, s in check_states(vfg, gamma))
+        assert vfg.stats.stores_strong >= 1
+
+    def test_semi_strong_bypasses_fresh_heap_state(self):
+        # Figure 6's pattern: allocation, then a dominated store.
+        _, vfg, gamma = build(
+            """
+            def main() {
+              var i = 0, s = 0;
+              while (i < 3) {
+                var p = malloc(1);   // fresh undefined cell each round
+                *p = i;              // semi-strong: bypasses the F state
+                s = s + *p;
+                i = i + 1;
+              }
+              output(s);
+              return 0;
+            }
+            """
+        )
+        assert all(s == "⊤" for _, s in check_states(vfg, gamma))
+        assert vfg.stats.semi_strong_applied >= 1
+
+    def test_semi_strong_disabled_falls_back_to_weak(self):
+        source = """
+        def main() {
+          var p = malloc(1);
+          *p = 1;
+          output(*p);
+          return 0;
+        }
+        """
+        _, _, gamma_on = build(source, semi_strong=True)
+        _, vfg_off, gamma_off = build(source, semi_strong=False)
+        assert gamma_on.count_bottom() < gamma_off.count_bottom()
+        assert "⊥" in [s for _, s in check_states(vfg_off, gamma_off)]
+
+    def test_weak_update_preserves_undefinedness(self):
+        _, vfg, gamma = build(
+            """
+            def main() {
+              var p = malloc(2);
+              var q = p;
+              if (1) { q = malloc(2); }
+              *q = 1;           // two targets: weak
+              output(p[1]);     // field 1 never written anywhere
+              return 0;
+            }
+            """
+        )
+        assert "⊥" in [s for _, s in check_states(vfg, gamma)]
+
+
+class TestInterproceduralFlows:
+    def test_undefined_argument_flows_into_callee(self):
+        _, vfg, gamma = build(
+            """
+            def sink(v) { output(v); return 0; }
+            def main() {
+              var x;
+              if (0) { x = 1; }
+              sink(x);
+              return 0;
+            }
+            """
+        )
+        assert "⊥" in [s for _, s in check_states(vfg, gamma)]
+
+    def test_defined_return_value(self):
+        _, vfg, gamma = build(
+            """
+            def make() { return 5; }
+            def main() { output(make()); return 0; }
+            """
+        )
+        assert all(s == "⊤" for _, s in check_states(vfg, gamma))
+
+    def test_undefinedness_through_memory_across_calls(self):
+        _, vfg, gamma = build(
+            """
+            def taint(q) { skip; return 0; }   // does not initialize *q
+            def main() {
+              var p = malloc(1);
+              taint(p);
+              output(*p);
+              return 0;
+            }
+            """
+        )
+        assert "⊥" in [s for _, s in check_states(vfg, gamma)]
+
+
+class TestContextSensitivity:
+    SOURCE = """
+    def id(v) { return v; }
+    def main() {
+      var u;
+      var good = id(5);
+      var bad = id(u);
+      output(good);
+      return 0;
+    }
+    """
+
+    def test_context_sensitive_separates_call_sites(self):
+        module, vfg, _ = build(self.SOURCE)
+        gamma1 = resolve_definedness(vfg, context_depth=1)
+        states = {
+            site.operand: gamma1.gamma(site.node)
+            for site in vfg.check_sites
+            if site.node is not None
+        }
+        # `good` comes back from id(5) and must stay ⊤ even though
+        # id(u) pollutes the other call site.
+        assert "⊤" in states.values()
+        assert all(s == "⊤" for s in states.values())
+
+    def test_context_insensitive_merges_call_sites(self):
+        module, vfg, _ = build(self.SOURCE)
+        gamma0 = resolve_definedness(vfg, context_depth=0)
+        states = [
+            gamma0.gamma(site.node)
+            for site in vfg.check_sites
+            if site.node is not None
+        ]
+        assert "⊥" in states  # unrealizable flow pollutes `good`
+
+    def test_deeper_context_never_less_precise(self):
+        module, vfg, _ = build(self.SOURCE)
+        for shallow, deep in ((0, 1), (1, 2)):
+            g_shallow = resolve_definedness(vfg, context_depth=shallow)
+            g_deep = resolve_definedness(vfg, context_depth=deep)
+            assert g_deep.bottom_nodes <= g_shallow.bottom_nodes
+
+
+class TestTLMode:
+    def test_summary_node_used(self):
+        _, vfg, gamma = build(
+            "def main() { var p = malloc(1); *p = 1; output(*p); return 0; }",
+            address_taken=False,
+        )
+        from repro.vfg import MEM_SUMMARY
+
+        assert not gamma.is_defined(MEM_SUMMARY)
+        assert "⊥" in [s for _, s in check_states(vfg, gamma)]
+
+    def test_tl_no_worse_than_at_on_pure_scalars(self):
+        source = "def main() { var x = 1; output(x + 2); return 0; }"
+        _, vfg_tl, gamma_tl = build(source, address_taken=False)
+        assert all(s == "⊤" for _, s in check_states(vfg_tl, gamma_tl))

@@ -1,0 +1,52 @@
+"""Golden outputs for the workloads: pin their observable behaviour.
+
+If a workload edit changes these checksums, the change was semantic —
+update deliberately (the figures' dynamic profiles shift with them).
+"""
+
+import pytest
+
+from repro.runtime import run_native
+from repro.tinyc import compile_source
+from repro.workloads import workload
+
+#: (workload, scale) -> expected `output` values
+GOLDENS = {
+    ("164.gzip", 0.1): [913, 1],
+    ("175.vpr", 0.1): [332],
+    ("181.mcf", 0.1): [4, 4, 78],
+    ("197.parser", 0.1): [6, 139],
+    ("256.bzip2", 0.5): [2108, 64],
+}
+
+
+@pytest.fixture(scope="module")
+def outputs():
+    result = {}
+    for (name, scale) in GOLDENS:
+        module = compile_source(workload(name).source(scale), name)
+        result[(name, scale)] = run_native(module).outputs
+    return result
+
+
+class TestGoldens:
+    def test_outputs_are_deterministic(self, outputs):
+        for key in GOLDENS:
+            name, scale = key
+            module = compile_source(workload(name).source(scale), name)
+            assert run_native(module).outputs == outputs[key], key
+
+    def test_outputs_nonempty(self, outputs):
+        for key, value in outputs.items():
+            assert value, key
+
+    def test_recorded_goldens_match(self, outputs):
+        for key, expected in GOLDENS.items():
+            if expected is not None:
+                assert outputs[key] == expected, key
+
+    def test_scale_changes_dynamic_behaviour(self):
+        w = workload("164.gzip")
+        small = run_native(compile_source(w.source(0.1))).native_ops
+        large = run_native(compile_source(w.source(0.3))).native_ops
+        assert large > small
