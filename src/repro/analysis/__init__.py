@@ -6,8 +6,14 @@ provides the configuration the paper evaluated (offset-based
 field-sensitive Andersen's analysis with 1-callsite heap cloning).
 """
 
-from repro.analysis.andersen import PointerResult, analyze_pointers
+from repro.analysis.andersen import (
+    DeltaSolver,
+    PointerResult,
+    ReferenceSolver,
+    analyze_pointers,
+)
 from repro.analysis.callgraph import CallGraph
+from repro.analysis.solverstats import SolverStats
 from repro.analysis.memobjects import (
     FUNC,
     GLOBAL,
@@ -20,7 +26,10 @@ from repro.analysis.memobjects import (
 from repro.analysis.modref import ModRefResult
 
 __all__ = [
+    "DeltaSolver",
     "PointerResult",
+    "ReferenceSolver",
+    "SolverStats",
     "analyze_pointers",
     "CallGraph",
     "FUNC",

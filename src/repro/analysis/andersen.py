@@ -15,11 +15,37 @@ call-site-specific namespace and its heap objects are cloned with that
 call site as context.  After solving, clone points-to sets are merged
 back into the wrapper's base variables so downstream phases (memory SSA,
 VFG) see the union while still distinguishing per-call-site objects.
+
+Two constraint solvers share the constraint generator:
+
+- :class:`DeltaSolver` (the default) is the scalable engine: points-to
+  sets are interned integer bitsets, each worklist pop propagates only
+  the node's *delta* (facts added since it was last processed), and
+  copy-edge cycles are collapsed online onto a union-find
+  representative via lazy cycle detection.
+- :class:`ReferenceSolver` (``use_reference=True``) is the original
+  naive worklist that re-propagates full points-to sets; it is kept as
+  the differential-testing oracle.
+
+Both produce bit-for-bit identical :class:`PointerResult` contents
+(SCC representatives are expanded back to their members before results
+are built) and both report their work through
+:class:`~repro.analysis.solverstats.SolverStats`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.ir import instructions as ins
 from repro.ir.function import Function
@@ -33,8 +59,16 @@ from repro.analysis.memobjects import (
     function_object,
     global_object,
 )
+from repro.analysis.solverstats import SolverStats
 
 Node = Union[PVar, MemLoc]
+
+try:  # int.bit_count is 3.10+; the fallback keeps 3.9 working.
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover
+
+    def _popcount(bits: int) -> int:
+        return bin(bits).count("1")
 
 
 class PointerResult:
@@ -47,6 +81,8 @@ class PointerResult:
         global_objects / function_objects: By name.
         call_targets: Resolved callee function names per call uid.
         wrappers: Names of the detected allocation wrapper functions.
+        solver_stats: Work counters and phase timings of the solver
+            run(s) that produced this result.
     """
 
     def __init__(self) -> None:
@@ -58,6 +94,7 @@ class PointerResult:
         self.wrappers: Set[str] = set()
         #: clone namespace -> base function name (heap cloning)
         self.clone_base: Dict[str, str] = {}
+        self.solver_stats: Optional[SolverStats] = None
 
     def pts_of(self, node: Node) -> FrozenSet[MemLoc]:
         return frozenset(self.pts.get(node, ()))
@@ -90,53 +127,114 @@ class PointerResult:
 
 
 def analyze_pointers(
-    module: Module, heap_cloning: bool = True
+    module: Module,
+    heap_cloning: bool = True,
+    use_reference: bool = False,
 ) -> PointerResult:
     """Run Andersen's analysis on ``module``.
 
     With ``heap_cloning`` enabled (the paper's configuration), allocation
     wrappers are detected with a context-insensitive pre-pass and the
     analysis is re-run with their heap objects cloned per call site.
+
+    ``use_reference=True`` selects the original naive worklist solver
+    (:class:`ReferenceSolver`) instead of the scalable
+    :class:`DeltaSolver`; the results are identical — the flag exists
+    for differential testing and benchmarking.
     """
-    base = _Solver(module, wrappers=frozenset())
+    solver_cls = ReferenceSolver if use_reference else DeltaSolver
+    stats = SolverStats(solver=solver_cls.kind)
+    base = solver_cls(module, wrappers=frozenset(), stats=stats)
     base.solve()
     if not heap_cloning:
         return base.result()
-    wrappers = base.detect_wrappers()
+    with stats.phase("wrappers"):
+        wrappers = base.detect_wrappers()
     if not wrappers:
         return base.result()
-    refined = _Solver(module, wrappers=frozenset(wrappers))
+    refined = solver_cls(module, wrappers=frozenset(wrappers), stats=stats)
     refined.solve()
     result = refined.result()
     result.wrappers = set(wrappers)
     return result
 
 
-class _Solver:
-    def __init__(self, module: Module, wrappers: FrozenSet[str]) -> None:
+class _SolverBase:
+    """Constraint generation, call binding and result construction.
+
+    Subclasses supply the constraint store and the fixpoint loop via the
+    primitive hooks ``_add_pts`` / ``_add_copy`` / ``_add_load`` /
+    ``_add_store`` / ``_add_gep`` / ``_add_icall`` / ``solve`` plus the
+    result accessors ``_node_pts`` / ``_final_pts``.
+    """
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        module: Module,
+        wrappers: FrozenSet[str],
+        stats: Optional[SolverStats] = None,
+    ) -> None:
         self.module = module
         self.wrappers = wrappers
-        self.pts: Dict[Node, Set[MemLoc]] = {}
-        self.copy_edges: Dict[Node, Set[Node]] = {}
-        self.loads: Dict[Node, List[Node]] = {}
-        self.stores: Dict[Node, List[Node]] = {}
-        self.geps: Dict[Node, List[Tuple[Node, Optional[int]]]] = {}
-        self.icalls: Dict[Node, List[Tuple[int, List[Node], Optional[Node]]]] = {}
-        self.bound_icalls: Set[Tuple[int, str]] = set()
-        self.worklist: List[Node] = []
-        self.dirty: Set[Node] = set()
+        self.stats = stats if stats is not None else SolverStats(solver=self.kind)
 
         self.global_objects: Dict[str, MemObject] = {}
         self.function_objects: Dict[str, MemObject] = {}
         self.alloc_objects: Dict[int, List[MemObject]] = {}
         self.call_targets: Dict[int, Set[str]] = {}
+        #: (call uid, callee) pairs already bound through a function
+        #: pointer — the guard that keeps recursive function-pointer
+        #: cycles from re-binding (and hence re-touching) forever.
+        self.bound_icalls: Set[Tuple[int, str]] = set()
         #: clone namespace -> base function name
         self.clone_base: Dict[str, str] = {}
         #: (wrapper, callsite uid) namespaces already instantiated
         self._instantiated: Set[Tuple[str, int]] = set()
         self._recursive = _recursive_functions(module)
 
-        self._seed()
+        with self.stats.phase("constraints"):
+            self._seed()
+
+    # ------------------------------------------------------------------
+    # Primitive hooks (constraint store)
+    # ------------------------------------------------------------------
+    def _add_pts(self, node: Node, loc: MemLoc) -> None:
+        raise NotImplementedError
+
+    def _add_copy(self, src: Node, dst: Node) -> None:
+        raise NotImplementedError
+
+    def _add_load(self, ptr: Node, dst: Node) -> None:
+        raise NotImplementedError
+
+    def _add_store(self, ptr: Node, src: Node) -> None:
+        raise NotImplementedError
+
+    def _add_gep(self, base: Node, dst: Node, offset: Optional[int]) -> None:
+        raise NotImplementedError
+
+    def _add_icall(
+        self,
+        callee_node: Node,
+        call_uid: int,
+        arg_nodes: List[Optional[Node]],
+        dst_node: Optional[Node],
+    ) -> None:
+        raise NotImplementedError
+
+    def solve(self) -> None:
+        raise NotImplementedError
+
+    def _node_pts(self, node: Node) -> Set[MemLoc]:
+        """Current points-to set of ``node`` (post-solve)."""
+        raise NotImplementedError
+
+    def _final_pts(self) -> Dict[Node, Set[MemLoc]]:
+        """Per-node points-to sets with any internal sharing expanded
+        back to the original nodes."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Constraint generation
@@ -154,7 +252,9 @@ class _Solver:
     def _ret_node(self, ns: str) -> PVar:
         return PVar(ns, "<ret>")
 
-    def _alloc_object(self, instr: ins.Alloc, func: str, ctx: Optional[int]) -> MemObject:
+    def _alloc_object(
+        self, instr: ins.Alloc, func: str, ctx: Optional[int]
+    ) -> MemObject:
         suffix = f"@cs{ctx}" if ctx is not None else ""
         obj = MemObject(
             name=f"{instr.obj_name}{suffix}",
@@ -171,7 +271,9 @@ class _Solver:
             self.alloc_objects[instr.uid].append(obj)
         return obj
 
-    def _gen_function(self, function: Function, ns: str, clone_ctx: Optional[int]) -> None:
+    def _gen_function(
+        self, function: Function, ns: str, clone_ctx: Optional[int]
+    ) -> None:
         """Generate constraints for ``function`` under namespace ``ns``."""
         for instr in function.instructions():
             self._gen_instr(function, instr, ns, clone_ctx)
@@ -209,21 +311,16 @@ class _Solver:
         elif isinstance(instr, ins.Gep):
             base = node(instr.base)
             if base is not None:
-                self.geps.setdefault(base, []).append(
-                    (PVar(ns, instr.dst.name), instr.static_offset)
-                )
-                self._touch(base)
+                self._add_gep(base, PVar(ns, instr.dst.name), instr.static_offset)
         elif isinstance(instr, ins.Load):
             ptr = node(instr.ptr)
             if ptr is not None:
-                self.loads.setdefault(ptr, []).append(PVar(ns, instr.dst.name))
-                self._touch(ptr)
+                self._add_load(ptr, PVar(ns, instr.dst.name))
         elif isinstance(instr, ins.Store):
             ptr = node(instr.ptr)
             src = node(instr.value)
             if ptr is not None and src is not None:
-                self.stores.setdefault(ptr, []).append(src)
-                self._touch(ptr)
+                self._add_store(ptr, src)
         elif isinstance(instr, ins.Ret):
             value = node(instr.value) if instr.value is not None else None
             if value is not None:
@@ -240,11 +337,7 @@ class _Solver:
             self._bind_direct(call.callee, call.uid, arg_nodes, dst_node)
         else:
             callee_node = PVar(ns, call.callee.name)
-            plain_args = [a for a in arg_nodes]
-            self.icalls.setdefault(callee_node, []).append(
-                (call.uid, plain_args, dst_node)
-            )
-            self._touch(callee_node)
+            self._add_icall(callee_node, call.uid, arg_nodes, dst_node)
 
     def _bind_direct(
         self,
@@ -280,7 +373,7 @@ class _Solver:
         self,
         callee: str,
         call_uid: int,
-        arg_nodes: List[Optional[Node]],
+        arg_nodes: Iterable[Optional[Node]],
         dst_node: Optional[Node],
     ) -> None:
         """Bind a function-pointer target (no heap cloning through
@@ -289,6 +382,7 @@ class _Solver:
         if key in self.bound_icalls:
             return
         self.bound_icalls.add(key)
+        self.stats.icall_bindings += 1
         self.call_targets.setdefault(call_uid, set()).add(callee)
         target = self.module.functions[callee]
         for formal, actual in zip(target.params, arg_nodes):
@@ -296,72 +390,6 @@ class _Solver:
                 self._add_copy(actual, PVar(callee, formal))
         if dst_node is not None:
             self._add_copy(self._ret_node(callee), dst_node)
-
-    # ------------------------------------------------------------------
-    # Solving
-    # ------------------------------------------------------------------
-    def _points(self, node: Node) -> Set[MemLoc]:
-        return self.pts.setdefault(node, set())
-
-    def _touch(self, node: Node) -> None:
-        if node not in self.dirty:
-            self.dirty.add(node)
-            self.worklist.append(node)
-
-    def _add_pts(self, node: Node, loc: MemLoc) -> None:
-        if loc not in self._points(node):
-            self.pts[node].add(loc)
-            self._touch(node)
-
-    def _add_copy(self, src: Node, dst: Node) -> None:
-        edges = self.copy_edges.setdefault(src, set())
-        if dst not in edges:
-            edges.add(dst)
-            if self.pts.get(src):
-                self._touch(src)
-
-    def solve(self) -> None:
-        while self.worklist:
-            node = self.worklist.pop()
-            self.dirty.discard(node)
-            current = frozenset(self._points(node))
-            if not current:
-                continue
-            # Copy edges: pts(node) ⊆ pts(dst).
-            for dst in list(self.copy_edges.get(node, ())):
-                self._merge_into(dst, current)
-            # Gep: shifted targets.
-            for dst, offset in self.geps.get(node, ()):  # type: ignore[assignment]
-                shifted = {
-                    target
-                    for loc in current
-                    if not loc.obj.is_function
-                    for target in loc.shifted(offset)
-                }
-                self._merge_into(dst, shifted)
-            # Loads: *node -> dst.
-            for dst in self.loads.get(node, ()):
-                for loc in current:
-                    if loc.obj.is_function:
-                        continue
-                    self._add_copy(loc, dst)
-            # Stores: src -> *node.
-            for src in self.stores.get(node, ()):
-                for loc in current:
-                    if loc.obj.is_function:
-                        continue
-                    self._add_copy(src, loc)
-            # Indirect calls through node.
-            for call_uid, args, dst in self.icalls.get(node, ()):
-                for loc in current:
-                    if loc.obj.is_function and loc.obj.func in self.module.functions:
-                        self._bind_indirect(loc.obj.func, call_uid, args, dst)
-
-    def _merge_into(self, dst: Node, locs: "frozenset[MemLoc] | set[MemLoc]") -> None:
-        target = self._points(dst)
-        if not locs <= target:
-            target.update(locs)
-            self._touch(dst)
 
     # ------------------------------------------------------------------
     # Results
@@ -373,38 +401,47 @@ class _Solver:
         for name, function in self.module.functions.items():
             if name in self._recursive or name == "main":
                 continue
-            ret_pts = self.pts.get(self._ret_node(name), set())
-            for loc in ret_pts:
+            for loc in self._node_pts(self._ret_node(name)):
                 if loc.obj.kind == HEAP and loc.obj.func == name:
                     wrappers.add(name)
                     break
         return wrappers
 
     def result(self) -> PointerResult:
-        result = PointerResult()
-        result.global_objects = dict(self.global_objects)
-        result.function_objects = dict(self.function_objects)
-        stale = self._stale_base_objects()
-        result.alloc_objects = {
-            uid: [o for o in objs if o not in stale]
-            for uid, objs in self.alloc_objects.items()
-        }
-        result.call_targets = {
-            uid: set(t) for uid, t in self.call_targets.items()
-        }
-        result.clone_base = dict(self.clone_base)
-        merged: Dict[Node, Set[MemLoc]] = {}
-        for node, locs in self.pts.items():
-            locs = {loc for loc in locs if loc.obj not in stale}
-            if not locs:
-                continue
-            target = node
-            if isinstance(node, PVar) and node.func in self.clone_base:
-                target = PVar(self.clone_base[node.func], node.name)
-            merged.setdefault(target, set()).update(locs)
-            if target != node:
-                merged.setdefault(node, set()).update(locs)
-        result.pts = merged
+        with self.stats.phase("finalize"):
+            result = PointerResult()
+            result.global_objects = dict(self.global_objects)
+            result.function_objects = dict(self.function_objects)
+            stale = self._stale_base_objects()
+            result.alloc_objects = {
+                uid: [o for o in objs if o not in stale]
+                for uid, objs in self.alloc_objects.items()
+            }
+            result.call_targets = {
+                uid: set(t) for uid, t in self.call_targets.items()
+            }
+            result.clone_base = dict(self.clone_base)
+            merged: Dict[Node, Set[MemLoc]] = {}
+            final = self._final_pts()
+            # Nodes of one collapsed SCC share a single set object;
+            # filter each distinct object once.  The ids are stable
+            # because ``final`` keeps every set alive for the loop.
+            filtered: Dict[int, Set[MemLoc]] = {}
+            for node, raw in final.items():
+                locs = filtered.get(id(raw))
+                if locs is None:
+                    locs = {loc for loc in raw if loc.obj not in stale}
+                    filtered[id(raw)] = locs
+                if not locs:
+                    continue
+                target = node
+                if isinstance(node, PVar) and node.func in self.clone_base:
+                    target = PVar(self.clone_base[node.func], node.name)
+                merged.setdefault(target, set()).update(locs)
+                if target != node:
+                    merged.setdefault(node, set()).update(locs)
+            result.pts = merged
+            result.solver_stats = self.stats
         return result
 
     def _stale_base_objects(self) -> Set[MemObject]:
@@ -432,6 +469,662 @@ class _Solver:
                     if obj.func == wrapper and obj.context is None:
                         stale.add(obj)
         return stale
+
+
+class ReferenceSolver(_SolverBase):
+    """The original naive worklist solver (the differential oracle).
+
+    Every pop re-propagates the node's *entire* points-to set across all
+    of its copy / gep / load / store / icall edges; copy cycles are
+    re-iterated until fixpoint instead of being collapsed.  Kept
+    intentionally simple — its whole value is being obviously correct.
+    """
+
+    kind = "reference"
+
+    def __init__(
+        self,
+        module: Module,
+        wrappers: FrozenSet[str],
+        stats: Optional[SolverStats] = None,
+    ) -> None:
+        self.pts: Dict[Node, Set[MemLoc]] = {}
+        self.copy_edges: Dict[Node, Set[Node]] = {}
+        self.loads: Dict[Node, List[Node]] = {}
+        self.stores: Dict[Node, List[Node]] = {}
+        self.geps: Dict[Node, List[Tuple[Node, Optional[int]]]] = {}
+        self.icalls: Dict[
+            Node, List[Tuple[int, List[Optional[Node]], Optional[Node]]]
+        ] = {}
+        self.worklist: List[Node] = []
+        self.dirty: Set[Node] = set()
+        super().__init__(module, wrappers, stats)
+
+    # -- constraint store ----------------------------------------------
+    def _points(self, node: Node) -> Set[MemLoc]:
+        return self.pts.setdefault(node, set())
+
+    def _touch(self, node: Node) -> None:
+        if node not in self.dirty:
+            self.dirty.add(node)
+            self.worklist.append(node)
+            self.stats.note_worklist(len(self.worklist))
+
+    def _add_pts(self, node: Node, loc: MemLoc) -> None:
+        if loc not in self._points(node):
+            self.pts[node].add(loc)
+            self._touch(node)
+
+    def _add_copy(self, src: Node, dst: Node) -> None:
+        edges = self.copy_edges.setdefault(src, set())
+        if dst not in edges:
+            edges.add(dst)
+            self.stats.copy_edges += 1
+            if self.pts.get(src):
+                self._touch(src)
+
+    def _add_load(self, ptr: Node, dst: Node) -> None:
+        self.loads.setdefault(ptr, []).append(dst)
+        self._touch(ptr)
+
+    def _add_store(self, ptr: Node, src: Node) -> None:
+        self.stores.setdefault(ptr, []).append(src)
+        self._touch(ptr)
+
+    def _add_gep(self, base: Node, dst: Node, offset: Optional[int]) -> None:
+        self.geps.setdefault(base, []).append((dst, offset))
+        self._touch(base)
+
+    def _add_icall(
+        self,
+        callee_node: Node,
+        call_uid: int,
+        arg_nodes: List[Optional[Node]],
+        dst_node: Optional[Node],
+    ) -> None:
+        self.icalls.setdefault(callee_node, []).append(
+            (call_uid, arg_nodes, dst_node)
+        )
+        self._touch(callee_node)
+
+    # -- fixpoint ------------------------------------------------------
+    def solve(self) -> None:
+        self.stats.solve_passes += 1
+        with self.stats.phase("solve"):
+            self._run()
+
+    def _run(self) -> None:
+        while self.worklist:
+            node = self.worklist.pop()
+            self.dirty.discard(node)
+            current = frozenset(self._points(node))
+            if not current:
+                continue
+            self.stats.pops += 1
+            # Copy edges: pts(node) ⊆ pts(dst).
+            for dst in list(self.copy_edges.get(node, ())):
+                self._merge_into(dst, current)
+            # Gep: shifted targets.
+            for dst, offset in self.geps.get(node, ()):
+                shifted = {
+                    target
+                    for loc in current
+                    if not loc.obj.is_function
+                    for target in loc.shifted(offset)
+                }
+                self._merge_into(dst, shifted)
+            # Loads: *node -> dst.
+            for dst in self.loads.get(node, ()):
+                for loc in current:
+                    if loc.obj.is_function:
+                        continue
+                    self._add_copy(loc, dst)
+            # Stores: src -> *node.
+            for src in self.stores.get(node, ()):
+                for loc in current:
+                    if loc.obj.is_function:
+                        continue
+                    self._add_copy(src, loc)
+            # Indirect calls through node.
+            for call_uid, args, dst in self.icalls.get(node, ()):
+                for loc in current:
+                    if (
+                        loc.obj.is_function
+                        and loc.obj.func in self.module.functions
+                        and (call_uid, loc.obj.func) not in self.bound_icalls
+                    ):
+                        self._bind_indirect(loc.obj.func, call_uid, args, dst)
+
+    def _merge_into(
+        self, dst: Node, locs: "frozenset[MemLoc] | set[MemLoc]"
+    ) -> None:
+        if not locs:
+            return
+        self.stats.facts_propagated += len(locs)
+        target = self._points(dst)
+        if not locs <= target:
+            added = len(locs - target)
+            target.update(locs)
+            self.stats.facts_added += added
+            self._touch(dst)
+
+    # -- results -------------------------------------------------------
+    def _node_pts(self, node: Node) -> Set[MemLoc]:
+        return self.pts.get(node, set())
+
+    def _final_pts(self) -> Dict[Node, Set[MemLoc]]:
+        return self.pts
+
+
+class DeltaSolver(_SolverBase):
+    """Scalable solver: difference propagation over interned bitsets
+    with online copy-cycle collapsing.
+
+    Representation
+        Every :class:`MemLoc` is interned to an integer bit index, so a
+        points-to set is a Python int used as a bitset and set algebra
+        (union, difference, subset) is machine-word arithmetic.  Every
+        graph node (PVar or MemLoc) is likewise interned to a dense
+        integer id; all solver-core state (bitsets, deltas, union-find
+        parents, edge tables) lives in lists indexed by node id, so the
+        hot loops never hash a dataclass.
+
+    Difference propagation
+        ``_bits[n]`` is the full set, ``_delta[n]`` the subset not yet
+        pushed along ``n``'s outgoing edges.  A pop propagates only the
+        delta; a *new* edge immediately receives the source's full set
+        once, preserving the invariant that processed facts have crossed
+        every edge that existed when they were processed.
+
+    Online cycle elimination
+        When pushing a delta along a copy edge changes nothing and both
+        endpoints' sets are equal, the edge is suspected to close a
+        cycle (lazy cycle detection, Hardekopf & Lin style; each edge
+        triggers at most once).  A Tarjan sweep over the copy graph
+        collapses every multi-node SCC onto a union-find
+        representative, redirecting the copy / load / store / gep /
+        icall edge tables through ``_find``.
+    """
+
+    kind = "delta"
+
+    _LCD_BASE_THRESHOLD = 16
+    _LCD_MAX_THRESHOLD = 4096
+
+    def __init__(
+        self,
+        module: Module,
+        wrappers: FrozenSet[str],
+        stats: Optional[SolverStats] = None,
+    ) -> None:
+        #: interning: MemLoc <-> bit index
+        self._locs: List[MemLoc] = []
+        self._loc_ids: Dict[MemLoc, int] = {}
+        self._loc_nids: List[int] = []  #: bit index -> node id (lazy)
+        self._func_mask = 0
+        #: interning: graph node <-> dense node id.  Everything below is
+        #: a list indexed by node id.
+        self._nodes: List[Node] = []
+        self._node_ids: Dict[Node, int] = {}
+        self._parent: List[int] = []  #: union-find forest
+        self._bits: List[int] = []  #: full points-to bitset
+        self._delta: List[int] = []  #: unpropagated subset of _bits
+        self._copy_out: List[Optional[Set[int]]] = []
+        self._loads: List[Optional[Set[int]]] = []
+        self._stores: List[Optional[Set[int]]] = []
+        self._geps: List[Optional[Set[Tuple[int, Optional[int]]]]] = []
+        #: entries are (call uid, arg node ids with -1 for None, dst
+        #: node id or -1)
+        self._icalls: List[Optional[Set[Tuple[int, Tuple[int, ...], int]]]] = []
+        #: copy edges already considered by lazy cycle detection, packed
+        #: as (src_rep << 32) | dst_rep
+        self._checked_edges: Set[int] = set()
+        #: source nodes of suspicious no-op edges seen since the last
+        #: cycle sweep; a sweep is batched until enough accumulate
+        #: (exponential back-off when a sweep finds nothing to collapse
+        #: keeps the total sweep cost linear in practice) and is rooted
+        #: at the suspects only — any copy cycle through a suspect edge
+        #: is reachable from that edge's source
+        self._lcd_suspects: List[int] = []
+        self._lcd_threshold = self._LCD_BASE_THRESHOLD
+        self.worklist: List[int] = []
+        self.dirty: Set[int] = set()
+        super().__init__(module, wrappers, stats)
+
+    # -- interning -----------------------------------------------------
+    def _nid(self, node: Node) -> int:
+        nid = self._node_ids.get(node)
+        if nid is None:
+            nid = len(self._nodes)
+            self._node_ids[node] = nid
+            self._nodes.append(node)
+            self._parent.append(nid)
+            self._bits.append(0)
+            self._delta.append(0)
+            self._copy_out.append(None)
+            self._loads.append(None)
+            self._stores.append(None)
+            self._geps.append(None)
+            self._icalls.append(None)
+        return nid
+
+    def _lid(self, loc: MemLoc) -> int:
+        lid = self._loc_ids.get(loc)
+        if lid is None:
+            lid = len(self._locs)
+            self._loc_ids[loc] = lid
+            self._locs.append(loc)
+            self._loc_nids.append(-1)
+            if loc.obj.is_function:
+                self._func_mask |= 1 << lid
+        return lid
+
+    def _loc_node(self, lid: int) -> int:
+        """Node id of the MemLoc with bit index ``lid``."""
+        nid = self._loc_nids[lid]
+        if nid < 0:
+            nid = self._nid(self._locs[lid])
+            self._loc_nids[lid] = nid
+        return nid
+
+    def _iter_lids(self, bits: int) -> Iterator[int]:
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def _iter_locs(self, bits: int) -> Iterator[MemLoc]:
+        locs = self._locs
+        while bits:
+            low = bits & -bits
+            yield locs[low.bit_length() - 1]
+            bits ^= low
+
+    def _shift_bits(self, bits: int, offset: Optional[int]) -> int:
+        shifted = 0
+        for loc in self._iter_locs(bits):
+            for target in loc.shifted(offset):
+                shifted |= 1 << self._lid(target)
+        return shifted
+
+    # -- union-find ----------------------------------------------------
+    def _find(self, nid: int) -> int:
+        parent = self._parent
+        root = parent[nid]
+        if root == nid:
+            return nid
+        while parent[root] != root:
+            root = parent[root]
+        while parent[nid] != root:
+            parent[nid], nid = root, parent[nid]
+        return root
+
+    # -- constraint store ----------------------------------------------
+    def _touch(self, rep: int) -> None:
+        if rep not in self.dirty:
+            self.dirty.add(rep)
+            self.worklist.append(rep)
+            self.stats.note_worklist(len(self.worklist))
+
+    def _processed(self, rep: int) -> int:
+        """Facts of ``rep`` already pushed along its existing edges —
+        what a newly added edge must catch up on."""
+        return self._bits[rep] & ~self._delta[rep]
+
+    def _add_pts(self, node: Node, loc: MemLoc) -> None:
+        rep = self._find(self._nid(node))
+        bit = 1 << self._lid(loc)
+        if not self._bits[rep] & bit:
+            self._bits[rep] |= bit
+            self._delta[rep] |= bit
+            self.stats.facts_added += 1
+            self._touch(rep)
+
+    def _offer(self, dst: int, bits: int) -> bool:
+        """Push ``bits`` into ``dst``'s set; True if anything was new."""
+        if not bits:
+            return False
+        rep = self._find(dst)
+        self.stats.facts_propagated += _popcount(bits)
+        cur = self._bits[rep]
+        new = bits & ~cur
+        if not new:
+            return False
+        self._bits[rep] = cur | new
+        self._delta[rep] |= new
+        self.stats.facts_added += _popcount(new)
+        self._touch(rep)
+        return True
+
+    def _copy_ids(self, src: int, dst: int) -> None:
+        s, d = self._find(src), self._find(dst)
+        if s == d:
+            return
+        out = self._copy_out[s]
+        if out is None:
+            out = self._copy_out[s] = set()
+        elif d in out:
+            return
+        out.add(d)
+        self.stats.copy_edges += 1
+        # A new edge must catch up on the facts the source has already
+        # propagated; the unprocessed delta crosses it at the next pop.
+        bits = self._bits[s] & ~self._delta[s]
+        if bits:
+            self._offer(d, bits)
+
+    def _add_copy(self, src: Node, dst: Node) -> None:
+        self._copy_ids(self._nid(src), self._nid(dst))
+
+    def _add_load(self, ptr: Node, dst: Node) -> None:
+        rep = self._find(self._nid(ptr))
+        dst_id = self._nid(dst)
+        dsts = self._loads[rep]
+        if dsts is None:
+            dsts = self._loads[rep] = set()
+        elif dst_id in dsts:
+            return
+        dsts.add(dst_id)
+        for lid in self._iter_lids(self._processed(rep) & ~self._func_mask):
+            self._copy_ids(self._loc_node(lid), dst_id)
+
+    def _add_store(self, ptr: Node, src: Node) -> None:
+        rep = self._find(self._nid(ptr))
+        src_id = self._nid(src)
+        srcs = self._stores[rep]
+        if srcs is None:
+            srcs = self._stores[rep] = set()
+        elif src_id in srcs:
+            return
+        srcs.add(src_id)
+        for lid in self._iter_lids(self._processed(rep) & ~self._func_mask):
+            self._copy_ids(src_id, self._loc_node(lid))
+
+    def _add_gep(self, base: Node, dst: Node, offset: Optional[int]) -> None:
+        rep = self._find(self._nid(base))
+        dst_id = self._nid(dst)
+        entry = (dst_id, offset)
+        entries = self._geps[rep]
+        if entries is None:
+            entries = self._geps[rep] = set()
+        elif entry in entries:
+            return
+        entries.add(entry)
+        bits = self._processed(rep) & ~self._func_mask
+        if bits:
+            self._offer(dst_id, self._shift_bits(bits, offset))
+
+    def _add_icall(
+        self,
+        callee_node: Node,
+        call_uid: int,
+        arg_nodes: List[Optional[Node]],
+        dst_node: Optional[Node],
+    ) -> None:
+        rep = self._find(self._nid(callee_node))
+        args = tuple(-1 if a is None else self._nid(a) for a in arg_nodes)
+        dst_id = -1 if dst_node is None else self._nid(dst_node)
+        entry = (call_uid, args, dst_id)
+        entries = self._icalls[rep]
+        if entries is None:
+            entries = self._icalls[rep] = set()
+        elif entry in entries:
+            return
+        entries.add(entry)
+        locs = self._locs
+        for lid in self._iter_lids(self._processed(rep) & self._func_mask):
+            name = locs[lid].obj.func
+            if (
+                name in self.module.functions
+                and (call_uid, name) not in self.bound_icalls
+            ):
+                self._bind_icall_ids(name, call_uid, args, dst_id)
+
+    def _bind_icall_ids(
+        self, name: str, call_uid: int, args: Tuple[int, ...], dst_id: int
+    ) -> None:
+        nodes = self._nodes
+        self._bind_indirect(
+            name,
+            call_uid,
+            [nodes[a] if a >= 0 else None for a in args],
+            nodes[dst_id] if dst_id >= 0 else None,
+        )
+
+    # -- fixpoint ------------------------------------------------------
+    def solve(self) -> None:
+        self.stats.solve_passes += 1
+        with self.stats.phase("solve"):
+            self._run()
+
+    def _run(self) -> None:
+        worklist = self.worklist
+        dirty = self.dirty
+        delta_of = self._delta
+        while worklist:
+            rep = self._find(worklist.pop())
+            if rep not in dirty:
+                continue
+            dirty.discard(rep)
+            delta = delta_of[rep]
+            if not delta:
+                continue
+            delta_of[rep] = 0
+            self.stats.pops += 1
+            self._propagate(rep, delta)
+
+    def _propagate(self, rep: int, delta: int) -> None:
+        # Copy edges: pts(rep) ⊆ pts(dst), pushing only the delta.
+        out = self._copy_out[rep]
+        if out:
+            find = self._find
+            bits_of = self._bits
+            checked = self._checked_edges
+            seen: Set[int] = set()
+            for raw in list(out):
+                dst = find(raw)
+                if dst == rep or dst in seen:
+                    continue
+                seen.add(dst)
+                if self._offer(dst, delta):
+                    continue
+                key = (rep << 32) | dst
+                if key in checked:
+                    continue
+                checked.add(key)
+                if bits_of[dst] == bits_of[rep]:
+                    # No-op push between equal sets: suspected cycle.
+                    self._lcd_suspects.append(rep)
+                    if len(self._lcd_suspects) < self._lcd_threshold:
+                        continue
+                    self._collapse_cycles()
+                    new_rep = find(rep)
+                    if new_rep != rep:
+                        # This node was folded away mid-pop; hand the
+                        # remaining delta to the representative (the
+                        # re-push below is idempotent).
+                        self._delta[new_rep] |= delta
+                        self._touch(new_rep)
+                        return
+        data = delta & ~self._func_mask
+        if data:
+            geps = self._geps[rep]
+            if geps:
+                for dst, offset in list(geps):
+                    self._offer(dst, self._shift_bits(data, offset))
+            lds = self._loads[rep]
+            if lds:
+                for lid in self._iter_lids(data):
+                    loc_id = self._loc_node(lid)
+                    for dst in list(lds):
+                        self._copy_ids(loc_id, dst)
+            sts = self._stores[rep]
+            if sts:
+                for lid in self._iter_lids(data):
+                    loc_id = self._loc_node(lid)
+                    for src in list(sts):
+                        self._copy_ids(src, loc_id)
+        fbits = delta & self._func_mask
+        if fbits:
+            ics = self._icalls[rep]
+            if ics:
+                locs = self._locs
+                for lid in self._iter_lids(fbits):
+                    name = locs[lid].obj.func
+                    if name not in self.module.functions:
+                        continue
+                    for call_uid, args, dst_id in list(ics):
+                        if (call_uid, name) not in self.bound_icalls:
+                            self._bind_icall_ids(name, call_uid, args, dst_id)
+
+    # -- cycle elimination ---------------------------------------------
+    def _collapse_cycles(self) -> None:
+        """One Tarjan sweep over the copy subgraph reachable from the
+        pending suspects; collapse every multi-node SCC found.  Sweeps
+        are batched: this runs only after ``_lcd_threshold`` suspicious
+        edges accumulated, and a fruitless sweep doubles the threshold
+        so total sweep cost stays near linear even on cycle-free
+        graphs."""
+        self.stats.lcd_triggers += 1
+        find = self._find
+        copy_out = self._copy_out
+        total = len(self._nodes)
+        index = [-1] * total
+        low = [0] * total
+        on_stack = bytearray(total)
+        scc_stack: List[int] = []
+        components: List[List[int]] = []
+        counter = 0
+
+        def successors(node: int) -> List[int]:
+            out = copy_out[node]
+            if not out:
+                return []
+            reps = {find(raw) for raw in out}
+            reps.discard(node)
+            return list(reps)
+
+        roots = {find(node) for node in self._lcd_suspects}
+        for start in roots:
+            if index[start] >= 0:
+                continue
+            index[start] = low[start] = counter
+            counter += 1
+            scc_stack.append(start)
+            on_stack[start] = 1
+            frames: List[Tuple[int, Iterator[int]]] = [
+                (start, iter(successors(start)))
+            ]
+            while frames:
+                node, succ = frames[-1]
+                advanced = False
+                for nxt in succ:
+                    if index[nxt] < 0:
+                        index[nxt] = low[nxt] = counter
+                        counter += 1
+                        scc_stack.append(nxt)
+                        on_stack[nxt] = 1
+                        frames.append((nxt, iter(successors(nxt))))
+                        advanced = True
+                        break
+                    if on_stack[nxt] and index[nxt] < low[node]:
+                        low[node] = index[nxt]
+                if advanced:
+                    continue
+                frames.pop()
+                if frames:
+                    parent = frames[-1][0]
+                    if low[node] < low[parent]:
+                        low[parent] = low[node]
+                if low[node] == index[node]:
+                    component: List[int] = []
+                    while True:
+                        member = scc_stack.pop()
+                        on_stack[member] = 0
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        components.append(component)
+        for component in components:
+            self._collapse(component)
+        self._lcd_suspects.clear()
+        if components:
+            self._lcd_threshold = self._LCD_BASE_THRESHOLD
+        else:
+            self._lcd_threshold = min(
+                self._lcd_threshold * 2, self._LCD_MAX_THRESHOLD
+            )
+
+    def _collapse(self, members: List[int]) -> None:
+        """Merge an SCC onto one representative."""
+        reps: List[int] = []
+        seen: Set[int] = set()
+        for member in members:
+            rep = self._find(member)
+            if rep not in seen:
+                seen.add(rep)
+                reps.append(rep)
+        if len(reps) < 2:
+            return
+        rep = reps[0]
+        union_bits = 0
+        processed_all = -1  # intersection of each member's processed set
+        for member in reps:
+            bits = self._bits[member]
+            union_bits |= bits
+            processed_all &= bits & ~self._delta[member]
+        tables = (
+            self._copy_out,
+            self._loads,
+            self._stores,
+            self._geps,
+            self._icalls,
+        )
+        for member in reps[1:]:
+            self._parent[member] = rep
+            for table in tables:
+                moved = table[member]
+                if moved:
+                    target = table[rep]
+                    if target is None:
+                        table[rep] = moved
+                    else:
+                        target.update(moved)
+                table[member] = None
+            self._bits[member] = 0
+            self._delta[member] = 0
+            self.dirty.discard(member)
+        self._bits[rep] = union_bits
+        # A fact needs (re-)propagation from the representative unless
+        # every member had already pushed it along its own edges.
+        pending = union_bits & ~processed_all
+        self._delta[rep] = pending
+        if pending:
+            self._touch(rep)
+        self.stats.sccs_collapsed += 1
+        self.stats.scc_nodes_merged += len(reps) - 1
+
+    # -- results -------------------------------------------------------
+    def _node_pts(self, node: Node) -> Set[MemLoc]:
+        nid = self._node_ids.get(node)
+        if nid is None:
+            return set()
+        return set(self._iter_locs(self._bits[self._find(nid)]))
+
+    def _final_pts(self) -> Dict[Node, Set[MemLoc]]:
+        expanded: Dict[Node, Set[MemLoc]] = {}
+        cache: Dict[int, Set[MemLoc]] = {}
+        nodes = self._nodes
+        for nid, node in enumerate(nodes):
+            rep = self._find(nid)
+            locs = cache.get(rep)
+            if locs is None:
+                locs = set(self._iter_locs(self._bits[rep]))
+                cache[rep] = locs
+            if locs:
+                expanded[node] = locs
+        return expanded
 
 
 def _recursive_functions(module: Module) -> Set[str]:

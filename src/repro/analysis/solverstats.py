@@ -1,0 +1,147 @@
+"""Observability for the Andersen constraint solver.
+
+:class:`SolverStats` counts the work the solver actually performs —
+worklist pops, facts offered along edges, novel facts inserted, SCCs
+collapsed by online cycle elimination — and records wall time per
+phase.  One instance is threaded through every solver pass of a single
+:func:`repro.analysis.andersen.analyze_pointers` call (the wrapper
+pre-pass and the heap-cloned re-run accumulate into the same object)
+and is surfaced on :class:`~repro.analysis.andersen.PointerResult`, the
+harness report and the ``repro`` CLI.
+
+The distinction between *propagated* and *added* facts is the whole
+story of difference propagation: a naive solver re-offers a node's full
+points-to set on every pop, so ``facts_propagated`` dwarfs
+``facts_added``; the delta solver offers each fact along each edge
+once, so the two counters stay within a small factor of each other.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class SolverStats:
+    """Work counters and phase timings for one pointer-analysis run.
+
+    Attributes:
+        solver: ``"delta"`` or ``"reference"``.
+        solve_passes: Number of ``solve()`` fixpoints run (2 with heap
+            cloning: the wrapper-detection pre-pass plus the re-run).
+        pops: Worklist pops that did propagation work.
+        facts_propagated: Facts offered along constraint edges (the
+            solver's raw propagation volume — the figure difference
+            propagation shrinks).
+        facts_added: Facts newly inserted into a points-to set.
+        copy_edges: Distinct copy edges added to the constraint graph.
+        icall_bindings: Distinct (call site, callee) pairs bound for
+            indirect calls.
+        lcd_triggers: Lazy-cycle-detection sweeps started.
+        sccs_collapsed: Copy-edge SCCs collapsed onto a representative.
+        scc_nodes_merged: Total nodes folded into representatives.
+        peak_worklist: High-water mark of the worklist.
+        phase_seconds: Wall time per phase (``constraints``, ``solve``,
+            ``wrappers``, ``finalize``), accumulated across passes.
+    """
+
+    solver: str = "delta"
+    solve_passes: int = 0
+    pops: int = 0
+    facts_propagated: int = 0
+    facts_added: int = 0
+    copy_edges: int = 0
+    icall_bindings: int = 0
+    lcd_triggers: int = 0
+    sccs_collapsed: int = 0
+    scc_nodes_merged: int = 0
+    peak_worklist: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate wall time of the enclosed block under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + (
+                time.perf_counter() - started
+            )
+
+    def note_worklist(self, size: int) -> None:
+        if size > self.peak_worklist:
+            self.peak_worklist = size
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (used by the benchmark trajectory)."""
+        return {
+            "solver": self.solver,
+            "solve_passes": self.solve_passes,
+            "pops": self.pops,
+            "facts_propagated": self.facts_propagated,
+            "facts_added": self.facts_added,
+            "copy_edges": self.copy_edges,
+            "icall_bindings": self.icall_bindings,
+            "lcd_triggers": self.lcd_triggers,
+            "sccs_collapsed": self.sccs_collapsed,
+            "scc_nodes_merged": self.scc_nodes_merged,
+            "peak_worklist": self.peak_worklist,
+            "phase_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.phase_seconds.items())
+            },
+            "total_seconds": round(self.total_seconds, 6),
+        }
+
+    def merge(self, other: "SolverStats") -> None:
+        """Fold ``other``'s counters into this instance."""
+        self.solve_passes += other.solve_passes
+        self.pops += other.pops
+        self.facts_propagated += other.facts_propagated
+        self.facts_added += other.facts_added
+        self.copy_edges += other.copy_edges
+        self.icall_bindings += other.icall_bindings
+        self.lcd_triggers += other.lcd_triggers
+        self.sccs_collapsed += other.sccs_collapsed
+        self.scc_nodes_merged += other.scc_nodes_merged
+        self.peak_worklist = max(self.peak_worklist, other.peak_worklist)
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = (
+                self.phase_seconds.get(name, 0.0) + seconds
+            )
+
+    def format_summary(self) -> str:
+        """Multi-line human-readable profile (CLI / harness report)."""
+        lines = [
+            f"solver profile ({self.solver}, "
+            f"{self.solve_passes} solve pass(es)):",
+            f"  pops              {self.pops:>10d}",
+            f"  facts propagated  {self.facts_propagated:>10d}",
+            f"  facts added       {self.facts_added:>10d}",
+            f"  copy edges        {self.copy_edges:>10d}",
+            f"  icall bindings    {self.icall_bindings:>10d}",
+            f"  SCCs collapsed    {self.sccs_collapsed:>10d} "
+            f"({self.scc_nodes_merged} nodes merged, "
+            f"{self.lcd_triggers} LCD sweeps)",
+            f"  peak worklist     {self.peak_worklist:>10d}",
+        ]
+        for name in ("constraints", "solve", "wrappers", "finalize"):
+            if name in self.phase_seconds:
+                lines.append(
+                    f"  {name + ' time':<18s}{self.phase_seconds[name]:>9.4f}s"
+                )
+        for name in sorted(self.phase_seconds):
+            if name not in ("constraints", "solve", "wrappers", "finalize"):
+                lines.append(
+                    f"  {name + ' time':<18s}{self.phase_seconds[name]:>9.4f}s"
+                )
+        lines.append(f"  total time        {self.total_seconds:>9.4f}s")
+        return "\n".join(lines)

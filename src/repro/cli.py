@@ -46,6 +46,11 @@ def cmd_check(args: argparse.Namespace) -> int:
         source, args.file, level=args.level, configs=[args.config]
     )
     plan = analysis.plans[args.config]
+    if args.solver_stats:
+        stats = analysis.prepared.solver_stats
+        if stats is not None:
+            print(stats.format_summary())
+            print()
     if args.show_plan:
         print(f"instrumentation plan ({plan.describe()}):")
         by_uid = analysis.module.instr_by_uid()
@@ -195,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--config", default="usher", choices=list(CONFIG_ORDER))
     check.add_argument("--level", default="O0+IM", choices=list(OPT_LEVELS))
     check.add_argument("--show-plan", action="store_true")
+    check.add_argument("--solver-stats", action="store_true",
+                       help="print the constraint-solver work profile "
+                            "(pops, propagated facts, collapsed SCCs, "
+                            "phase timings)")
     check.add_argument("--explain", action="store_true",
                        help="trace each warning's undefined value back "
                             "to its origin")
@@ -235,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sections",
         nargs="*",
         choices=["table1", "figure10", "figure11", "opt_levels",
-                 "ablation", "warner", "extension"],
+                 "ablation", "warner", "extension", "solver"],
         default=None,
     )
     report.set_defaults(func=cmd_report)

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.ir.module import Module
 from repro.analysis.andersen import PointerResult, analyze_pointers
+from repro.analysis.solverstats import SolverStats
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.modref import ModRefResult
 from repro.core.instrument import GuidedStats, build_guided_plan
@@ -120,6 +121,11 @@ class PreparedModule:
     modref: ModRefResult
     prepare_seconds: float
 
+    @property
+    def solver_stats(self) -> Optional[SolverStats]:
+        """Constraint-solver profile of the pointer-analysis phase."""
+        return self.pointers.solver_stats
+
 
 @dataclass
 class UsherResult:
@@ -142,10 +148,21 @@ class UsherResult:
         return self.plan.count_checks()
 
 
-def prepare_module(module: Module, heap_cloning: bool = True) -> PreparedModule:
-    """Run pointer analysis, mod/ref and memory-SSA construction."""
+def prepare_module(
+    module: Module,
+    heap_cloning: bool = True,
+    use_reference_solver: bool = False,
+) -> PreparedModule:
+    """Run pointer analysis, mod/ref and memory-SSA construction.
+
+    ``use_reference_solver`` swaps in the naive
+    :class:`~repro.analysis.andersen.ReferenceSolver` (the escape hatch
+    for differential debugging); results are identical, only slower.
+    """
     started = time.perf_counter()
-    pointers = analyze_pointers(module, heap_cloning=heap_cloning)
+    pointers = analyze_pointers(
+        module, heap_cloning=heap_cloning, use_reference=use_reference_solver
+    )
     callgraph = CallGraph(module, pointers)
     modref = ModRefResult(module, pointers, callgraph)
     build_memory_ssa(module, pointers, modref)

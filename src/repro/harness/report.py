@@ -36,7 +36,7 @@ def build_report(
 
     ``sections`` may restrict to a subset of
     ``{"table1", "figure10", "figure11", "opt_levels", "ablation",
-    "warner", "extension"}``.
+    "warner", "extension", "solver"}``.
     """
     wanted = set(
         sections
@@ -48,6 +48,7 @@ def build_report(
             "ablation",
             "warner",
             "extension",
+            "solver",
         )
     )
     started = time.perf_counter()
@@ -106,6 +107,13 @@ def build_report(
             ),
             "",
         ]
+    if "solver" in wanted:
+        parts += [
+            "## Constraint solver profile (delta vs reference)",
+            "",
+            _solver_table(scale),
+            "",
+        ]
     if "warner" in wanted:
         parts += ["## Static warner foil (§1)", "", _warner_table(scale), ""]
     if "extension" in wanted:
@@ -136,6 +144,30 @@ def _warner_table(scale: float) -> str:
             f"{w.name:14s}{report.static_warning_sites:>10d}"
             f"{report.true_bug_sites:>11d}{report.false_positive_rate:>8.0%}"
         )
+    return _block("\n".join(lines))
+
+
+def _solver_table(scale: float) -> str:
+    """Per-workload work profile of both constraint solvers."""
+    from repro.analysis.andersen import analyze_pointers
+    from repro.tinyc import compile_source
+
+    lines = [
+        f"{'benchmark':14s}{'solver':>10s}{'pops':>9s}{'facts':>10s}"
+        f"{'added':>9s}{'SCCs':>6s}{'solve(s)':>10s}"
+    ]
+    for w in WORKLOADS:
+        module = compile_source(w.source(min(scale, 0.3)), w.name)
+        for label, use_reference in (("delta", False), ("reference", True)):
+            stats = analyze_pointers(
+                module, use_reference=use_reference
+            ).solver_stats
+            lines.append(
+                f"{w.name:14s}{label:>10s}{stats.pops:>9d}"
+                f"{stats.facts_propagated:>10d}{stats.facts_added:>9d}"
+                f"{stats.sccs_collapsed:>6d}"
+                f"{stats.phase_seconds.get('solve', 0.0):>10.4f}"
+            )
     return _block("\n".join(lines))
 
 

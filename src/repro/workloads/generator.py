@@ -20,13 +20,22 @@ Guarantees by construction:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 
 @dataclass(frozen=True)
 class GeneratorParams:
-    """Shape knobs for generated programs."""
+    """Shape knobs for generated programs.
+
+    ``pointer_copy_prob`` defaults to 0.0 and — crucially — draws no
+    randomness when zero, so every historical ``(seed, params)`` pair
+    keeps producing byte-identical programs.  Turning it on adds
+    pointer *aliasing traffic* (pointer-to-pointer copies, aliased
+    re-declarations, allocation re-assignments), which is what gives
+    the constraint solver multi-site points-to sets, long copy chains
+    and — inside loops, via phi nodes — copy cycles.
+    """
 
     num_functions: int = 3
     max_stmts_per_body: int = 8
@@ -37,18 +46,28 @@ class GeneratorParams:
     call_prob: float = 0.35
     output_prob: float = 0.3
     num_globals: int = 2
+    pointer_copy_prob: float = 0.0
+    pointer_stmt_bonus: float = 0.0
 
     def scaled(self, factor: int) -> "GeneratorParams":
-        return GeneratorParams(
+        return replace(
+            self,
             num_functions=self.num_functions * factor,
-            max_stmts_per_body=self.max_stmts_per_body,
-            max_depth=self.max_depth,
-            max_loop_trip=self.max_loop_trip,
-            uninit_prob=self.uninit_prob,
-            pointer_prob=self.pointer_prob,
-            call_prob=self.call_prob,
-            output_prob=self.output_prob,
             num_globals=self.num_globals * factor,
+        )
+
+    def pointer_heavy(self) -> "GeneratorParams":
+        """A solver-stressing profile of the same program shape:
+        pointer statements dominate, aliasing traffic is on, and the
+        global hubs are few so their points-to sets grow large."""
+        return replace(
+            self,
+            max_stmts_per_body=24,
+            max_depth=3,
+            pointer_prob=0.95,
+            pointer_copy_prob=0.75,
+            pointer_stmt_bonus=0.2,
+            num_globals=min(self.num_globals, 4),
         )
 
 
@@ -61,6 +80,10 @@ class _FuncScope:
         self.params = params
         self.scalars: List[str] = list(params)
         self.pointers: List[str] = []
+        #: pointers loaded from a global hub cell — publishable (stored
+        #: back into hubs) but never dereferenced, so a path on which
+        #: the cell was unwritten cannot fault at runtime.
+        self.hub_loaded: List[str] = []
         self.counter = 0
 
     def fresh(self, hint: str) -> str:
@@ -128,11 +151,13 @@ class _Generator:
         # memory fault rather than the undefined-value defect class.
         scalars_mark = len(scope.scalars)
         pointers_mark = len(scope.pointers)
+        hub_mark = len(scope.hub_loaded)
         count = self.rng.randint(1, self.params.max_stmts_per_body)
         for _ in range(count):
             self._gen_stmt(scope, depth, callable_below)
         del scope.scalars[scalars_mark:]
         del scope.pointers[pointers_mark:]
+        del scope.hub_loaded[hub_mark:]
 
     def _gen_stmt(self, scope: _FuncScope, depth: int, callable_below: int) -> None:
         rng = self.rng
@@ -152,7 +177,10 @@ class _Generator:
             self.lines.append(
                 f"{pad}{target} = {self._expr(scope, callable_below)};"
             )
-        elif roll < 0.55 and rng.random() < self.params.pointer_prob:
+        elif (
+            roll < 0.55 + self.params.pointer_stmt_bonus
+            and rng.random() < self.params.pointer_prob
+        ):
             self._gen_pointer_stmt(scope, pad, callable_below)
         elif roll < 0.7 and depth < self.params.max_depth:
             self.lines.append(f"{pad}if ({self._expr(scope, callable_below)}) {{")
@@ -179,6 +207,48 @@ class _Generator:
 
     def _gen_pointer_stmt(self, scope: _FuncScope, pad: str, callable_below: int) -> None:
         rng = self.rng
+        # Aliasing traffic (guarded so the zero default consumes no
+        # randomness — historical seeds must stay byte-identical).
+        if (
+            self.params.pointer_copy_prob
+            and scope.pointers
+            and rng.random() < self.params.pointer_copy_prob
+        ):
+            roll = rng.random()
+            if roll < 0.2 and len(scope.pointers) >= 2:
+                dst, src = rng.sample(scope.pointers, 2)
+                self.lines.append(f"{pad}{dst} = {src};")
+            elif roll < 0.35:
+                src = rng.choice(scope.pointers)
+                ptr = scope.fresh("q")
+                scope.pointers.append(ptr)
+                self.lines.append(f"{pad}var {ptr} = {src};")
+            elif roll < 0.65 and self.globals:
+                # Publish a pointer into a global "hub" cell: hub sets
+                # grow with contributions from every function, which is
+                # what makes a naive solver re-propagate quadratically.
+                # Republishing hub-loaded pointers links hubs into
+                # load/store cycles — the food of cycle collapsing.
+                glob = rng.choice(self.globals)
+                src = rng.choice(scope.pointers + scope.hub_loaded)
+                hub = scope.fresh("hp")
+                self.lines.append(f"{pad}var {hub} = &{glob};")
+                self.lines.append(f"{pad}*{hub} = {src};")
+            elif roll < 0.9 and self.globals:
+                # Subscribe to a hub.  The loaded pointer may be
+                # republished (stored) but is never dereferenced or
+                # used in arithmetic, so execution stays fault-free
+                # even when the cell was never written on this path.
+                glob = rng.choice(self.globals)
+                hub = scope.fresh("hp")
+                got = scope.fresh("gp")
+                self.lines.append(f"{pad}var {hub} = &{glob};")
+                self.lines.append(f"{pad}var {got} = *{hub};")
+                scope.hub_loaded.append(got)
+            else:
+                dst = rng.choice(scope.pointers)
+                self.lines.append(f"{pad}{dst} = calloc({rng.randint(1, 4)});")
+            return
         if not scope.pointers or rng.random() < 0.5:
             ptr = scope.fresh("p")
             scope.pointers.append(ptr)
