@@ -8,7 +8,7 @@ whose fog is dominated by exactly the memset-by-loop idiom it targets.
 
 import pytest
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.runtime import DEFAULT_COST_MODEL
 from repro.workloads import WORKLOADS
 
@@ -27,8 +27,10 @@ EXTENSION_WORKLOADS = (
 def comparison(scale):
     rows = {}
     for w in WORKLOADS:
-        analysis = analyze_source(
-            w.source(min(scale, 0.3)), w.name, configs=["usher", "usher_ext"]
+        analysis = analyze(
+            source=w.source(min(scale, 0.3)),
+            name=w.name,
+            configs=["usher", "usher_ext"],
         )
         rows[w.name] = {
             "usher": analysis.slowdown("usher"),
@@ -83,9 +85,9 @@ class TestExtensionBenchmarks:
 
         source = workload("253.perlbmk").source(0.2)
 
-        def analyze():
-            return analyze_source(
-                source, "253.perlbmk", configs=["usher_ext"]
+        def analyze_ext():
+            return analyze(
+                source=source, name="253.perlbmk", configs=["usher_ext"]
             ).static_checks("usher_ext")
 
-        benchmark(analyze)
+        benchmark(analyze_ext)

@@ -8,7 +8,7 @@ and the 197.parser bug detected by every tool.
 
 import pytest
 
-from repro.api import CONFIG_ORDER, analyze_source
+from repro.api import CONFIG_ORDER, analyze
 from repro.harness import format_figure10
 from repro.runtime import run_instrumented
 from repro.workloads import workload
@@ -85,7 +85,7 @@ class TestFigure10Benchmarks:
     @pytest.fixture(scope="class")
     def gzip_analysis(self, scale):
         w = workload("164.gzip")
-        return analyze_source(w.source(scale), w.name)
+        return analyze(source=w.source(scale), name=w.name)
 
     def test_native_execution(self, benchmark, gzip_analysis):
         from repro.runtime import run_native

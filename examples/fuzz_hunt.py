@@ -12,7 +12,7 @@ Run:  python examples/fuzz_hunt.py [--programs 40] [--seed-base 0]
 
 import argparse
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.runtime import DEFAULT_COST_MODEL, StepLimitExceeded
 from repro.workloads import GeneratorParams, generate_program
 
@@ -30,8 +30,8 @@ def main() -> None:
 
     for seed in range(args.seed_base, args.seed_base + args.programs):
         source = generate_program(seed, params)
-        analysis = analyze_source(source, f"seed{seed}",
-                                  configs=["msan", "usher"])
+        analysis = analyze(source=source, name=f"seed{seed}",
+                           configs=["msan", "usher"])
         try:
             native = analysis.run_native()
         except StepLimitExceeded:

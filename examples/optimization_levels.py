@@ -9,7 +9,7 @@ undefined load), which is why the paper recommends O0+IM for debugging.
 Run:  python examples/optimization_levels.py
 """
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.runtime import DEFAULT_COST_MODEL
 from repro.workloads import workload
 
@@ -38,7 +38,7 @@ def sweep_workload() -> None:
     print(f"{'level':8s} {'native ops':>11s} {'msan %':>9s} {'usher %':>9s} "
           f"{'reduction':>10s}")
     for level in ("O0+IM", "O1", "O2"):
-        analysis = analyze_source(w.source(0.25), w.name, level=level)
+        analysis = analyze(source=w.source(0.25), name=w.name, level=level)
         native = analysis.run_native().native_ops
         msan = analysis.slowdown("msan")
         usher = analysis.slowdown("usher")
@@ -52,7 +52,7 @@ def hidden_bug_demo() -> None:
     from repro.ir import instructions as ins
 
     for level in ("O0+IM", "O1"):
-        analysis = analyze_source(DEAD_UNDEFINED_READ, "dead-read", level=level)
+        analysis = analyze(source=DEAD_UNDEFINED_READ, name="dead-read", level=level)
         loads = sum(
             1
             for i in analysis.module.instructions()

@@ -9,7 +9,7 @@ bug, Usher with a fraction of the shadow work.
 Run:  python examples/quickstart.py
 """
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.runtime import DEFAULT_COST_MODEL
 
 SOURCE = """
@@ -37,7 +37,7 @@ def main() {
 
 def main() -> None:
     print("Compiling and analyzing under O0+IM (the paper's setting)...")
-    analysis = analyze_source(SOURCE, "quickstart")
+    analysis = analyze(source=SOURCE, name="quickstart")
 
     native = analysis.run_native()
     print(f"native execution: {native.native_ops} ops, outputs={native.outputs}")

@@ -14,7 +14,7 @@ malloc'd arrays), and prints what each costs and reports.
 Run:  python examples/static_vs_dynamic.py
 """
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.core import static_warnings
 from repro.runtime import DEFAULT_COST_MODEL
 
@@ -49,7 +49,7 @@ def main() {
 
 
 def main() -> None:
-    analysis = analyze_source(SOURCE, "hybrid-demo")
+    analysis = analyze(source=SOURCE, name="hybrid-demo")
     prepared = analysis.prepared
     native = analysis.run_native()
     oracle = native.true_bug_set()

@@ -1,19 +1,32 @@
 """High-level convenience API tying the whole pipeline together.
 
-    from repro.api import analyze_source
+The single entry point is :func:`analyze` (keyword-only; pass either
+TinyC ``source`` or a compiled ``module``)::
 
-    analysis = analyze_source(source, level="O0+IM")
+    from repro.api import analyze
+
+    analysis = analyze(source=source, level="O0+IM")
     report = analysis.run("usher")
     print(report.warnings, analysis.slowdown("usher"))
+
+    # Demand-driven definedness queries (no whole-program resolution):
+    analysis.query(uid)          # Γ at one check site: defined?
+    analysis.explain(uid)        # how F reaches it, step by step
+    analysis.query_stats()       # what the queries actually visited
+
+``analyze_source`` / ``analyze_module`` remain as thin deprecated
+shims over :func:`analyze`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
+from repro.analysis.solverstats import QueryStats
 from repro.core import (
     InstrumentationPlan,
     PreparedModule,
@@ -32,12 +45,19 @@ from repro.runtime import (
     run_native,
 )
 from repro.tinyc import compile_source
+from repro.vfg.demand import DemandEngine
+from repro.vfg.explain import FlowStep, explain_undefined_demand
+from repro.vfg.graph import CheckSite, Node
 
 #: The analysis configurations of §4.5, in presentation order.
 CONFIG_ORDER = ("msan", "usher_tl", "usher_tl_at", "usher_opt1", "usher")
 
 #: CONFIG_ORDER plus the beyond-paper extension configuration.
 EXTENDED_CONFIG_ORDER = CONFIG_ORDER + ("usher_ext",)
+
+#: Something identifying a check site: the site itself, its VFG node,
+#: or the uid of the critical instruction.
+Site = Union[CheckSite, Node, int]
 
 
 @dataclass
@@ -49,8 +69,11 @@ class Analysis:
     plans: Dict[str, InstrumentationPlan]
     results: Dict[str, UsherResult]
     level: str
+    context_depth: int = 1
+    resolver: str = "callstring"
     _runs: Dict[str, ExecutionReport] = field(default_factory=dict)
     _native: Optional[ExecutionReport] = None
+    _engines: Dict[str, DemandEngine] = field(default_factory=dict)
     max_steps: int = 50_000_000
 
     def run_native(self) -> ExecutionReport:
@@ -75,21 +98,137 @@ class Analysis:
     def static_checks(self, config: str) -> int:
         return self.plans[config].count_checks()
 
+    # -- demand-driven queries ----------------------------------------
+    def _pick_config(self, config: Optional[str]) -> Optional[str]:
+        if config is not None:
+            return config if config in self.results else None
+        for name in EXTENDED_CONFIG_ORDER:
+            if name in self.results:
+                return name
+        return next(iter(self.results), None)
 
-def analyze_module(
-    module: Module,
+    def engine(self, config: Optional[str] = None) -> Optional[DemandEngine]:
+        """The demand engine over ``config``'s VFG (built lazily, one
+        per config, memo shared across all queries).  ``None`` when no
+        analyzed configuration is available (e.g. MSan only)."""
+        picked = self._pick_config(config)
+        if picked is None:
+            return None
+        if picked not in self._engines:
+            self._engines[picked] = DemandEngine(
+                self.results[picked].vfg,
+                context_depth=self.context_depth,
+                resolver=self.resolver,
+            )
+        return self._engines[picked]
+
+    def _site_nodes(self, site: Site, config: Optional[str]) -> List[Node]:
+        if isinstance(site, CheckSite):
+            return [site.node] if site.node is not None else []
+        if isinstance(site, int):
+            picked = self._pick_config(config)
+            if picked is None:
+                return []
+            return [
+                s.node
+                for s in self.results[picked].vfg.check_sites
+                if s.instr_uid == site and s.node is not None
+            ]
+        return [site]
+
+    def query(self, site: Site, config: Optional[str] = None) -> bool:
+        """Γ at one check site, answered demand-driven: ``True`` iff
+        every value used there is ⊤ (definitely defined).
+
+        ``site`` may be a :class:`~repro.vfg.graph.CheckSite`, a VFG
+        node, or an instruction uid (all critical operands at that
+        instruction).  Sites with no analyzable node (constants, or no
+        analyzed config) are trivially defined.
+        """
+        engine = self.engine(config)
+        if engine is None:
+            return True
+        return all(
+            engine.is_defined(node)
+            for node in self._site_nodes(site, config)
+        )
+
+    def explain(
+        self, site: Site, config: Optional[str] = None
+    ) -> Optional[List[FlowStep]]:
+        """How an undefined value reaches ``site``: the shortest
+        realizable F-path, found by backward slicing (demand engine);
+        ``None`` when the site is defined.
+
+        The path search always uses k-limited call strings (the
+        explanation semantics of :mod:`repro.vfg.explain`), even when
+        the analysis resolver is ``"summary"``.
+        """
+        engine = self.engine(config)
+        if engine is None:
+            return None
+        if engine.resolver != "callstring":
+            picked = self._pick_config(config)
+            key = f"{picked}/explain"
+            if key not in self._engines:
+                self._engines[key] = DemandEngine(
+                    self.results[picked].vfg,
+                    context_depth=max(self.context_depth, 1),
+                )
+            engine = self._engines[key]
+        for node in self._site_nodes(site, config):
+            steps = explain_undefined_demand(engine, self.module, node)
+            if steps is not None:
+                return steps
+        return None
+
+    def query_stats(self, config: Optional[str] = None) -> Optional[QueryStats]:
+        """Accumulated :class:`QueryStats` of ``config``'s engine, or
+        ``None`` if no query has forced an engine yet."""
+        picked = self._pick_config(config)
+        if picked is None or picked not in self._engines:
+            return None
+        return self._engines[picked].stats
+
+
+def analyze(
+    *,
+    source: Optional[str] = None,
+    module: Optional[Module] = None,
+    name: str = "module",
     level: str = "O0+IM",
-    configs: Optional[List[str]] = None,
+    configs: Optional[Sequence[str]] = None,
     heap_cloning: bool = True,
     context_depth: int = 1,
     semi_strong: bool = True,
     resolver: str = "callstring",
+    demand: bool = False,
+    use_reference_solver: bool = False,
 ) -> Analysis:
-    """Optimize, analyze and instrument ``module`` under every config."""
+    """Optimize, analyze and instrument a program under every config.
+
+    Exactly one of ``source`` (TinyC text, compiled as ``name``) or
+    ``module`` (an already-compiled IR module) must be given.  All
+    arguments are keyword-only.
+
+    ``demand=True`` resolves Γ demand-driven (backward slicing per
+    node, :mod:`repro.vfg.demand`) in every configuration, including
+    Opt II's re-resolution — bit-identical plans, different cost
+    profile.  :meth:`Analysis.query` / :meth:`Analysis.explain` are
+    demand-driven regardless of this flag.
+    """
+    if (source is None) == (module is None):
+        raise ValueError("pass exactly one of source= or module=")
+    if module is None:
+        module = compile_source(source, name)
     run_pipeline(module, level)
     verify_module(module)
-    prepared = prepare_module(module, heap_cloning=heap_cloning)
-    wanted = configs or list(CONFIG_ORDER)
+    prepared = prepare_module(
+        module,
+        heap_cloning=heap_cloning,
+        use_reference_solver=use_reference_solver,
+    )
+    wanted = list(configs) if configs else list(CONFIG_ORDER)
     plans: Dict[str, InstrumentationPlan] = {}
     results: Dict[str, UsherResult] = {}
     base_configs = {
@@ -99,22 +238,45 @@ def analyze_module(
         "usher": UsherConfig.full(),
         "usher_ext": UsherConfig.extended(),
     }
-    for name in wanted:
-        if name == "msan":
-            plans[name] = run_msan(prepared)
+    for config_name in wanted:
+        if config_name == "msan":
+            plans[config_name] = run_msan(prepared)
             continue
-        from dataclasses import replace as _replace
-
-        config = _replace(
-            base_configs[name],
+        config = replace(
+            base_configs[config_name],
             semi_strong=semi_strong,
             context_depth=context_depth,
             resolver=resolver,
+            demand=demand,
         )
         result = run_usher(prepared, config)
-        results[name] = result
-        plans[name] = result.plan
-    return Analysis(module, prepared, plans, results, level)
+        results[config_name] = result
+        plans[config_name] = result.plan
+    return Analysis(
+        module,
+        prepared,
+        plans,
+        results,
+        level,
+        context_depth=context_depth,
+        resolver=resolver,
+    )
+
+
+def analyze_module(
+    module: Module,
+    level: str = "O0+IM",
+    configs: Optional[List[str]] = None,
+    **kwargs,
+) -> Analysis:
+    """Deprecated: use :func:`analyze` with ``module=``."""
+    warnings.warn(
+        "repro.api.analyze_module is deprecated; "
+        "use repro.api.analyze(module=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return analyze(module=module, level=level, configs=configs, **kwargs)
 
 
 def analyze_source(
@@ -124,6 +286,11 @@ def analyze_source(
     configs: Optional[List[str]] = None,
     **kwargs,
 ) -> Analysis:
-    """Compile TinyC source and run :func:`analyze_module`."""
-    module = compile_source(source, name)
-    return analyze_module(module, level=level, configs=configs, **kwargs)
+    """Deprecated: use :func:`analyze` with ``source=``."""
+    warnings.warn(
+        "repro.api.analyze_source is deprecated; "
+        "use repro.api.analyze(source=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return analyze(source=source, name=name, level=level, configs=configs, **kwargs)

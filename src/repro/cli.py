@@ -21,7 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api import CONFIG_ORDER, analyze_source
+from repro.api import CONFIG_ORDER, analyze
 from repro.ir import module_to_str, verify_module
 from repro.opt import OPT_LEVELS, run_pipeline
 from repro.runtime import DEFAULT_COST_MODEL, RuntimeFault, run_native
@@ -42,15 +42,24 @@ def _format_warning(analysis, uid: int) -> str:
 
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    analysis = analyze_source(
-        source, args.file, level=args.level, configs=[args.config]
+    analysis = analyze(
+        source=source,
+        name=args.file,
+        level=args.level,
+        configs=[args.config],
+        demand=args.demand,
     )
     plan = analysis.plans[args.config]
     if args.solver_stats:
         stats = analysis.prepared.solver_stats
         if stats is not None:
             print(stats.format_summary())
-            print()
+        else:
+            print(
+                "no solver stats recorded for this run (the pointer-"
+                "analysis phase did not produce a profile)"
+            )
+        print()
     if args.show_plan:
         print(f"instrumentation plan ({plan.describe()}):")
         by_uid = analysis.module.instr_by_uid()
@@ -76,34 +85,50 @@ def cmd_check(args: argparse.Namespace) -> int:
     if report.outputs:
         print(f"program output: {report.outputs}")
     warnings = sorted(report.warning_set())
+    status = 0
     if warnings:
         print(f"\n{len(warnings)} use(s) of undefined values detected:")
         for uid in warnings:
             print(_format_warning(analysis, uid))
         if args.explain:
             _explain_warnings(analysis, args.config, warnings)
-        return 1
-    print("no uses of undefined values detected")
-    return 0
+        status = 1
+    else:
+        print("no uses of undefined values detected")
+    if args.query_stats:
+        _print_query_stats(analysis, args.config)
+    return status
 
 
 def _explain_warnings(analysis, config: str, warnings) -> None:
-    from repro.vfg.explain import explain_check_site
-
-    result = analysis.results.get(config)
-    if result is None:  # msan has no VFG; use the analyzed one
-        result = analysis.results.get("usher_tl_at") or next(
-            iter(analysis.results.values()), None
-        )
-    if result is None:
-        return
+    """Trace each warning back to F, demand-driven: only the warned
+    sites' backward slices are visited, never the whole VFG."""
+    explain_config = config if config in analysis.results else None
     for uid in warnings:
-        steps = explain_check_site(result.vfg, analysis.module, uid)
+        steps = analysis.explain(uid, config=explain_config)
         if steps is None:
             continue
         print(f"\nhow the undefined value reaches uid {uid}:")
         for step in steps:
             print(step.render())
+
+
+def _print_query_stats(analysis, config: str) -> None:
+    """Profile of every demand engine this run touched: the Γ
+    resolution's (with --demand) and the --explain queries'."""
+    result = analysis.results.get(config)
+    printed = False
+    if result is not None and result.query_stats is not None:
+        print()
+        print(result.query_stats.format_summary())
+        printed = True
+    stats = analysis.query_stats(config if config in analysis.results else None)
+    if stats is not None:
+        print()
+        print(stats.format_summary())
+        printed = True
+    if not printed:
+        print("\nno demand queries were issued (nothing to profile)")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -144,13 +169,32 @@ def cmd_vfg(args: argparse.Namespace) -> int:
     module = compile_source(_read(args.file), args.file)
     run_pipeline(module, args.level)
     prepared = prepare_module(module)
-    result = run_usher(prepared, UsherConfig.tl_at())
+    if args.demand:
+        # On-demand coloring: build the VFG but resolve Γ only for the
+        # nodes actually rendered (with --function, a fraction of the
+        # graph), via the backward-slicing demand engine.
+        from repro.vfg.builder import build_vfg
+        from repro.vfg.demand import DemandEngine
+
+        vfg = build_vfg(
+            prepared.module,
+            prepared.pointers,
+            prepared.callgraph,
+            prepared.modref,
+        )
+        engine = DemandEngine(vfg)
+        gamma = engine.gamma()
+    else:
+        result = run_usher(prepared, UsherConfig.tl_at())
+        vfg, gamma, engine = result.vfg, result.gamma, None
     dot = vfg_to_dot(
-        result.vfg,
-        result.gamma,
+        vfg,
+        gamma,
         only_function=args.function,
         max_nodes=args.max_nodes,
     )
+    if engine is not None and args.query_stats:
+        print(engine.stats.format_summary(), file=sys.stderr)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(dot)
@@ -206,7 +250,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "phase timings)")
     check.add_argument("--explain", action="store_true",
                        help="trace each warning's undefined value back "
-                            "to its origin")
+                            "to its origin (demand-driven: only the "
+                            "warned sites' backward slices are visited)")
+    check.add_argument("--demand", action="store_true",
+                       help="resolve definedness demand-driven (backward "
+                            "VFG slicing) instead of whole-program "
+                            "reachability; identical verdicts")
+    check.add_argument("--query-stats", action="store_true",
+                       help="print the demand-query work profile "
+                            "(states/nodes visited, memo hits, latency)")
     check.set_defaults(func=cmd_check)
 
     run = sub.add_parser("run", help="execute natively")
@@ -229,6 +281,12 @@ def build_parser() -> argparse.ArgumentParser:
     vfg.add_argument("--function", default=None,
                      help="restrict to one function")
     vfg.add_argument("--max-nodes", type=int, default=400)
+    vfg.add_argument("--demand", action="store_true",
+                     help="color definedness on demand (resolve only "
+                          "the rendered nodes by backward slicing)")
+    vfg.add_argument("--query-stats", action="store_true",
+                     help="with --demand: print the query work profile "
+                          "to stderr")
     vfg.add_argument("-o", "--output", default=None)
     vfg.set_defaults(func=cmd_vfg)
 

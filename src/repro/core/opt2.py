@@ -40,6 +40,7 @@ def redundant_check_elimination(
     context_depth: int = 1,
     resolver: str = "callstring",
     interprocedural: bool = False,
+    demand: bool = False,
 ) -> "tuple[Definedness, Opt2Stats]":
     """Run Algorithm 1; return the refined Γ and statistics.
 
@@ -47,7 +48,13 @@ def redundant_check_elimination(
     spirit of its "new VFG-based optimizations" future work), dominance
     of the check over a consumer in *another* function is established
     when that function is reachable only through call sites dominated by
-    the check (transitively)."""
+    the check (transitively).
+
+    With ``demand=True`` the re-resolution of Γ on the rewired scratch
+    graph is answered by batched demand queries over the check sites
+    (:func:`repro.vfg.demand.resolve_definedness_demand`) instead of
+    whole-program reachability — bit-identical verdicts, but only the
+    check sites' backward slices are visited."""
     scratch = vfg.copy()
     by_uid = module.instr_by_uid()
     dts: Dict[str, DominatorTree] = {
@@ -138,7 +145,15 @@ def redundant_check_elimination(
                     stats.interprocedural_redirects += 1
 
     stats.redirected_nodes = len(redirected)
-    if resolver == "summary":
+    if demand:
+        from repro.vfg.demand import resolve_definedness_demand
+
+        # A fresh engine: the scratch graph's edge set differs from the
+        # original VFG's, so no memo may be shared with it.
+        gamma = resolve_definedness_demand(
+            scratch, context_depth, resolver=resolver
+        )
+    elif resolver == "summary":
         from repro.vfg.tabulation import resolve_definedness_summary
 
         gamma = resolve_definedness_summary(scratch)

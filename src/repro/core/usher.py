@@ -20,7 +20,7 @@ from typing import Dict, Optional
 
 from repro.ir.module import Module
 from repro.analysis.andersen import PointerResult, analyze_pointers
-from repro.analysis.solverstats import SolverStats
+from repro.analysis.solverstats import QueryStats, SolverStats
 from repro.analysis.callgraph import CallGraph
 from repro.analysis.modref import ModRefResult
 from repro.core.instrument import GuidedStats, build_guided_plan
@@ -30,17 +30,22 @@ from repro.core.plan import InstrumentationPlan
 from repro.memssa import build_memory_ssa
 from repro.vfg.builder import build_vfg
 from repro.vfg.definedness import Definedness, resolve_definedness
+from repro.vfg.demand import LazyDefinedness, resolve_definedness_demand
 from repro.vfg.graph import VFG
 from repro.vfg.tabulation import resolve_definedness_summary
 
 
 def resolve_for_config(vfg: VFG, config: "UsherConfig") -> Definedness:
     """Run the configuration's definedness resolver."""
+    if config.resolver not in ("callstring", "summary"):
+        raise ValueError(f"unknown resolver {config.resolver!r}")
+    if config.demand:
+        return resolve_definedness_demand(
+            vfg, config.context_depth, resolver=config.resolver
+        )
     if config.resolver == "summary":
         return resolve_definedness_summary(vfg)
-    if config.resolver == "callstring":
-        return resolve_definedness(vfg, config.context_depth)
-    raise ValueError(f"unknown resolver {config.resolver!r}")
+    return resolve_definedness(vfg, config.context_depth)
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,11 @@ class UsherConfig:
         resolver: ``"callstring"`` (the paper's k-limited matching) or
             ``"summary"`` (fully context-sensitive tabulation,
             :mod:`repro.vfg.tabulation`).
+        demand: Resolve Γ demand-driven (backward VFG slicing per
+            queried node, :mod:`repro.vfg.demand`) instead of by
+            whole-program reachability.  Verdicts are bit-identical;
+            only the evaluation strategy (and its cost profile)
+            changes.
         array_init: Enable the array initialization-loop analysis
             (an extension beyond the paper, from its stated future
             work — see :mod:`repro.vfg.arrayinit`).
@@ -72,6 +82,7 @@ class UsherConfig:
     semi_strong: bool = True
     context_depth: int = 1
     resolver: str = "callstring"
+    demand: bool = False
     array_init: bool = False
     opt2_interproc: bool = False
 
@@ -147,6 +158,14 @@ class UsherResult:
     def static_checks(self) -> int:
         return self.plan.count_checks()
 
+    @property
+    def query_stats(self) -> Optional[QueryStats]:
+        """Demand-query profile when Γ was resolved demand-driven
+        (``UsherConfig.demand``); ``None`` for the eager resolvers."""
+        if isinstance(self.gamma, LazyDefinedness):
+            return self.gamma.engine.stats
+        return None
+
 
 def prepare_module(
     module: Module,
@@ -183,9 +202,12 @@ def run_usher(prepared: PreparedModule, config: UsherConfig) -> UsherResult:
         semi_strong=config.semi_strong,
         array_init=config.array_init,
     )
-    gamma = resolve_for_config(vfg, config)
+    if config.resolver not in ("callstring", "summary"):
+        raise ValueError(f"unknown resolver {config.resolver!r}")
     opt2_stats: Optional[Opt2Stats] = None
     if config.opt2:
+        # Opt II re-resolves Γ on its rewired scratch graph; resolving
+        # the pristine VFG first would be pure waste.
         gamma, opt2_stats = redundant_check_elimination(
             prepared.module,
             vfg,
@@ -193,7 +215,10 @@ def run_usher(prepared: PreparedModule, config: UsherConfig) -> UsherResult:
             config.context_depth,
             resolver=config.resolver,
             interprocedural=config.opt2_interproc,
+            demand=config.demand,
         )
+    else:
+        gamma = resolve_for_config(vfg, config)
     plan, guided_stats = build_guided_plan(
         prepared.module,
         vfg,

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.workloads import WORKLOADS
 
 VARIANTS = (
@@ -52,7 +52,7 @@ def _analyze(source: str, name: str, variant: str):
         kwargs["resolver"] = "summary"
     elif variant == "no_heap_cloning":
         kwargs["heap_cloning"] = False
-    return analyze_source(source, name, **kwargs)
+    return analyze(source=source, name=name, **kwargs)
 
 
 def build_ablation(scale: float = 0.3, workload_names=None) -> List[AblationRow]:

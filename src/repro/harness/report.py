@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.core.static_warner import false_positive_report
 from repro.harness.ablation import build_ablation, format_ablation
 from repro.harness.figure10 import build_figure10, format_figure10
@@ -174,8 +174,10 @@ def _solver_table(scale: float) -> str:
 def _extension_table(scale: float) -> str:
     lines = [f"{'benchmark':14s}{'usher':>10s}{'usher_ext':>11s}{'cuts':>6s}"]
     for w in WORKLOADS:
-        analysis = analyze_source(
-            w.source(min(scale, 0.3)), w.name, configs=["usher", "usher_ext"]
+        analysis = analyze(
+            source=w.source(min(scale, 0.3)),
+            name=w.name,
+            configs=["usher", "usher_ext"],
         )
         lines.append(
             f"{w.name:14s}{analysis.slowdown('usher'):>9.1f}%"

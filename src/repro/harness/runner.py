@@ -10,7 +10,7 @@ import tracemalloc
 from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
-from repro.api import Analysis, analyze_source
+from repro.api import Analysis, analyze
 from repro.runtime import DEFAULT_COST_MODEL, CostModel, ExecutionReport
 from repro.vfg.graph import Node, Root
 from repro.workloads import WORKLOADS, Workload
@@ -47,7 +47,9 @@ def run_workload(
     if use_cache and key in _CACHE:
         return _CACHE[key]
     tracemalloc.start()
-    analysis = analyze_source(workload.source(scale), workload.name, level=level)
+    analysis = analyze(
+        source=workload.source(scale), name=workload.name, level=level
+    )
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     run = WorkloadRun(workload, analysis, peak / (1024.0 * 1024.0))

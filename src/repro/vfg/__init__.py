@@ -1,8 +1,18 @@
 """The value-flow graph: construction, definedness resolution, MFCs."""
 
 from repro.vfg.builder import build_vfg
-from repro.vfg.definedness import Definedness, resolve_definedness
-from repro.vfg.explain import FlowStep, explain_check_site, explain_undefined
+from repro.vfg.definedness import Definedness, resolve_definedness, step_context
+from repro.vfg.demand import (
+    DemandEngine,
+    LazyDefinedness,
+    resolve_definedness_demand,
+)
+from repro.vfg.explain import (
+    FlowStep,
+    explain_check_site,
+    explain_undefined,
+    explain_undefined_demand,
+)
 from repro.vfg.graph import (
     BOT,
     CALL,
@@ -25,9 +35,14 @@ __all__ = [
     "build_vfg",
     "Definedness",
     "resolve_definedness",
+    "step_context",
+    "DemandEngine",
+    "LazyDefinedness",
+    "resolve_definedness_demand",
     "FlowStep",
     "explain_check_site",
     "explain_undefined",
+    "explain_undefined_demand",
     "BOT",
     "CALL",
     "INTRA",

@@ -55,7 +55,7 @@ def resolve_definedness(vfg: VFG, context_depth: int = 1) -> Definedness:
         node, ctx = work.pop()
         bottom.add(node)
         for edge in vfg.flows_of(node):
-            next_ctx = _step(ctx, edge.kind, edge.callsite, context_depth)
+            next_ctx = step_context(ctx, edge.kind, edge.callsite, context_depth)
             if next_ctx is None:
                 continue  # mismatched return: unrealizable path
             state = (edge.dst, next_ctx)
@@ -66,9 +66,17 @@ def resolve_definedness(vfg: VFG, context_depth: int = 1) -> Definedness:
     return Definedness(bottom, context_depth)
 
 
-def _step(
+def step_context(
     ctx: Context, kind: str, callsite: Optional[int], depth: int
 ) -> Optional[Context]:
+    """Advance a k-limited call string across one value-flow edge.
+
+    The single transition function both the whole-program resolution and
+    the demand engine's backward preimages are defined against: ``CALL``
+    pushes the call site (truncating at ``depth``), ``RET`` pops a
+    matching site (``None`` = unrealizable), everything else is a
+    no-op.  A truncated (empty) string may return to any call site.
+    """
     if kind == CALL:
         if depth == 0:
             return ctx
@@ -82,3 +90,7 @@ def _step(
             return ctx[1:]
         return None
     return ctx
+
+
+#: Back-compat alias (pre-demand-engine internal name).
+_step = step_context

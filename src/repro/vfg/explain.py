@@ -6,6 +6,16 @@ the same call/return-matched traversal definedness resolution performs,
 with parent links — and renders it step by step with source lines.
 This is the diagnostic companion to a warning: not just *where* an
 undefined value was used, but *how* it got there.
+
+Two path finders produce the same renderable chain shape:
+
+* :func:`explain_undefined` — the original forward BFS from F (visits
+  the whole reachable state space up to the target; kept as the
+  oracle);
+* the demand engine's backward slice
+  (:meth:`repro.vfg.demand.DemandEngine.find_bottom_chain`), rendered
+  through :func:`steps_from_chain` — what ``repro check --explain``
+  uses, visiting only the target's backward slice.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.ir.module import Module
-from repro.vfg.definedness import _step
+from repro.vfg.definedness import step_context
 from repro.vfg.graph import BOT, CALL, RET, Edge, MemNode, Node, Root, TopNode, VFG
 
 Context = Tuple[int, ...]
@@ -61,7 +71,7 @@ def explain_undefined(
             goal = (node, ctx)
             break
         for edge in vfg.flows_of(node):
-            next_ctx = _step(ctx, edge.kind, edge.callsite, context_depth)
+            next_ctx = step_context(ctx, edge.kind, edge.callsite, context_depth)
             if next_ctx is None:
                 continue
             state = (edge.dst, next_ctx)
@@ -79,7 +89,17 @@ def explain_undefined(
         chain.append((state[0], edge))
         state = parent
     chain.reverse()
+    return steps_from_chain(chain, vfg, module, max_steps=max_steps)
 
+
+def steps_from_chain(
+    chain: List[Tuple[Node, Optional[Edge]]],
+    vfg: VFG,
+    module: Module,
+    max_steps: int = 50,
+) -> List[FlowStep]:
+    """Render a forward F → target chain of ``(node, incoming edge)``
+    pairs — the shape both path finders produce — as flow steps."""
     by_uid = module.instr_by_uid()
     steps: List[FlowStep] = []
     for node, edge in chain[: max_steps + 1]:
@@ -125,18 +145,41 @@ def _name(node: Node) -> str:
     return str(node)
 
 
+def explain_undefined_demand(
+    engine,
+    module: Module,
+    target: Node,
+    max_steps: int = 50,
+) -> Optional[List[FlowStep]]:
+    """Demand-driven twin of :func:`explain_undefined`: the same
+    shortest realizable F → ``target`` path, found by backward-slicing
+    only ``target``'s dependence cone through a
+    :class:`~repro.vfg.demand.DemandEngine`."""
+    chain = engine.find_bottom_chain(target)
+    if chain is None:
+        return None
+    return steps_from_chain(chain, engine.vfg, module, max_steps=max_steps)
+
+
 def explain_check_site(
     vfg: VFG,
     module: Module,
     instr_uid: int,
     context_depth: int = 1,
+    engine=None,
 ) -> Optional[List[FlowStep]]:
-    """Explain the first ⊥ critical use at instruction ``instr_uid``."""
+    """Explain the first ⊥ critical use at instruction ``instr_uid``.
+
+    With ``engine`` (a :class:`~repro.vfg.demand.DemandEngine` over
+    ``vfg``) the path is found demand-driven; otherwise by the
+    whole-graph forward BFS.
+    """
     for site in vfg.check_sites:
         if site.instr_uid == instr_uid and site.node is not None:
-            steps = explain_undefined(
-                vfg, module, site.node, context_depth
-            )
+            if engine is not None:
+                steps = explain_undefined_demand(engine, module, site.node)
+            else:
+                steps = explain_undefined(vfg, module, site.node, context_depth)
             if steps is not None:
                 return steps
     return None

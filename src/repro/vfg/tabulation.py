@@ -39,14 +39,14 @@ from repro.vfg.graph import BOT, CALL, INTRA, RET, Edge, Node, VFG
 
 def resolve_definedness_summary(vfg: VFG) -> Definedness:
     """Compute Γ by summary-based (unbounded-context) reachability."""
-    summaries = _compute_summaries(vfg)
+    summaries = compute_summaries(vfg)
     bottom = _two_phase_reachability(vfg, summaries)
     bottom.discard(BOT)
     # context_depth = -1 marks the unbounded (summary) resolution.
     return Definedness(bottom, context_depth=-1)
 
 
-def _compute_summaries(vfg: VFG) -> Dict[Node, Set[Node]]:
+def compute_summaries(vfg: VFG) -> Dict[Node, Set[Node]]:
     """Summary edges: caller node → caller node, skipping a balanced
     call-through (the tabulation of [23] with a single data fact)."""
     #: callee entry node -> call edges targeting it
@@ -131,3 +131,7 @@ def _two_phase_reachability(
             elif edge.kind == CALL:
                 push(edge.dst, 1)
     return bottom
+
+
+#: Back-compat alias (pre-demand-engine internal name).
+_compute_summaries = compute_summaries

@@ -7,7 +7,7 @@ warnings must coincide with the oracle.
 
 import pytest
 
-from repro.api import CONFIG_ORDER, analyze_source
+from repro.api import CONFIG_ORDER, analyze
 
 SCENARIOS = {
     "scalar_use_before_def": """
@@ -88,23 +88,23 @@ SCENARIOS = {
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
 class TestDetection:
     def test_oracle_flags_the_bug(self, name):
-        analysis = analyze_source(SCENARIOS[name], name)
+        analysis = analyze(source=SCENARIOS[name], name=name)
         assert analysis.run_native().true_undefined_uses
 
     def test_every_configuration_detects(self, name):
-        analysis = analyze_source(SCENARIOS[name], name)
+        analysis = analyze(source=SCENARIOS[name], name=name)
         for config in CONFIG_ORDER:
             assert analysis.run(config).warnings, config
 
     def test_msan_matches_oracle_exactly(self, name):
-        analysis = analyze_source(SCENARIOS[name], name)
+        analysis = analyze(source=SCENARIOS[name], name=name)
         report = analysis.run("msan")
         assert report.warning_set() == report.true_bug_set()
 
     def test_usher_warnings_subset_of_msan(self, name):
         """Guided instrumentation adds no false positives: every site
         Usher warns about, full instrumentation warns about too."""
-        analysis = analyze_source(SCENARIOS[name], name)
+        analysis = analyze(source=SCENARIOS[name], name=name)
         msan = analysis.run("msan").warning_set()
         for config in ("usher_tl", "usher_tl_at", "usher_opt1"):
             assert analysis.run(config).warning_set() <= msan, config

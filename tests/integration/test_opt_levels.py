@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.workloads import workload
 
 NAMES = ("164.gzip", "181.mcf", "253.perlbmk", "255.vortex")
@@ -15,7 +15,7 @@ def by_level():
     for name in NAMES:
         w = workload(name)
         result[name] = {
-            level: analyze_source(w.source(SCALE), name, level=level)
+            level: analyze(source=w.source(SCALE), name=name, level=level)
             for level in ("O0+IM", "O1", "O2")
         }
     return result

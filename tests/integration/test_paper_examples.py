@@ -4,7 +4,7 @@ Recreates the code of Figures 2, 5, 6 and 9 and checks the behaviour
 the paper derives from each.
 """
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.core import UsherConfig, prepare_module, run_usher
 from repro.runtime import run_instrumented, run_native
 from tests.helpers import analyzed, compile_and_optimize
@@ -26,7 +26,7 @@ class TestFigure2:
     """
 
     def test_runs_and_is_defined(self):
-        analysis = analyze_source(self.SOURCE)
+        analysis = analyze(source=self.SOURCE)
         native = analysis.run_native()
         assert native.outputs == [10]
         assert not native.true_undefined_uses
@@ -61,7 +61,7 @@ class TestFigure5:
         prepared = analyzed(self.SOURCE)
         foo = prepared.module.functions["foo"]
         assert foo.virtual_params  # [ρ] list of Figure 4
-        analysis = analyze_source(self.SOURCE)
+        analysis = analyze(source=self.SOURCE)
         assert analysis.run_native().outputs == [30, 30]
         assert not analysis.run("usher").warnings
 
@@ -158,7 +158,7 @@ class TestFigure9:
         assert with_opt2.opt2_stats.redirected_nodes >= 0
 
     def test_detection_still_happens_at_l1(self):
-        analysis = analyze_source(self.SOURCE)
+        analysis = analyze(source=self.SOURCE)
         native = analysis.run_native()
         assert native.true_undefined_uses  # b is really undefined
         report = analysis.run("usher")

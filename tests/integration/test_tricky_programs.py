@@ -8,7 +8,7 @@ MSan and Usher.
 
 import pytest
 
-from repro.api import CONFIG_ORDER, analyze_source
+from repro.api import CONFIG_ORDER, analyze
 
 SCENARIOS = {
     # Pointers stored inside records, two levels deep.
@@ -147,13 +147,13 @@ SCENARIOS = {
 class TestTrickyPrograms:
     def test_oracle_matches_expectation(self, name):
         source, expect_bug = SCENARIOS[name]
-        analysis = analyze_source(source, name)
+        analysis = analyze(source=source, name=name)
         native = analysis.run_native()
         assert bool(native.true_bug_set()) == expect_bug
 
     def test_all_tools_agree_with_oracle(self, name):
         source, expect_bug = SCENARIOS[name]
-        analysis = analyze_source(source, name)
+        analysis = analyze(source=source, name=name)
         native = analysis.run_native()
         for config in CONFIG_ORDER:
             report = analysis.run(config)
@@ -162,5 +162,5 @@ class TestTrickyPrograms:
 
     def test_usher_never_costs_more_than_msan(self, name):
         source, _ = SCENARIOS[name]
-        analysis = analyze_source(source, name)
+        analysis = analyze(source=source, name=name)
         assert analysis.slowdown("usher") <= analysis.slowdown("msan") + 1e-9

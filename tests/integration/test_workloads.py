@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import CONFIG_ORDER, analyze_source
+from repro.api import CONFIG_ORDER, analyze
 from repro.runtime import DEFAULT_COST_MODEL
 from repro.workloads import WORKLOADS, workload
 
@@ -12,7 +12,7 @@ SCALE = 0.15
 @pytest.fixture(scope="module")
 def analyses():
     return {
-        w.name: analyze_source(w.source(SCALE), w.name) for w in WORKLOADS
+        w.name: analyze(source=w.source(SCALE), name=w.name) for w in WORKLOADS
     }
 
 

@@ -1,0 +1,129 @@
+"""Differential suite: demand-driven Γ ≡ whole-program resolution.
+
+The demand engine's contract is *bit-identical verdicts* to the
+reference oracles — :func:`repro.vfg.definedness.resolve_definedness`
+for k-limited call strings and
+:func:`repro.vfg.tabulation.resolve_definedness_summary` for unbounded
+context — checked here over
+
+* every check site of every bundled workload,
+* hypothesis-generated random programs (all nodes, several depths),
+* pointer-heavy generated programs (the hub-cell traffic that stresses
+  interprocedural flows),
+
+plus the memoization contract: repeated and overlapping queries reuse
+verdicts instead of re-slicing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import UsherConfig, prepare_module, run_usher
+from repro.opt import run_pipeline
+from repro.tinyc import compile_source
+from repro.vfg.definedness import resolve_definedness
+from repro.vfg.demand import DemandEngine
+from repro.vfg.graph import Root
+from repro.vfg.tabulation import resolve_definedness_summary
+from repro.workloads import WORKLOADS, GeneratorParams, generate_program
+
+_PARAMS = GeneratorParams(uninit_prob=0.3, call_prob=0.6)
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def vfg_for(module_source: str, name: str):
+    module = compile_source(module_source, name)
+    run_pipeline(module, "O0+IM")
+    prepared = prepare_module(module)
+    return run_usher(prepared, UsherConfig.tl_at()).vfg
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: w.name)
+def test_demand_matches_oracle_on_workload_corpus(workload):
+    """Every check site of every bundled workload, both resolvers."""
+    vfg = vfg_for(workload.source(0.1), workload.name)
+    oracle = resolve_definedness(vfg, 1)
+    engine = DemandEngine(vfg, context_depth=1)
+    summary_oracle = resolve_definedness_summary(vfg)
+    summary_engine = DemandEngine(vfg, resolver="summary")
+    for site in vfg.check_sites:
+        assert engine.is_defined(site.node) == oracle.is_defined(site.node), (
+            workload.name,
+            site.instr_uid,
+        )
+        assert summary_engine.is_defined(site.node) == summary_oracle.is_defined(
+            site.node
+        ), (workload.name, site.instr_uid)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_demand_matches_callstring_oracle_all_nodes(seed):
+    module = compile_source(generate_program(seed, _PARAMS), f"seed{seed}")
+    run_pipeline(module, "O0+IM")
+    prepared = prepare_module(module)
+    vfg = run_usher(prepared, UsherConfig.tl_at()).vfg
+    for depth in (0, 1, 2):
+        oracle = resolve_definedness(vfg, depth)
+        engine = DemandEngine(vfg, context_depth=depth)
+        for node in vfg.nodes():
+            assert engine.is_defined(node) == oracle.is_defined(node), (
+                seed,
+                depth,
+                node,
+            )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_demand_matches_summary_oracle_all_nodes(seed):
+    module = compile_source(generate_program(seed, _PARAMS), f"seed{seed}")
+    run_pipeline(module, "O0+IM")
+    prepared = prepare_module(module)
+    vfg = run_usher(prepared, UsherConfig.tl_at()).vfg
+    oracle = resolve_definedness_summary(vfg)
+    engine = DemandEngine(vfg, resolver="summary")
+    for node in vfg.nodes():
+        assert engine.is_defined(node) == oracle.is_defined(node), (seed, node)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_demand_matches_oracle_on_pointer_heavy(seed):
+    """The pointer-heavy generator profile (hub cells, aliasing chains)."""
+    params = GeneratorParams().scaled(2).pointer_heavy()
+    module = compile_source(generate_program(seed, params), f"heavy{seed}")
+    run_pipeline(module, "O0+IM")
+    prepared = prepare_module(module)
+    vfg = run_usher(prepared, UsherConfig.tl_at()).vfg
+    oracle = resolve_definedness(vfg, 1)
+    engine = DemandEngine(vfg, context_depth=1)
+    for node in vfg.nodes():
+        assert engine.is_defined(node) == oracle.is_defined(node), (seed, node)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_memo_reuse_never_changes_verdicts(seed):
+    """Interleaved repeated queries (memo warm) agree with a cold
+    engine and with the oracle, in both query orders."""
+    module = compile_source(generate_program(seed, _PARAMS), f"seed{seed}")
+    run_pipeline(module, "O0+IM")
+    prepared = prepare_module(module)
+    vfg = run_usher(prepared, UsherConfig.tl_at()).vfg
+    oracle = resolve_definedness(vfg, 1)
+    warm = DemandEngine(vfg, context_depth=1)
+    nodes = sorted(
+        (n for n in vfg.nodes() if not isinstance(n, Root)), key=str
+    )
+    first = {node: warm.is_defined(node) for node in nodes}
+    second = {node: warm.is_defined(node) for node in reversed(nodes)}
+    assert first == second
+    for node in nodes:
+        assert first[node] == oracle.is_defined(node), (seed, node)
+    # The second sweep must be answered from the memo.
+    assert warm.stats.memo_hits >= len(nodes)

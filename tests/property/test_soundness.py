@@ -25,7 +25,7 @@ claims end to end:
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.api import CONFIG_ORDER, analyze_source
+from repro.api import CONFIG_ORDER, analyze
 from repro.runtime import StepLimitExceeded
 from repro.workloads import GeneratorParams, generate_program
 
@@ -40,7 +40,7 @@ _SETTINGS = dict(
 
 def analyzed_random(seed: int):
     source = generate_program(seed, _PARAMS)
-    analysis = analyze_source(source, f"seed{seed}")
+    analysis = analyze(source=source, name=f"seed{seed}")
     try:
         native = analysis.run_native()
     except StepLimitExceeded:
@@ -107,7 +107,7 @@ def test_array_init_extension_is_sound(seed):
     """The beyond-paper array-initialization extension must preserve all
     detection guarantees on arbitrary programs."""
     source = generate_program(seed, _PARAMS)
-    analysis = analyze_source(source, f"seed{seed}", configs=["usher_ext"])
+    analysis = analyze(source=source, name=f"seed{seed}", configs=["usher_ext"])
     try:
         native = analysis.run_native()
     except StepLimitExceeded:

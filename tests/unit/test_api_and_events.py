@@ -1,9 +1,18 @@
 """Unit tests for the high-level API, events and cost model."""
 
+import warnings as _warnings
+
 import pytest
 
-from repro.api import CONFIG_ORDER, EXTENDED_CONFIG_ORDER, analyze_source
+from repro.api import (
+    CONFIG_ORDER,
+    EXTENDED_CONFIG_ORDER,
+    analyze,
+    analyze_module,
+    analyze_source,
+)
 from repro.runtime import CostModel, DynamicEvents, ExecutionReport
+from repro.tinyc import compile_source
 
 SOURCE = """
 def main() {
@@ -15,15 +24,28 @@ def main() {
 }
 """
 
+BUGGY_SOURCE = """
+def classify(v) {
+  var bin;
+  if (v < 5) { bin = 0; }
+  return bin;
+}
+def main() {
+  var b = classify(9);
+  if (b) { output(1); }
+  return 0;
+}
+"""
+
 
 class TestAnalysisAPI:
     def test_all_configs_by_default(self):
-        analysis = analyze_source(SOURCE)
+        analysis = analyze(source=SOURCE)
         assert set(analysis.plans) == set(CONFIG_ORDER)
         assert set(analysis.results) == set(CONFIG_ORDER) - {"msan"}
 
     def test_selected_configs_only(self):
-        analysis = analyze_source(SOURCE, configs=["msan", "usher"])
+        analysis = analyze(source=SOURCE, configs=["msan", "usher"])
         assert set(analysis.plans) == {"msan", "usher"}
 
     def test_extended_order_includes_extension(self):
@@ -31,7 +53,7 @@ class TestAnalysisAPI:
         assert set(CONFIG_ORDER) < set(EXTENDED_CONFIG_ORDER)
 
     def test_runs_are_cached(self):
-        analysis = analyze_source(SOURCE, configs=["usher"])
+        analysis = analyze(source=SOURCE, configs=["usher"])
         first = analysis.run("usher")
         second = analysis.run("usher")
         assert first is second
@@ -39,16 +61,119 @@ class TestAnalysisAPI:
 
     def test_unknown_config_raises(self):
         with pytest.raises(KeyError):
-            analyze_source(SOURCE, configs=["nonsense"])
+            analyze(source=SOURCE, configs=["nonsense"])
 
     def test_unknown_level_raises(self):
         with pytest.raises(ValueError):
-            analyze_source(SOURCE, level="O9")
+            analyze(source=SOURCE, level="O9")
 
     def test_static_counts_accessible(self):
-        analysis = analyze_source(SOURCE, configs=["msan", "usher"])
+        analysis = analyze(source=SOURCE, configs=["msan", "usher"])
         assert analysis.static_propagations("msan") > 0
         assert analysis.static_checks("msan") >= 3  # store, load ptr, output
+
+    def test_accepts_precompiled_module(self):
+        module = compile_source(SOURCE, "precompiled")
+        analysis = analyze(module=module, configs=["usher"])
+        assert analysis.module is module
+
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(ValueError):
+            analyze()
+        with pytest.raises(ValueError):
+            analyze(source=SOURCE, module=compile_source(SOURCE))
+
+    def test_demand_mode_produces_identical_plans(self):
+        eager = analyze(source=BUGGY_SOURCE)
+        lazy = analyze(source=BUGGY_SOURCE, demand=True)
+        for config in eager.plans:
+            assert (
+                eager.plans[config].count_propagations()
+                == lazy.plans[config].count_propagations()
+            ), config
+            assert (
+                eager.plans[config].count_checks()
+                == lazy.plans[config].count_checks()
+            ), config
+        assert lazy.results["usher"].query_stats is not None
+        assert eager.results["usher"].query_stats is None
+
+
+class TestDemandQueries:
+    def test_query_and_explain_by_uid(self):
+        analysis = analyze(source=BUGGY_SOURCE, configs=["usher_tl_at"])
+        result = analysis.results["usher_tl_at"]
+        bottom = next(
+            s
+            for s in result.vfg.check_sites
+            if s.node is not None and not result.gamma.is_defined(s.node)
+        )
+        assert analysis.query(bottom.instr_uid) is False
+        assert analysis.query(bottom) is False
+        assert analysis.query(bottom.node) is False
+        steps = analysis.explain(bottom.instr_uid)
+        assert steps is not None
+        assert "originates" in steps[0].description
+        assert steps[-1].node == bottom.node
+
+    def test_defined_site_queries_true_and_explains_none(self):
+        analysis = analyze(source=BUGGY_SOURCE, configs=["usher_tl_at"])
+        result = analysis.results["usher_tl_at"]
+        defined = next(
+            s
+            for s in result.vfg.check_sites
+            if s.node is not None and result.gamma.is_defined(s.node)
+        )
+        assert analysis.query(defined) is True
+        assert analysis.explain(defined) is None
+
+    def test_query_stats_accumulate(self):
+        analysis = analyze(source=BUGGY_SOURCE, configs=["usher_tl_at"])
+        assert analysis.query_stats() is None  # no engine forced yet
+        result = analysis.results["usher_tl_at"]
+        for site in result.vfg.check_sites:
+            analysis.query(site)
+        stats = analysis.query_stats()
+        assert stats is not None
+        assert stats.queries > 0
+        assert stats.graph_nodes == result.vfg.num_nodes
+
+    def test_msan_only_analysis_degrades_gracefully(self):
+        analysis = analyze(source=BUGGY_SOURCE, configs=["msan"])
+        assert analysis.engine() is None
+        assert analysis.query(12345) is True
+        assert analysis.explain(12345) is None
+        assert analysis.query_stats() is None
+
+    def test_summary_resolver_still_explains(self):
+        analysis = analyze(
+            source=BUGGY_SOURCE, configs=["usher_tl_at"], resolver="summary"
+        )
+        result = analysis.results["usher_tl_at"]
+        bottom = next(
+            s
+            for s in result.vfg.check_sites
+            if s.node is not None and not result.gamma.is_defined(s.node)
+        )
+        assert analysis.explain(bottom) is not None
+
+
+class TestDeprecatedShims:
+    def test_analyze_source_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning):
+            analysis = analyze_source(SOURCE, configs=["usher"])
+        assert set(analysis.plans) == {"usher"}
+
+    def test_analyze_module_warns_and_delegates(self):
+        module = compile_source(SOURCE, "shim")
+        with pytest.warns(DeprecationWarning):
+            analysis = analyze_module(module, configs=["usher"])
+        assert analysis.module is module
+
+    def test_new_entry_point_does_not_warn(self):
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            analyze(source=SOURCE, configs=["usher"])
 
 
 class TestEvents:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api import analyze_source
+from repro.api import analyze
 
 FULL_INIT = """
 def main() {
@@ -16,7 +16,7 @@ def main() {
 
 
 def results(source, name="t"):
-    analysis = analyze_source(source, name, configs=["usher", "usher_ext"])
+    analysis = analyze(source=source, name=name, configs=["usher", "usher_ext"])
     return analysis
 
 
@@ -219,8 +219,10 @@ class TestWorkloadsUnderExtension:
         from repro.workloads import WORKLOADS
 
         for w in WORKLOADS[:6]:
-            analysis = analyze_source(
-                w.source(0.1), w.name, configs=["usher", "usher_ext"]
+            analysis = analyze(
+                source=w.source(0.1),
+                name=w.name,
+                configs=["usher", "usher_ext"],
             )
             native = analysis.run_native()
             ext = analysis.run("usher_ext")
@@ -234,8 +236,10 @@ class TestWorkloadsUnderExtension:
         from repro.workloads import WORKLOADS
 
         for w in WORKLOADS[:6]:
-            analysis = analyze_source(
-                w.source(0.1), w.name, configs=["usher", "usher_ext"]
+            analysis = analyze(
+                source=w.source(0.1),
+                name=w.name,
+                configs=["usher", "usher_ext"],
             )
             assert analysis.static_propagations(
                 "usher_ext"

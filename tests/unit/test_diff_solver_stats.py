@@ -1,0 +1,96 @@
+"""Unit tests for the cross-run solver-stats regression gate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "diff_solver_stats.py"
+
+
+def _record(pops, facts, **overrides):
+    payload = {
+        "benchmark": "solver_scalability",
+        "seed": 11,
+        "factor": 4,
+        "solver": "delta",
+        "pops": pops,
+        "facts_propagated": facts,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _run_gate(tmp_path, records, *extra_args):
+    log = tmp_path / "solver_stats.jsonl"
+    log.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return subprocess.run(
+        [sys.executable, str(TOOL), str(log), *extra_args],
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_passes_within_bounds(tmp_path):
+    result = _run_gate(tmp_path, [_record(100, 200), _record(150, 300)])
+    assert result.returncode == 0
+    assert "passed" in result.stdout
+
+
+def test_fails_on_pops_regression(tmp_path):
+    result = _run_gate(tmp_path, [_record(100, 200), _record(250, 200)])
+    assert result.returncode == 1
+    assert "pops" in result.stdout
+
+
+def test_fails_on_facts_regression(tmp_path):
+    result = _run_gate(tmp_path, [_record(100, 200), _record(100, 500)])
+    assert result.returncode == 1
+    assert "facts_propagated" in result.stdout
+
+
+def test_compares_only_matching_workloads(tmp_path):
+    # A 10x-bigger workload is a different group, not a regression.
+    result = _run_gate(
+        tmp_path,
+        [_record(100, 200), _record(1000, 2000, factor=8)],
+    )
+    assert result.returncode == 0
+
+
+def test_only_latest_pair_is_gated(tmp_path):
+    # An old regression that was since fixed must not keep failing.
+    result = _run_gate(
+        tmp_path,
+        [_record(100, 200), _record(900, 200), _record(950, 210)],
+    )
+    assert result.returncode == 0
+
+
+def test_max_ratio_flag(tmp_path):
+    records = [_record(100, 200), _record(180, 200)]
+    assert _run_gate(tmp_path, records).returncode == 0
+    assert (
+        _run_gate(tmp_path, records, "--max-ratio", "1.5").returncode == 1
+    )
+
+
+def test_missing_log_is_an_error(tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(TOOL), str(tmp_path / "absent.jsonl")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 2
+
+
+def test_malformed_log_is_an_error(tmp_path):
+    log = tmp_path / "solver_stats.jsonl"
+    log.write_text("{not json\n")
+    result = subprocess.run(
+        [sys.executable, str(TOOL), str(log)],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 2
+    assert "bad JSON" in result.stderr

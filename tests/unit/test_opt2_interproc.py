@@ -2,7 +2,7 @@
 
 from dataclasses import replace
 
-from repro.api import analyze_source
+from repro.api import analyze
 from repro.core import UsherConfig, redundant_check_elimination, run_usher
 from tests.helpers import analyzed
 
@@ -92,7 +92,7 @@ class TestInterproceduralOpt2:
         assert bottom_checks_in(prepared, gamma, result.vfg, "ripple")
 
     def test_detection_preserved_under_extension(self):
-        analysis = analyze_source(DOMINATED_CALLEE, configs=["usher_ext"])
+        analysis = analyze(source=DOMINATED_CALLEE, configs=["usher_ext"])
         native = analysis.run_native()
         report = analysis.run("usher_ext")
         assert native.true_bug_set()
@@ -100,8 +100,8 @@ class TestInterproceduralOpt2:
         assert report.outputs == native.outputs
 
     def test_extension_reduces_checks(self):
-        base = analyze_source(DOMINATED_CALLEE, configs=["usher"])
-        ext = analyze_source(DOMINATED_CALLEE, configs=["usher_ext"])
+        base = analyze(source=DOMINATED_CALLEE, configs=["usher"])
+        ext = analyze(source=DOMINATED_CALLEE, configs=["usher_ext"])
         assert ext.static_checks("usher_ext") < base.static_checks("usher")
 
     def test_recursive_callee_cycle_handled(self):
@@ -133,7 +133,7 @@ class TestInterproceduralOpt2:
         # spin's only external entry is dominated; the self-call is
         # cycle-internal — the optimistic fixpoint covers it.
         assert stats.interprocedural_redirects >= 1
-        analysis = analyze_source(source, configs=["usher_ext"])
+        analysis = analyze(source=source, configs=["usher_ext"])
         native = analysis.run_native()
         report = analysis.run("usher_ext")
         assert native.true_bug_set() and report.warnings

@@ -125,9 +125,9 @@ class TestAlgorithm1:
         assert sink_bottom
 
     def test_detection_preserved_end_to_end(self):
-        from repro.api import analyze_source
+        from repro.api import analyze
 
-        analysis = analyze_source(self.DOMINATED)
+        analysis = analyze(source=self.DOMINATED)
         native = analysis.run_native()
         report = analysis.run("usher")
         assert native.true_bug_set()

@@ -132,7 +132,7 @@ class TestAgainstCallStrings:
             assert summary.bottom_nodes <= limited.bottom_nodes, depth
 
     def test_full_config_with_summary_resolver(self):
-        from repro.api import analyze_source
+        from repro.api import analyze
 
         prepared = analyzed(self.DEEP)
         config = replace(UsherConfig.full(), resolver="summary")

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Cross-run regression gate for the solver-work log.
+
+``benchmarks/test_scalability.py`` appends one JSON line per solver run
+to ``benchmarks/results/solver_stats.jsonl``.  This tool groups the log
+by workload key — ``(benchmark, seed, factor, solver)`` — and compares
+the most recent entry of each group against the one before it: if the
+constraint solver suddenly does more than ``--max-ratio`` times the
+work (worklist pops or propagated facts) on the *same* workload, a
+performance regression slipped in and the gate fails.
+
+Usage (the CI invocation)::
+
+    python tools/diff_solver_stats.py benchmarks/results/solver_stats.jsonl
+
+Exit status: 0 when every group is within bounds (or has fewer than two
+entries — nothing to compare), 1 on any regression, 2 on a missing or
+malformed log.  Wall-clock fields are deliberately ignored: CI machines
+are noisy, pops and facts are deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Deterministic work counters gated for regressions.
+GATED_METRICS = ("pops", "facts_propagated")
+
+GroupKey = Tuple[object, ...]
+
+
+def load_groups(path: Path) -> Dict[GroupKey, List[dict]]:
+    """Parse the JSONL log into per-workload histories, oldest first."""
+    groups: Dict[GroupKey, List[dict]] = {}
+    with path.open() as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: bad JSON ({error})")
+            key = (
+                record.get("benchmark"),
+                record.get("seed"),
+                record.get("factor"),
+                record.get("solver"),
+            )
+            groups.setdefault(key, []).append(record)
+    return groups
+
+
+def check_group(
+    key: GroupKey, history: List[dict], max_ratio: float
+) -> List[str]:
+    """Compare the newest entry against its predecessor."""
+    if len(history) < 2:
+        return []
+    previous, latest = history[-2], history[-1]
+    problems = []
+    for metric in GATED_METRICS:
+        before = previous.get(metric)
+        after = latest.get(metric)
+        if not isinstance(before, (int, float)) or not isinstance(
+            after, (int, float)
+        ):
+            continue
+        if before <= 0:
+            continue
+        ratio = after / before
+        if ratio > max_ratio:
+            label = "/".join(str(part) for part in key)
+            problems.append(
+                f"{label}: {metric} regressed {before} -> {after} "
+                f"({ratio:.2f}x > {max_ratio:.2f}x allowed)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "log",
+        type=Path,
+        nargs="?",
+        default=Path("benchmarks/results/solver_stats.jsonl"),
+        help="path to the solver-stats JSONL log",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when latest/previous work exceeds this factor "
+        "(default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.log.exists():
+        print(f"error: {args.log} not found", file=sys.stderr)
+        return 2
+    try:
+        groups = load_groups(args.log)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    problems: List[str] = []
+    comparable = 0
+    for key in sorted(groups, key=str):
+        history = groups[key]
+        if len(history) >= 2:
+            comparable += 1
+        problems.extend(check_group(key, history, args.max_ratio))
+
+    if problems:
+        print("solver-stats regression gate FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"solver-stats gate passed: {comparable} workload(s) compared "
+        f"across runs, {len(groups) - comparable} with a single entry, "
+        f"all within {args.max_ratio:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
