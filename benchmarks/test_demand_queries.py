@@ -113,6 +113,57 @@ class TestDemandQueryLocality:
         assert demand_elapsed < full_elapsed
 
 
+class TestParallelBatchQueries:
+    """Serial vs process-parallel ``query_sites`` on a 16-site batch."""
+
+    def test_parallel_batch16_wall_clock(self):
+        from repro.analysis.parallel import fork_available
+
+        vfg = build_vfg(11, 8)
+        sites = sorted(
+            (s for s in vfg.check_sites if s.node is not None),
+            key=lambda s: s.instr_uid,
+        )[:16]
+        assert len(sites) == 16, "factor-8 program must offer 16 sites"
+
+        serial = DemandEngine(vfg, context_depth=1)
+        serial_elapsed = min(
+            _timed(lambda: DemandEngine(vfg, context_depth=1).query_sites(sites))
+            for _ in range(3)
+        )
+        serial_verdicts = serial.query_sites(sites)
+        # Separate benchmark names per jobs level: workers re-explore
+        # shared slices, so parallel states/query is legitimately higher
+        # than serial and must not be gate-paired against it.
+        record_query_stats(
+            "parallel_batch16_serial", 11, 8, serial.stats,
+            jobs=1,
+            sites=len(sites),
+            batch_seconds=round(serial_elapsed, 6),
+        )
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        parallel = DemandEngine(vfg, context_depth=1)
+        parallel_elapsed = min(
+            _timed(
+                lambda: DemandEngine(vfg, context_depth=1).query_sites(
+                    sites, jobs=4
+                )
+            )
+            for _ in range(3)
+        )
+        parallel_verdicts = parallel.query_sites(sites, jobs=4)
+        record_query_stats(
+            "parallel_batch16", 11, 8, parallel.stats,
+            jobs=4,
+            sites=len(sites),
+            batch_seconds=round(parallel_elapsed, 6),
+        )
+        assert parallel.stats.parallel_batches == 1
+        assert parallel_verdicts == serial_verdicts
+
+
 def _timed(thunk) -> float:
     started = time.perf_counter()
     thunk()

@@ -22,15 +22,29 @@ Two constraint solvers share the constraint generator:
   sets are interned integer bitsets, each worklist pop propagates only
   the node's *delta* (facts added since it was last processed), and
   copy-edge cycles are collapsed online onto a union-find
-  representative via lazy cycle detection.
+  representative via lazy cycle detection.  Its default worklist
+  discipline is *wave scheduling* (``schedule="wave"``): instead of
+  popping nodes one at a time, each wave topologically orders the
+  copy-edge DAG reachable from the dirty frontier and pops in that
+  order, so a delta crosses the whole DAG in one sweep and every node
+  is offered its merged delta once per wave.  ``schedule="fifo"``
+  restores the plain pop loop (the PR-1 behavior, kept for
+  differential testing and benchmarking).
 - :class:`ReferenceSolver` (``use_reference=True``) is the original
   naive worklist that re-propagates full points-to sets; it is kept as
   the differential-testing oracle.
 
-Both produce bit-for-bit identical :class:`PointerResult` contents
-(SCC representatives are expanded back to their members before results
-are built) and both report their work through
-:class:`~repro.analysis.solverstats.SolverStats`.
+With ``jobs > 1`` (or ``REPRO_JOBS`` set), per-function constraint
+generation is sharded across a fork-start process pool
+(:mod:`repro.analysis.shardgen`): each worker interns its own symbols
+and returns a compact op tape, and the parent replays the tapes in
+module order through a per-shard table remap — the solver state after
+the merge is exactly the serial generator's, so results cannot differ.
+
+Every schedule/jobs combination produces bit-for-bit identical
+:class:`PointerResult` contents (SCC representatives are expanded back
+to their members before results are built) and all report their work
+through :class:`~repro.analysis.solverstats.SolverStats`.
 """
 
 from __future__ import annotations
@@ -59,9 +73,20 @@ from repro.analysis.memobjects import (
     function_object,
     global_object,
 )
+from repro.analysis.parallel import resolve_jobs
 from repro.analysis.solverstats import SolverStats
 
 Node = Union[PVar, MemLoc]
+
+#: Op-tape tags of the sharded constraint generator (see
+#: :mod:`repro.analysis.shardgen`); kept here so both the shard
+#: collector and the replaying solvers agree on the encoding.
+OP_PTS = 0
+OP_COPY = 1
+OP_LOAD = 2
+OP_STORE = 3
+OP_GEP = 4
+OP_ICALL = 5
 
 try:  # int.bit_count is 3.10+; the fallback keeps 3.9 working.
     _popcount = int.bit_count
@@ -130,6 +155,8 @@ def analyze_pointers(
     module: Module,
     heap_cloning: bool = True,
     use_reference: bool = False,
+    schedule: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> PointerResult:
     """Run Andersen's analysis on ``module``.
 
@@ -141,10 +168,35 @@ def analyze_pointers(
     (:class:`ReferenceSolver`) instead of the scalable
     :class:`DeltaSolver`; the results are identical — the flag exists
     for differential testing and benchmarking.
+
+    ``schedule`` picks the :class:`DeltaSolver` worklist discipline:
+    ``"wave"`` (the default) or ``"fifo"`` (the PR-1 pop loop); the
+    reference solver ignores it.  ``jobs`` shards constraint generation
+    across that many worker processes (``None`` defers to the session
+    default / ``REPRO_JOBS``; 1 is strictly serial).  Neither knob can
+    change the result — both are pure wall-clock/scheduling choices.
     """
-    solver_cls = ReferenceSolver if use_reference else DeltaSolver
-    stats = SolverStats(solver=solver_cls.kind)
-    base = solver_cls(module, wrappers=frozenset(), stats=stats)
+    jobs = resolve_jobs(jobs)
+    if schedule is None:
+        schedule = "wave"
+    if schedule not in ("wave", "fifo"):
+        raise ValueError(f"unknown solver schedule: {schedule!r}")
+
+    if use_reference:
+        stats = SolverStats(solver=ReferenceSolver.kind, schedule="fifo")
+
+        def make(wrappers: FrozenSet[str]) -> "_SolverBase":
+            return ReferenceSolver(module, wrappers=wrappers, stats=stats, jobs=jobs)
+
+    else:
+        stats = SolverStats(solver=DeltaSolver.kind, schedule=schedule)
+
+        def make(wrappers: FrozenSet[str]) -> "_SolverBase":
+            return DeltaSolver(
+                module, wrappers=wrappers, stats=stats, jobs=jobs, schedule=schedule
+            )
+
+    base = make(frozenset())
     base.solve()
     if not heap_cloning:
         return base.result()
@@ -152,7 +204,7 @@ def analyze_pointers(
         wrappers = base.detect_wrappers()
     if not wrappers:
         return base.result()
-    refined = solver_cls(module, wrappers=frozenset(wrappers), stats=stats)
+    refined = make(frozenset(wrappers))
     refined.solve()
     result = refined.result()
     result.wrappers = set(wrappers)
@@ -175,10 +227,13 @@ class _SolverBase:
         module: Module,
         wrappers: FrozenSet[str],
         stats: Optional[SolverStats] = None,
+        jobs: int = 1,
+        recursive: Optional[Set[str]] = None,
     ) -> None:
         self.module = module
         self.wrappers = wrappers
         self.stats = stats if stats is not None else SolverStats(solver=self.kind)
+        self.jobs = max(1, jobs)
 
         self.global_objects: Dict[str, MemObject] = {}
         self.function_objects: Dict[str, MemObject] = {}
@@ -192,7 +247,9 @@ class _SolverBase:
         self.clone_base: Dict[str, str] = {}
         #: (wrapper, callsite uid) namespaces already instantiated
         self._instantiated: Set[Tuple[str, int]] = set()
-        self._recursive = _recursive_functions(module)
+        self._recursive = (
+            recursive if recursive is not None else _recursive_functions(module)
+        )
 
         with self.stats.phase("constraints"):
             self._seed()
@@ -246,8 +303,66 @@ class _SolverBase:
             )
         for name in self.module.functions:
             self.function_objects[name] = function_object(name)
+        if self.jobs > 1 and len(self.module.functions) > 1:
+            from repro.analysis import shardgen
+
+            shards = shardgen.generate_shards(
+                self.module, self.wrappers, self._recursive, self.jobs
+            )
+            if shards is not None:
+                self._merge_shards(shards)
+                return
         for function in self.module.functions.values():
             self._gen_function(function, ns=function.name, clone_ctx=None)
+
+    def _merge_shards(self, shards) -> None:
+        """Deterministically fold sharded constraint generation into
+        this solver's store.
+
+        Shards cover contiguous runs of functions in module order and
+        each shard's op tape is in generation order, so replaying them
+        in sequence reproduces exactly the constraint stream the serial
+        ``_seed`` loop would have produced — including the order
+        ``alloc_objects`` lists accumulate, which downstream consumers
+        rely on.
+        """
+        for shard in shards:
+            self.stats.gen_shards += 1
+            self._replay_shard(shard)
+            for uid, targets in shard.call_targets.items():
+                self.call_targets.setdefault(uid, set()).update(targets)
+            self.clone_base.update(shard.clone_base)
+            self._instantiated.update(shard.instantiated)
+            for uid, objs in shard.alloc_objects.items():
+                known = self.alloc_objects.setdefault(uid, [])
+                for obj in objs:
+                    if obj not in known:
+                        known.append(obj)
+
+    def _replay_shard(self, shard) -> None:
+        """Replay a shard's op tape through the object-level hooks.
+
+        :class:`DeltaSolver` overrides this with an id-level replay
+        that crosses the interning boundary once per distinct symbol
+        instead of once per op.
+        """
+        syms = shard.syms
+        for op in shard.ops:
+            kind = op[0]
+            if kind == OP_COPY:
+                self._add_copy(syms[op[1]], syms[op[2]])
+            elif kind == OP_PTS:
+                self._add_pts(syms[op[1]], syms[op[2]])
+            elif kind == OP_LOAD:
+                self._add_load(syms[op[1]], syms[op[2]])
+            elif kind == OP_STORE:
+                self._add_store(syms[op[1]], syms[op[2]])
+            elif kind == OP_GEP:
+                self._add_gep(syms[op[1]], syms[op[2]], op[3])
+            else:  # OP_ICALL
+                args = [syms[a] if a >= 0 else None for a in op[3]]
+                dst = syms[op[4]] if op[4] >= 0 else None
+                self._add_icall(syms[op[1]], op[2], args, dst)
 
     def _ret_node(self, ns: str) -> PVar:
         return PVar(ns, "<ret>")
@@ -487,6 +602,8 @@ class ReferenceSolver(_SolverBase):
         module: Module,
         wrappers: FrozenSet[str],
         stats: Optional[SolverStats] = None,
+        jobs: int = 1,
+        recursive: Optional[Set[str]] = None,
     ) -> None:
         self.pts: Dict[Node, Set[MemLoc]] = {}
         self.copy_edges: Dict[Node, Set[Node]] = {}
@@ -498,7 +615,7 @@ class ReferenceSolver(_SolverBase):
         ] = {}
         self.worklist: List[Node] = []
         self.dirty: Set[Node] = set()
-        super().__init__(module, wrappers, stats)
+        super().__init__(module, wrappers, stats, jobs=jobs, recursive=recursive)
 
     # -- constraint store ----------------------------------------------
     def _points(self, node: Node) -> Set[MemLoc]:
@@ -644,6 +761,19 @@ class DeltaSolver(_SolverBase):
         collapses every multi-node SCC onto a union-find
         representative, redirecting the copy / load / store / gep /
         icall edge tables through ``_find``.
+
+    Wave scheduling
+        With ``schedule="wave"`` (the default) the fixpoint loop runs
+        in *waves*: each wave snapshots the dirty frontier, orders the
+        copy-edge subgraph reachable from it in reverse postorder
+        (topological once cycles are collapsed), and pops nodes in that
+        order.  A delta entering the top of a copy chain reaches the
+        bottom within the same wave, and because every downstream node
+        is popped after all its in-wave predecessors, it is offered the
+        *merged* delta exactly once — the FIFO loop would re-pop it per
+        predecessor.  ``schedule="fifo"`` keeps the plain pop loop.
+        Both reach the same least fixpoint (monotone confluence), so
+        results are bit-identical; only the work profile differs.
     """
 
     kind = "delta"
@@ -656,7 +786,18 @@ class DeltaSolver(_SolverBase):
         module: Module,
         wrappers: FrozenSet[str],
         stats: Optional[SolverStats] = None,
+        jobs: int = 1,
+        recursive: Optional[Set[str]] = None,
+        schedule: str = "wave",
     ) -> None:
+        if schedule not in ("wave", "fifo"):
+            raise ValueError(f"unknown solver schedule: {schedule!r}")
+        self.schedule = schedule
+        #: wave-mode bookkeeping: topological position of each rep in
+        #: the wave currently being processed (None outside a wave) and
+        #: the position of the rep being popped right now.
+        self._wave_pos: Optional[Dict[int, int]] = None
+        self._wave_cursor = 0
         #: interning: MemLoc <-> bit index
         self._locs: List[MemLoc] = []
         self._loc_ids: Dict[MemLoc, int] = {}
@@ -689,7 +830,8 @@ class DeltaSolver(_SolverBase):
         self._lcd_threshold = self._LCD_BASE_THRESHOLD
         self.worklist: List[int] = []
         self.dirty: Set[int] = set()
-        super().__init__(module, wrappers, stats)
+        super().__init__(module, wrappers, stats, jobs=jobs, recursive=recursive)
+        self.stats.schedule = schedule
 
     # -- interning -----------------------------------------------------
     def _nid(self, node: Node) -> int:
@@ -771,14 +913,17 @@ class DeltaSolver(_SolverBase):
         what a newly added edge must catch up on."""
         return self._bits[rep] & ~self._delta[rep]
 
-    def _add_pts(self, node: Node, loc: MemLoc) -> None:
-        rep = self._find(self._nid(node))
-        bit = 1 << self._lid(loc)
+    def _pts_ids(self, nid: int, lid: int) -> None:
+        rep = self._find(nid)
+        bit = 1 << lid
         if not self._bits[rep] & bit:
             self._bits[rep] |= bit
             self._delta[rep] |= bit
             self.stats.facts_added += 1
             self._touch(rep)
+
+    def _add_pts(self, node: Node, loc: MemLoc) -> None:
+        self._pts_ids(self._nid(node), self._lid(loc))
 
     def _offer(self, dst: int, bits: int) -> bool:
         """Push ``bits`` into ``dst``'s set; True if anything was new."""
@@ -793,7 +938,16 @@ class DeltaSolver(_SolverBase):
         self._bits[rep] = cur | new
         self._delta[rep] |= new
         self.stats.facts_added += _popcount(new)
-        self._touch(rep)
+        if rep in self.dirty:
+            # Already scheduled.  In wave mode, if the recipient sits
+            # later in the current wave's topological order, these bits
+            # ride along with its single in-wave pop — a FIFO loop
+            # would have queued a separate re-pop for them.
+            wave_pos = self._wave_pos
+            if wave_pos is not None and wave_pos.get(rep, -1) > self._wave_cursor:
+                self.stats.wave_reoffers_avoided += 1
+        else:
+            self._touch(rep)
         return True
 
     def _copy_ids(self, src: int, dst: int) -> None:
@@ -816,9 +970,8 @@ class DeltaSolver(_SolverBase):
     def _add_copy(self, src: Node, dst: Node) -> None:
         self._copy_ids(self._nid(src), self._nid(dst))
 
-    def _add_load(self, ptr: Node, dst: Node) -> None:
-        rep = self._find(self._nid(ptr))
-        dst_id = self._nid(dst)
+    def _load_ids(self, ptr_id: int, dst_id: int) -> None:
+        rep = self._find(ptr_id)
         dsts = self._loads[rep]
         if dsts is None:
             dsts = self._loads[rep] = set()
@@ -828,9 +981,11 @@ class DeltaSolver(_SolverBase):
         for lid in self._iter_lids(self._processed(rep) & ~self._func_mask):
             self._copy_ids(self._loc_node(lid), dst_id)
 
-    def _add_store(self, ptr: Node, src: Node) -> None:
-        rep = self._find(self._nid(ptr))
-        src_id = self._nid(src)
+    def _add_load(self, ptr: Node, dst: Node) -> None:
+        self._load_ids(self._nid(ptr), self._nid(dst))
+
+    def _store_ids(self, ptr_id: int, src_id: int) -> None:
+        rep = self._find(ptr_id)
         srcs = self._stores[rep]
         if srcs is None:
             srcs = self._stores[rep] = set()
@@ -840,9 +995,11 @@ class DeltaSolver(_SolverBase):
         for lid in self._iter_lids(self._processed(rep) & ~self._func_mask):
             self._copy_ids(src_id, self._loc_node(lid))
 
-    def _add_gep(self, base: Node, dst: Node, offset: Optional[int]) -> None:
-        rep = self._find(self._nid(base))
-        dst_id = self._nid(dst)
+    def _add_store(self, ptr: Node, src: Node) -> None:
+        self._store_ids(self._nid(ptr), self._nid(src))
+
+    def _gep_ids(self, base_id: int, dst_id: int, offset: Optional[int]) -> None:
+        rep = self._find(base_id)
         entry = (dst_id, offset)
         entries = self._geps[rep]
         if entries is None:
@@ -854,6 +1011,9 @@ class DeltaSolver(_SolverBase):
         if bits:
             self._offer(dst_id, self._shift_bits(bits, offset))
 
+    def _add_gep(self, base: Node, dst: Node, offset: Optional[int]) -> None:
+        self._gep_ids(self._nid(base), self._nid(dst), offset)
+
     def _add_icall(
         self,
         callee_node: Node,
@@ -861,9 +1021,18 @@ class DeltaSolver(_SolverBase):
         arg_nodes: List[Optional[Node]],
         dst_node: Optional[Node],
     ) -> None:
-        rep = self._find(self._nid(callee_node))
         args = tuple(-1 if a is None else self._nid(a) for a in arg_nodes)
         dst_id = -1 if dst_node is None else self._nid(dst_node)
+        self._icall_ids(self._nid(callee_node), call_uid, args, dst_id)
+
+    def _icall_ids(
+        self,
+        callee_id: int,
+        call_uid: int,
+        args: Tuple[int, ...],
+        dst_id: int,
+    ) -> None:
+        rep = self._find(callee_id)
         entry = (call_uid, args, dst_id)
         entries = self._icalls[rep]
         if entries is None:
@@ -891,13 +1060,48 @@ class DeltaSolver(_SolverBase):
             nodes[dst_id] if dst_id >= 0 else None,
         )
 
+    # -- shard replay --------------------------------------------------
+    def _replay_shard(self, shard) -> None:
+        """Id-level shard replay: remap each shard-local symbol to a
+        dense node id once (the merge is a table remap), then drive the
+        id-level constraint store directly — the hot path never hashes
+        a dataclass more than once per distinct symbol."""
+        syms = shard.syms
+        node_ids: List[int] = [-1] * len(syms)
+
+        def nid(local: int) -> int:
+            mapped = node_ids[local]
+            if mapped < 0:
+                mapped = node_ids[local] = self._nid(syms[local])
+            return mapped
+
+        for op in shard.ops:
+            kind = op[0]
+            if kind == OP_COPY:
+                self._copy_ids(nid(op[1]), nid(op[2]))
+            elif kind == OP_PTS:
+                self._pts_ids(nid(op[1]), self._lid(syms[op[2]]))
+            elif kind == OP_LOAD:
+                self._load_ids(nid(op[1]), nid(op[2]))
+            elif kind == OP_STORE:
+                self._store_ids(nid(op[1]), nid(op[2]))
+            elif kind == OP_GEP:
+                self._gep_ids(nid(op[1]), nid(op[2]), op[3])
+            else:  # OP_ICALL
+                args = tuple(nid(a) if a >= 0 else -1 for a in op[3])
+                dst = nid(op[4]) if op[4] >= 0 else -1
+                self._icall_ids(nid(op[1]), op[2], args, dst)
+
     # -- fixpoint ------------------------------------------------------
     def solve(self) -> None:
         self.stats.solve_passes += 1
         with self.stats.phase("solve"):
-            self._run()
+            if self.schedule == "wave":
+                self._run_wave()
+            else:
+                self._run_fifo()
 
-    def _run(self) -> None:
+    def _run_fifo(self) -> None:
         worklist = self.worklist
         dirty = self.dirty
         delta_of = self._delta
@@ -912,6 +1116,101 @@ class DeltaSolver(_SolverBase):
             delta_of[rep] = 0
             self.stats.pops += 1
             self._propagate(rep, delta)
+
+    def _run_wave(self) -> None:
+        """Wave/deep propagation: drain the worklist in topological
+        sweeps of the copy-edge DAG instead of one pop at a time.
+
+        Each iteration snapshots the dirty frontier, computes a
+        reverse-postorder schedule of everything reachable from it
+        along copy edges, and pops in that order.  Nodes dirtied
+        *mid-wave* by an upstream pop occupy a later slot in the same
+        schedule, so their merged delta is popped once in this wave
+        rather than once per incoming edge.  Mid-wave SCC collapses are
+        handled by re-resolving each scheduled node through ``_find``
+        at pop time; a collapse at worst costs one extra pop for the
+        representative in the next wave.  The fixpoint reached is the
+        same as FIFO's — only the schedule (and hence pops / propagated
+        facts) differs.
+        """
+        worklist = self.worklist
+        dirty = self.dirty
+        delta_of = self._delta
+        find = self._find
+        stats = self.stats
+        while worklist:
+            frontier: List[int] = []
+            seen: Set[int] = set()
+            for nid in worklist:
+                rep = find(nid)
+                if rep in dirty and rep not in seen:
+                    seen.add(rep)
+                    frontier.append(rep)
+            worklist.clear()
+            if not frontier:
+                continue
+            order = self._wave_order(frontier)
+            stats.waves += 1
+            self._wave_pos = {rep: pos for pos, rep in enumerate(order)}
+            width = 0
+            try:
+                for pos, scheduled in enumerate(order):
+                    self._wave_cursor = pos
+                    rep = find(scheduled)
+                    if rep not in dirty:
+                        continue
+                    dirty.discard(rep)
+                    delta = delta_of[rep]
+                    if not delta:
+                        continue
+                    delta_of[rep] = 0
+                    width += 1
+                    stats.pops += 1
+                    self._propagate(rep, delta)
+            finally:
+                self._wave_pos = None
+                self._wave_cursor = 0
+            if width > stats.peak_wave_width:
+                stats.peak_wave_width = width
+
+    def _wave_order(self, frontier: List[int]) -> List[int]:
+        """Reverse-postorder schedule of the copy-edge subgraph
+        reachable from ``frontier``.
+
+        With collapsed SCCs the copy graph is a DAG and this is a
+        topological order; cycles not yet detected merely degrade the
+        order locally (still a valid schedule — correctness never
+        depends on it).  The schedule covers *reachable* nodes, not
+        just currently-dirty ones, precisely so that nodes dirtied
+        mid-wave already hold a downstream slot.
+        """
+        find = self._find
+        copy_out = self._copy_out
+        visited: Set[int] = set()
+        post: List[int] = []
+        for root in frontier:
+            root = find(root)
+            if root in visited:
+                continue
+            visited.add(root)
+            frames: List[Tuple[int, Iterator[int]]] = [
+                (root, iter(copy_out[root] or ()))
+            ]
+            while frames:
+                node, succs = frames[-1]
+                advanced = False
+                for raw in succs:
+                    succ = find(raw)
+                    if succ not in visited:
+                        visited.add(succ)
+                        frames.append((succ, iter(copy_out[succ] or ())))
+                        advanced = True
+                        break
+                if not advanced:
+                    frames.pop()
+                    post.append(node)
+        post.reverse()
+        return post
 
     def _propagate(self, rep: int, delta: int) -> None:
         # Copy edges: pts(rep) ⊆ pts(dst), pushing only the delta.

@@ -1,0 +1,102 @@
+"""Process-parallelism plumbing shared by the analysis pipeline.
+
+Every parallel path in the system — sharded constraint generation
+(:mod:`repro.analysis.shardgen`) and batched demand queries
+(:meth:`repro.vfg.demand.DemandEngine.query_sites`) — funnels its
+worker-count decision through :func:`resolve_jobs`, so one knob
+controls them all:
+
+1. an explicit ``jobs=`` argument wins;
+2. otherwise a session default installed by :func:`default_jobs`
+   (the ``repro report --jobs N`` path, where threading an argument
+   through every harness builder would be noise);
+3. otherwise the ``REPRO_JOBS`` environment variable (the CI smoke
+   lane runs the whole tier-1 suite under ``REPRO_JOBS=2``);
+4. otherwise 1 — strictly serial, the default.
+
+All pools are ``fork``-start: workers inherit the module / VFG /
+wrappers / memo snapshot through copy-on-write memory instead of
+pickling them, which is what makes per-call pools affordable.  On
+platforms without ``fork`` every parallel path silently degrades to
+the serial code — results are identical either way (that is the
+contract the differential suite enforces), parallelism is purely a
+wall-clock optimization.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, TypeVar
+
+#: Environment variable consulted when no explicit ``jobs=`` is given.
+JOBS_ENV = "REPRO_JOBS"
+
+_default_jobs: Optional[int] = None
+
+T = TypeVar("T")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count for one parallel phase (>= 1)."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    if _default_jobs is not None:
+        return _default_jobs
+    raw = os.environ.get(JOBS_ENV)
+    if raw is None:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+@contextmanager
+def default_jobs(jobs: Optional[int]) -> Iterator[None]:
+    """Install ``jobs`` as the session default for the enclosed block.
+
+    ``None`` is a no-op (callers can pass an optional CLI argument
+    straight through).  Nesting restores the previous default on exit.
+    """
+    global _default_jobs
+    if jobs is None:
+        yield
+        return
+    previous = _default_jobs
+    _default_jobs = max(1, int(jobs))
+    try:
+        yield
+    finally:
+        _default_jobs = previous
+
+
+def fork_available() -> bool:
+    """Whether fork-start pools exist on this platform (POSIX)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def fork_pool(processes: int):
+    """A fork-start worker pool (callers own the ``with`` lifetime)."""
+    return multiprocessing.get_context("fork").Pool(processes)
+
+
+def chunk_evenly(items: Sequence[T], chunks: int) -> List[List[T]]:
+    """Split ``items`` into up to ``chunks`` contiguous, near-even runs.
+
+    Contiguity is load-bearing: the shard-merge protocol replays chunk
+    results in order, so concatenating the chunks must reproduce the
+    serial iteration order exactly.  Empty chunks are dropped.
+    """
+    items = list(items)
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    out: List[List[T]] = []
+    start = 0
+    for index in range(chunks):
+        stop = start + size + (1 if index < extra else 0)
+        if stop > start:
+            out.append(items[start:stop])
+        start = stop
+    return out

@@ -1,0 +1,206 @@
+"""Process-parallel constraint generation for the Andersen solvers.
+
+The constraint generator walks every function (plus any allocation-
+wrapper clones its call sites instantiate) and emits pts / copy / load /
+store / gep / icall constraints.  That walk is embarrassingly parallel
+across functions — the only shared state is the symbol interner and the
+solver's constraint store — so with ``jobs > 1`` it is sharded:
+
+1. The module's functions are split into **contiguous** chunks in
+   module order (:func:`repro.analysis.parallel.chunk_evenly`).
+2. Each worker process runs a :class:`_ShardCollector` — the real
+   generator (``_SolverBase._gen_function``, including nested wrapper
+   clone instantiation) with the constraint hooks swapped for recorders
+   — and returns a :class:`ShardResult`: a per-shard symbol table (its
+   own interning, local ids) plus a flat op tape over those ids.
+3. The parent replays the tapes **in shard order** through the solver's
+   id-level constraint hooks, remapping each shard-local symbol to a
+   dense solver id once (``DeltaSolver._replay_shard``).  Because the
+   chunks are contiguous and each tape is in generation order, the
+   replayed constraint stream is exactly the serial generator's stream,
+   so the post-merge solver state — and therefore every downstream
+   result — is bit-identical to ``jobs=1``.
+
+Workers inherit the module / wrappers / recursive-set snapshot through
+``fork`` copy-on-write (nothing is pickled on the way in); only the
+compact :class:`ShardResult` tuples are pickled on the way back, which
+is what keeps the shard round-trip cheaper than the generation it
+replaces.  When ``fork`` is unavailable (or a pool cannot be created),
+:func:`generate_shards` returns ``None`` and the caller falls back to
+the serial loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.memobjects import MemLoc, MemObject
+from repro.analysis.parallel import chunk_evenly, fork_available, fork_pool
+from repro.analysis.solverstats import SolverStats
+from repro.ir.module import Module
+
+
+@dataclass
+class ShardResult:
+    """One worker's contribution: a symbol table, an op tape over it,
+    and the generation side-tables the parent must merge."""
+
+    #: shard-local id -> symbol (PVar or MemLoc, in first-use order)
+    syms: List[object] = field(default_factory=list)
+    #: flat op tape; first element is an ``OP_*`` tag from
+    #: :mod:`repro.analysis.andersen`, the rest are shard-local symbol
+    #: ids (``-1`` encodes ``None``) plus per-op immediates
+    ops: List[tuple] = field(default_factory=list)
+    #: call uid -> direct-call targets seen during generation
+    call_targets: Dict[int, Set[str]] = field(default_factory=dict)
+    #: clone namespace -> base function name
+    clone_base: Dict[str, str] = field(default_factory=dict)
+    #: (wrapper, callsite uid) clones this shard instantiated
+    instantiated: Set[Tuple[str, int]] = field(default_factory=set)
+    #: alloc uid -> objects, in generation order
+    alloc_objects: Dict[int, List[MemObject]] = field(default_factory=dict)
+
+
+def _collector_class():
+    # Deferred: andersen imports this module lazily (inside _seed) and
+    # importing it here at top level would be circular.
+    from repro.analysis import andersen
+
+    class _ShardCollector(andersen._SolverBase):
+        """The constraint generator with recording hooks.
+
+        Runs ``_gen_function`` (and everything it pulls in — wrapper
+        clone instantiation, direct-call binding) for one contiguous
+        chunk of functions, interning symbols shard-locally and
+        appending one tape entry per emitted constraint.  It never
+        solves; its only products are the tape and the side-tables.
+        """
+
+        kind = "shard"
+
+        def __init__(
+            self,
+            module: Module,
+            wrappers: FrozenSet[str],
+            recursive: Set[str],
+            names: List[str],
+        ) -> None:
+            self._names = names
+            self.result_shard = ShardResult()
+            self._sids: Dict[object, int] = {}
+            super().__init__(
+                module,
+                wrappers,
+                stats=SolverStats(solver=self.kind),
+                recursive=recursive,
+            )
+
+        def _seed(self) -> None:
+            for glob in self.module.globals.values():
+                self.global_objects[glob.name] = andersen.global_object(
+                    glob.name, glob.initialized, glob.size, glob.is_array
+                )
+            for name in self.module.functions:
+                self.function_objects[name] = andersen.function_object(name)
+            for name in self._names:
+                function = self.module.functions[name]
+                self._gen_function(function, ns=function.name, clone_ctx=None)
+            shard = self.result_shard
+            shard.call_targets = self.call_targets
+            shard.clone_base = self.clone_base
+            shard.instantiated = self._instantiated
+            shard.alloc_objects = self.alloc_objects
+
+        # -- recording hooks ------------------------------------------
+        def _sid(self, sym: object) -> int:
+            sid = self._sids.get(sym)
+            if sid is None:
+                sid = len(self.result_shard.syms)
+                self._sids[sym] = sid
+                self.result_shard.syms.append(sym)
+            return sid
+
+        def _add_pts(self, node, loc: MemLoc) -> None:
+            self.result_shard.ops.append(
+                (andersen.OP_PTS, self._sid(node), self._sid(loc))
+            )
+
+        def _add_copy(self, src, dst) -> None:
+            self.result_shard.ops.append(
+                (andersen.OP_COPY, self._sid(src), self._sid(dst))
+            )
+
+        def _add_load(self, ptr, dst) -> None:
+            self.result_shard.ops.append(
+                (andersen.OP_LOAD, self._sid(ptr), self._sid(dst))
+            )
+
+        def _add_store(self, ptr, src) -> None:
+            self.result_shard.ops.append(
+                (andersen.OP_STORE, self._sid(ptr), self._sid(src))
+            )
+
+        def _add_gep(self, base, dst, offset: Optional[int]) -> None:
+            self.result_shard.ops.append(
+                (andersen.OP_GEP, self._sid(base), self._sid(dst), offset)
+            )
+
+        def _add_icall(self, callee_node, call_uid, arg_nodes, dst_node) -> None:
+            args = tuple(
+                -1 if a is None else self._sid(a) for a in arg_nodes
+            )
+            dst = -1 if dst_node is None else self._sid(dst_node)
+            self.result_shard.ops.append(
+                (andersen.OP_ICALL, self._sid(callee_node), call_uid, args, dst)
+            )
+
+    return _ShardCollector
+
+
+#: Fork-inherited work description: (module, wrappers, recursive).
+#: Set in the parent immediately before the pool forks; workers read it
+#: from their copy-on-write heap instead of unpickling the module.
+_WORK: Optional[Tuple[Module, FrozenSet[str], Set[str]]] = None
+
+
+def _collect_chunk(names: List[str]) -> ShardResult:
+    """Worker entry point: generate one chunk's constraint tape."""
+    assert _WORK is not None, "shard worker started without fork context"
+    module, wrappers, recursive = _WORK
+    collector = _collector_class()(module, wrappers, recursive, names)
+    return collector.result_shard
+
+
+def generate_shards(
+    module: Module,
+    wrappers: FrozenSet[str],
+    recursive: Set[str],
+    jobs: int,
+) -> Optional[List[ShardResult]]:
+    """Shard constraint generation across ``jobs`` worker processes.
+
+    Returns the shard results in module order, or ``None`` when
+    parallel generation is unavailable (no ``fork``, a pool cannot be
+    created, or there is nothing to split) — callers then run the
+    serial generator.  Worker *failures* are not swallowed: a bug in
+    the collector must surface, not silently degrade to serial.
+    """
+    if jobs < 2 or not fork_available():
+        return None
+    chunks = chunk_evenly(list(module.functions), jobs)
+    if len(chunks) < 2:
+        return None
+    global _WORK
+    _WORK = (module, wrappers, set(recursive))
+    try:
+        try:
+            pool = fork_pool(len(chunks))
+        except (OSError, AssertionError):
+            # Can't fork here (resource limits, daemonic process, ...):
+            # degrade to serial generation.
+            return None
+        with pool:
+            return pool.map(_collect_chunk, chunks)
+    finally:
+        _WORK = None

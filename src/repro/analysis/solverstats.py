@@ -38,9 +38,19 @@ class SolverStats:
 
     Attributes:
         solver: ``"delta"`` or ``"reference"``.
+        schedule: Worklist discipline — ``"wave"`` (topological waves
+            over the copy-edge DAG, the delta solver's default) or
+            ``"fifo"`` (plain worklist pops).
         solve_passes: Number of ``solve()`` fixpoints run (2 with heap
             cloning: the wrapper-detection pre-pass plus the re-run).
         pops: Worklist pops that did propagation work.
+        waves: Propagation waves executed (wave schedule only).
+        peak_wave_width: Most nodes popped in a single wave.
+        wave_reoffers_avoided: Deltas merged into a node still pending
+            later in the current wave — each one a pop (and a re-offer
+            of that node's delta) the FIFO schedule would have risked.
+        gen_shards: Constraint-generation shards merged (0 when the
+            generator ran serially).
         facts_propagated: Facts offered along constraint edges (the
             solver's raw propagation volume — the figure difference
             propagation shrinks).
@@ -57,8 +67,13 @@ class SolverStats:
     """
 
     solver: str = "delta"
+    schedule: str = "fifo"
     solve_passes: int = 0
     pops: int = 0
+    waves: int = 0
+    peak_wave_width: int = 0
+    wave_reoffers_avoided: int = 0
+    gen_shards: int = 0
     facts_propagated: int = 0
     facts_added: int = 0
     copy_edges: int = 0
@@ -92,8 +107,13 @@ class SolverStats:
         """JSON-ready snapshot (used by the benchmark trajectory)."""
         return {
             "solver": self.solver,
+            "schedule": self.schedule,
             "solve_passes": self.solve_passes,
             "pops": self.pops,
+            "waves": self.waves,
+            "peak_wave_width": self.peak_wave_width,
+            "wave_reoffers_avoided": self.wave_reoffers_avoided,
+            "gen_shards": self.gen_shards,
             "facts_propagated": self.facts_propagated,
             "facts_added": self.facts_added,
             "copy_edges": self.copy_edges,
@@ -113,6 +133,10 @@ class SolverStats:
         """Fold ``other``'s counters into this instance."""
         self.solve_passes += other.solve_passes
         self.pops += other.pops
+        self.waves += other.waves
+        self.peak_wave_width = max(self.peak_wave_width, other.peak_wave_width)
+        self.wave_reoffers_avoided += other.wave_reoffers_avoided
+        self.gen_shards += other.gen_shards
         self.facts_propagated += other.facts_propagated
         self.facts_added += other.facts_added
         self.copy_edges += other.copy_edges
@@ -129,9 +153,21 @@ class SolverStats:
     def format_summary(self) -> str:
         """Multi-line human-readable profile (CLI / harness report)."""
         lines = [
-            f"solver profile ({self.solver}, "
+            f"solver profile ({self.solver}, {self.schedule} schedule, "
             f"{self.solve_passes} solve pass(es)):",
             f"  pops              {self.pops:>10d}",
+        ]
+        if self.waves:
+            lines.append(
+                f"  waves             {self.waves:>10d} "
+                f"(peak width {self.peak_wave_width}, "
+                f"{self.wave_reoffers_avoided} re-offers avoided)"
+            )
+        if self.gen_shards:
+            lines.append(
+                f"  gen shards        {self.gen_shards:>10d}"
+            )
+        lines += [
             f"  facts propagated  {self.facts_propagated:>10d}",
             f"  facts added       {self.facts_added:>10d}",
             f"  copy edges        {self.copy_edges:>10d}",
@@ -177,6 +213,10 @@ class QueryStats:
         memo_entries: Current size of the engine's verdict memo.
         query_seconds: Total wall time spent answering queries.
         max_query_seconds: Slowest single query.
+        parallel_jobs: Largest worker count a batched
+            ``query_sites(jobs=N)`` call fanned out to (1 = all
+            queries ran serially).
+        parallel_batches: Parallel ``query_sites`` fan-outs performed.
     """
 
     resolver: str = "callstring"
@@ -192,6 +232,8 @@ class QueryStats:
     memo_entries: int = 0
     query_seconds: float = 0.0
     max_query_seconds: float = 0.0
+    parallel_jobs: int = 1
+    parallel_batches: int = 0
 
     def note_query(
         self,
@@ -243,6 +285,8 @@ class QueryStats:
             "memo_entries": self.memo_entries,
             "query_seconds": round(self.query_seconds, 6),
             "max_query_seconds": round(self.max_query_seconds, 6),
+            "parallel_jobs": self.parallel_jobs,
+            "parallel_batches": self.parallel_batches,
         }
 
     def merge(self, other: "QueryStats") -> None:
@@ -262,6 +306,8 @@ class QueryStats:
         self.max_query_seconds = max(
             self.max_query_seconds, other.max_query_seconds
         )
+        self.parallel_jobs = max(self.parallel_jobs, other.parallel_jobs)
+        self.parallel_batches += other.parallel_batches
 
     def format_summary(self) -> str:
         """Multi-line human-readable profile (CLI / harness report)."""
@@ -280,4 +326,9 @@ class QueryStats:
             f"  query time        {self.query_seconds:>9.4f}s "
             f"(max {self.max_query_seconds:.4f}s)",
         ]
+        if self.parallel_batches:
+            lines.append(
+                f"  parallel batches  {self.parallel_batches:>10d} "
+                f"(up to {self.parallel_jobs} jobs)"
+            )
         return "\n".join(lines)

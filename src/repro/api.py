@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
+from repro.analysis.parallel import resolve_jobs
 from repro.analysis.solverstats import QueryStats
 from repro.core import (
     InstrumentationPlan,
@@ -204,6 +205,7 @@ def analyze(
     resolver: str = "callstring",
     demand: bool = False,
     use_reference_solver: bool = False,
+    jobs: Optional[int] = None,
 ) -> Analysis:
     """Optimize, analyze and instrument a program under every config.
 
@@ -216,17 +218,26 @@ def analyze(
     Opt II's re-resolution — bit-identical plans, different cost
     profile.  :meth:`Analysis.query` / :meth:`Analysis.explain` are
     demand-driven regardless of this flag.
+
+    ``jobs`` is the single parallelism knob: with ``jobs > 1``,
+    constraint generation is sharded across worker processes and
+    (with ``demand=True``) batched definedness queries fan out too.
+    ``None`` defers to the session default / the ``REPRO_JOBS``
+    environment variable; 1 is strictly serial.  Every result is
+    bit-identical regardless of ``jobs`` — it only buys wall-clock.
     """
     if (source is None) == (module is None):
         raise ValueError("pass exactly one of source= or module=")
     if module is None:
         module = compile_source(source, name)
+    jobs = resolve_jobs(jobs)
     run_pipeline(module, level)
     verify_module(module)
     prepared = prepare_module(
         module,
         heap_cloning=heap_cloning,
         use_reference_solver=use_reference_solver,
+        jobs=jobs,
     )
     wanted = list(configs) if configs else list(CONFIG_ORDER)
     plans: Dict[str, InstrumentationPlan] = {}
@@ -248,6 +259,7 @@ def analyze(
             context_depth=context_depth,
             resolver=resolver,
             demand=demand,
+            jobs=jobs,
         )
         result = run_usher(prepared, config)
         results[config_name] = result

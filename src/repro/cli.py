@@ -48,6 +48,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         level=args.level,
         configs=[args.config],
         demand=args.demand,
+        jobs=args.jobs,
     )
     plan = analysis.plans[args.config]
     if args.solver_stats:
@@ -193,8 +194,26 @@ def cmd_vfg(args: argparse.Namespace) -> int:
         only_function=args.function,
         max_nodes=args.max_nodes,
     )
-    if engine is not None and args.query_stats:
-        print(engine.stats.format_summary(), file=sys.stderr)
+    if args.solver_stats:
+        stats = prepared.solver_stats
+        if stats is not None:
+            print(stats.format_summary(), file=sys.stderr)
+        else:
+            print(
+                "no solver stats recorded for this run (the pointer-"
+                "analysis phase did not produce a profile)",
+                file=sys.stderr,
+            )
+    if args.query_stats:
+        if engine is not None:
+            print(engine.stats.format_summary(), file=sys.stderr)
+        else:
+            print(
+                "no demand queries were issued (nothing to profile; "
+                "re-run with --demand to resolve definedness through "
+                "the demand engine)",
+                file=sys.stderr,
+            )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(dot)
@@ -222,7 +241,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report
 
-    text = build_report(scale=args.scale, sections=args.sections or None)
+    text = build_report(
+        scale=args.scale, sections=args.sections or None, jobs=args.jobs
+    )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -258,7 +279,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "reachability; identical verdicts")
     check.add_argument("--query-stats", action="store_true",
                        help="print the demand-query work profile "
-                            "(states/nodes visited, memo hits, latency)")
+                            "(states/nodes visited, memo hits, latency); "
+                            "requires a demand engine to have run "
+                            "(--demand or --explain), otherwise explains "
+                            "that nothing was profiled")
+    check.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for the parallel analysis "
+                            "paths (sharded constraint generation; with "
+                            "--demand, batched queries too); default: "
+                            "$REPRO_JOBS or 1 (serial). Results are "
+                            "identical for any value")
     check.set_defaults(func=cmd_check)
 
     run = sub.add_parser("run", help="execute natively")
@@ -284,9 +314,17 @@ def build_parser() -> argparse.ArgumentParser:
     vfg.add_argument("--demand", action="store_true",
                      help="color definedness on demand (resolve only "
                           "the rendered nodes by backward slicing)")
+    vfg.add_argument("--solver-stats", action="store_true",
+                     help="print the constraint-solver work profile to "
+                          "stderr (pops, propagated facts, collapsed "
+                          "SCCs, phase timings); the profile comes from "
+                          "the pointer-analysis phase this command "
+                          "always runs")
     vfg.add_argument("--query-stats", action="store_true",
-                     help="with --demand: print the query work profile "
-                          "to stderr")
+                     help="print the demand-query work profile to "
+                          "stderr; requires the demand engine (--demand) "
+                          "to have run, otherwise explains that nothing "
+                          "was profiled")
     vfg.add_argument("-o", "--output", default=None)
     vfg.set_defaults(func=cmd_vfg)
 
@@ -297,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full experiment report (markdown)")
     report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the parallel analysis "
+                             "paths across every section; default: "
+                             "$REPRO_JOBS or 1 (serial). Results are "
+                             "identical for any value")
     report.add_argument("-o", "--output", default=None)
     report.add_argument(
         "--sections",

@@ -14,7 +14,7 @@ shadow value remains correctly initialized (Algorithm 1, line 9 note).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from repro.ir import instructions as ins
 from repro.ir.dominance import DominatorTree, loop_blocks
@@ -41,6 +41,7 @@ def redundant_check_elimination(
     resolver: str = "callstring",
     interprocedural: bool = False,
     demand: bool = False,
+    jobs: "Optional[int]" = None,
 ) -> "tuple[Definedness, Opt2Stats]":
     """Run Algorithm 1; return the refined Γ and statistics.
 
@@ -54,7 +55,9 @@ def redundant_check_elimination(
     graph is answered by batched demand queries over the check sites
     (:func:`repro.vfg.demand.resolve_definedness_demand`) instead of
     whole-program reachability — bit-identical verdicts, but only the
-    check sites' backward slices are visited."""
+    check sites' backward slices are visited.  ``jobs`` fans that batch
+    across worker processes (``None`` defers to the session default /
+    ``REPRO_JOBS``)."""
     scratch = vfg.copy()
     by_uid = module.instr_by_uid()
     dts: Dict[str, DominatorTree] = {
@@ -151,7 +154,7 @@ def redundant_check_elimination(
         # A fresh engine: the scratch graph's edge set differs from the
         # original VFG's, so no memo may be shared with it.
         gamma = resolve_definedness_demand(
-            scratch, context_depth, resolver=resolver
+            scratch, context_depth, resolver=resolver, jobs=jobs
         )
     elif resolver == "summary":
         from repro.vfg.tabulation import resolve_definedness_summary

@@ -41,7 +41,7 @@ def resolve_for_config(vfg: VFG, config: "UsherConfig") -> Definedness:
         raise ValueError(f"unknown resolver {config.resolver!r}")
     if config.demand:
         return resolve_definedness_demand(
-            vfg, config.context_depth, resolver=config.resolver
+            vfg, config.context_depth, resolver=config.resolver, jobs=config.jobs
         )
     if config.resolver == "summary":
         return resolve_definedness_summary(vfg)
@@ -73,6 +73,11 @@ class UsherConfig:
             work — see :mod:`repro.vfg.arrayinit`).
         opt2_interproc: Extend Opt II's dominance reasoning across
             function boundaries (extension beyond the paper).
+        jobs: Worker processes for the parallel paths (batched demand
+            queries; ``prepare_module`` consults it for sharded
+            constraint generation via :func:`repro.api.analyze`).
+            ``None`` defers to the session default / ``REPRO_JOBS``;
+            1 is strictly serial.  Results are identical either way.
     """
 
     name: str = "usher"
@@ -85,6 +90,7 @@ class UsherConfig:
     demand: bool = False
     array_init: bool = False
     opt2_interproc: bool = False
+    jobs: Optional[int] = None
 
     @classmethod
     def tl(cls) -> "UsherConfig":
@@ -171,16 +177,22 @@ def prepare_module(
     module: Module,
     heap_cloning: bool = True,
     use_reference_solver: bool = False,
+    jobs: Optional[int] = None,
 ) -> PreparedModule:
     """Run pointer analysis, mod/ref and memory-SSA construction.
 
     ``use_reference_solver`` swaps in the naive
     :class:`~repro.analysis.andersen.ReferenceSolver` (the escape hatch
     for differential debugging); results are identical, only slower.
+    ``jobs`` shards constraint generation across worker processes
+    (``None`` defers to the session default / ``REPRO_JOBS``).
     """
     started = time.perf_counter()
     pointers = analyze_pointers(
-        module, heap_cloning=heap_cloning, use_reference=use_reference_solver
+        module,
+        heap_cloning=heap_cloning,
+        use_reference=use_reference_solver,
+        jobs=jobs,
     )
     callgraph = CallGraph(module, pointers)
     modref = ModRefResult(module, pointers, callgraph)
@@ -216,6 +228,7 @@ def run_usher(prepared: PreparedModule, config: UsherConfig) -> UsherResult:
             resolver=config.resolver,
             interprocedural=config.opt2_interproc,
             demand=config.demand,
+            jobs=config.jobs,
         )
     else:
         gamma = resolve_for_config(vfg, config)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
+from repro.analysis.parallel import default_jobs
 from repro.api import analyze
 from repro.core.static_warner import false_positive_report
 from repro.harness.ablation import build_ablation, format_ablation
@@ -31,13 +32,25 @@ def _block(text: str) -> str:
 def build_report(
     scale: float = 1.0,
     sections: Optional[List[str]] = None,
+    jobs: Optional[int] = None,
 ) -> str:
     """Build the full markdown report.
 
     ``sections`` may restrict to a subset of
     ``{"table1", "figure10", "figure11", "opt_levels", "ablation",
-    "warner", "extension", "solver"}``.
+    "warner", "extension", "solver"}``.  ``jobs`` installs a session
+    default worker count so every analysis the report runs uses the
+    parallel paths (``None`` keeps the ambient default); the report
+    content is identical for any value.
     """
+    with default_jobs(jobs):
+        return _build_report_body(scale, sections)
+
+
+def _build_report_body(
+    scale: float,
+    sections: Optional[List[str]],
+) -> str:
     wanted = set(
         sections
         or (

@@ -94,3 +94,88 @@ def test_malformed_log_is_an_error(tmp_path):
     )
     assert result.returncode == 2
     assert "bad JSON" in result.stderr
+
+
+# -- demand-query records -------------------------------------------------
+
+
+def _query_record(peak_fraction, states, queries, **overrides):
+    payload = {
+        "benchmark": "demand_locality",
+        "seed": 11,
+        "factor": 8,
+        "resolver": "callstring",
+        "queries": queries,
+        "states_visited": states,
+        "peak_visited_fraction": peak_fraction,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_query_log_passes_within_bounds(tmp_path):
+    result = _run_gate(
+        tmp_path,
+        [_query_record(0.01, 500, 50), _query_record(0.015, 700, 50)],
+    )
+    assert result.returncode == 0
+    assert "query-stats gate passed" in result.stdout
+
+
+def test_query_log_fails_on_peak_fraction_regression(tmp_path):
+    result = _run_gate(
+        tmp_path,
+        [_query_record(0.01, 500, 50), _query_record(0.05, 500, 50)],
+    )
+    assert result.returncode == 1
+    assert "peak_visited_fraction" in result.stdout
+
+
+def test_query_log_fails_on_states_per_query_regression(tmp_path):
+    # Same states total, 5x fewer queries -> 5x states/query.
+    result = _run_gate(
+        tmp_path,
+        [_query_record(0.01, 500, 50), _query_record(0.01, 500, 10)],
+    )
+    assert result.returncode == 1
+    assert "states_per_query" in result.stdout
+
+
+def test_query_groups_key_on_resolver(tmp_path):
+    # A summary-resolver run is a different group than a callstring one.
+    result = _run_gate(
+        tmp_path,
+        [
+            _query_record(0.01, 500, 50),
+            _query_record(0.09, 5000, 50, resolver="summary"),
+        ],
+    )
+    assert result.returncode == 0
+
+
+def test_mixed_log_gates_each_kind(tmp_path):
+    # Solver and query records in one log are grouped independently,
+    # each with its own metrics.
+    result = _run_gate(
+        tmp_path,
+        [
+            _record(100, 200),
+            _record(110, 210),
+            _query_record(0.01, 500, 50),
+            _query_record(0.05, 500, 50),
+        ],
+    )
+    assert result.returncode == 1
+    assert "peak_visited_fraction" in result.stdout
+    assert "pops" not in result.stdout
+
+
+def test_kind_flag_filters_records(tmp_path):
+    records = [
+        _record(100, 200),
+        _record(110, 210),
+        _query_record(0.01, 500, 50),
+        _query_record(0.05, 500, 50),
+    ]
+    assert _run_gate(tmp_path, records, "--kind", "solver").returncode == 0
+    assert _run_gate(tmp_path, records, "--kind", "query").returncode == 1

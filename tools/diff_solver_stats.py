@@ -1,22 +1,33 @@
 #!/usr/bin/env python
-"""Cross-run regression gate for the solver-work log.
+"""Cross-run regression gate for the analysis work logs.
 
 ``benchmarks/test_scalability.py`` appends one JSON line per solver run
-to ``benchmarks/results/solver_stats.jsonl``.  This tool groups the log
-by workload key — ``(benchmark, seed, factor, solver)`` — and compares
-the most recent entry of each group against the one before it: if the
-constraint solver suddenly does more than ``--max-ratio`` times the
-work (worklist pops or propagated facts) on the *same* workload, a
-performance regression slipped in and the gate fails.
+to ``benchmarks/results/solver_stats.jsonl``, and
+``benchmarks/test_demand_queries.py`` does the same per demand-query
+batch to ``benchmarks/results/query_stats.jsonl``.  This tool groups a
+log by workload key — ``(benchmark, seed, factor, solver)`` for solver
+records, ``(benchmark, seed, factor, resolver)`` for query records
+(auto-detected per line: query records carry a ``resolver`` field) —
+and compares the most recent entry of each group against the one before
+it: if the same workload suddenly does more than ``--max-ratio`` times
+the work, a performance regression slipped in and the gate fails.
 
-Usage (the CI invocation)::
+Gated counters (deterministic by construction; wall-clock fields are
+deliberately ignored because CI machines are noisy):
+
+- solver records: worklist ``pops`` and ``facts_propagated``;
+- query records: ``peak_visited_fraction`` (largest single-query share
+  of the VFG visited) and ``states_per_query`` (derived:
+  ``states_visited / queries``).
+
+Usage (the CI invocations)::
 
     python tools/diff_solver_stats.py benchmarks/results/solver_stats.jsonl
+    python tools/diff_solver_stats.py benchmarks/results/query_stats.jsonl
 
 Exit status: 0 when every group is within bounds (or has fewer than two
 entries — nothing to compare), 1 on any regression, 2 on a missing or
-malformed log.  Wall-clock fields are deliberately ignored: CI machines
-are noisy, pops and facts are deterministic.
+malformed log.
 """
 
 from __future__ import annotations
@@ -27,14 +38,28 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Tuple
 
-#: Deterministic work counters gated for regressions.
-GATED_METRICS = ("pops", "facts_propagated")
+#: Deterministic work counters gated for regressions, per record kind.
+SOLVER_METRICS = ("pops", "facts_propagated")
+QUERY_METRICS = ("peak_visited_fraction", "states_per_query")
+
+#: Backwards-compatible alias (the original solver-only gate).
+GATED_METRICS = SOLVER_METRICS
 
 GroupKey = Tuple[object, ...]
 
 
-def load_groups(path: Path) -> Dict[GroupKey, List[dict]]:
-    """Parse the JSONL log into per-workload histories, oldest first."""
+def record_kind(record: dict) -> str:
+    """``"query"`` for demand-query records, ``"solver"`` otherwise."""
+    return "query" if "resolver" in record else "solver"
+
+
+def load_groups(path: Path, kind: str = "auto") -> Dict[GroupKey, List[dict]]:
+    """Parse the JSONL log into per-workload histories, oldest first.
+
+    ``kind`` restricts to ``"solver"`` or ``"query"`` records;
+    ``"auto"`` keeps both (each grouped by its own key shape).
+    Query records get the derived ``states_per_query`` counter added.
+    """
     groups: Dict[GroupKey, List[dict]] = {}
     with path.open() as handle:
         for lineno, line in enumerate(handle, 1):
@@ -45,12 +70,33 @@ def load_groups(path: Path) -> Dict[GroupKey, List[dict]]:
                 record = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(f"{path}:{lineno}: bad JSON ({error})")
-            key = (
-                record.get("benchmark"),
-                record.get("seed"),
-                record.get("factor"),
-                record.get("solver"),
-            )
+            this_kind = record_kind(record)
+            if kind != "auto" and this_kind != kind:
+                continue
+            if this_kind == "query":
+                queries = record.get("queries")
+                states = record.get("states_visited")
+                if (
+                    isinstance(queries, (int, float))
+                    and queries > 0
+                    and isinstance(states, (int, float))
+                ):
+                    record["states_per_query"] = states / queries
+                key: GroupKey = (
+                    this_kind,
+                    record.get("benchmark"),
+                    record.get("seed"),
+                    record.get("factor"),
+                    record.get("resolver"),
+                )
+            else:
+                key = (
+                    this_kind,
+                    record.get("benchmark"),
+                    record.get("seed"),
+                    record.get("factor"),
+                    record.get("solver"),
+                )
             groups.setdefault(key, []).append(record)
     return groups
 
@@ -62,8 +108,9 @@ def check_group(
     if len(history) < 2:
         return []
     previous, latest = history[-2], history[-1]
+    metrics = QUERY_METRICS if key[0] == "query" else SOLVER_METRICS
     problems = []
-    for metric in GATED_METRICS:
+    for metric in metrics:
         before = previous.get(metric)
         after = latest.get(metric)
         if not isinstance(before, (int, float)) or not isinstance(
@@ -74,7 +121,7 @@ def check_group(
             continue
         ratio = after / before
         if ratio > max_ratio:
-            label = "/".join(str(part) for part in key)
+            label = "/".join(str(part) for part in key[1:])
             problems.append(
                 f"{label}: {metric} regressed {before} -> {after} "
                 f"({ratio:.2f}x > {max_ratio:.2f}x allowed)"
@@ -89,7 +136,7 @@ def main(argv=None) -> int:
         type=Path,
         nargs="?",
         default=Path("benchmarks/results/solver_stats.jsonl"),
-        help="path to the solver-stats JSONL log",
+        help="path to a solver-stats or query-stats JSONL log",
     )
     parser.add_argument(
         "--max-ratio",
@@ -98,16 +145,26 @@ def main(argv=None) -> int:
         help="fail when latest/previous work exceeds this factor "
         "(default: 2.0)",
     )
+    parser.add_argument(
+        "--kind",
+        choices=("auto", "solver", "query"),
+        default="auto",
+        help="restrict to one record kind (default: auto-detect per "
+        "line and gate both)",
+    )
     args = parser.parse_args(argv)
 
     if not args.log.exists():
         print(f"error: {args.log} not found", file=sys.stderr)
         return 2
     try:
-        groups = load_groups(args.log)
+        groups = load_groups(args.log, kind=args.kind)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    kinds = {key[0] for key in groups}
+    label = "query-stats" if kinds == {"query"} else "solver-stats"
 
     problems: List[str] = []
     comparable = 0
@@ -118,12 +175,12 @@ def main(argv=None) -> int:
         problems.extend(check_group(key, history, args.max_ratio))
 
     if problems:
-        print("solver-stats regression gate FAILED:")
+        print(f"{label} regression gate FAILED:")
         for problem in problems:
             print(f"  {problem}")
         return 1
     print(
-        f"solver-stats gate passed: {comparable} workload(s) compared "
+        f"{label} gate passed: {comparable} workload(s) compared "
         f"across runs, {len(groups) - comparable} with a single entry, "
         f"all within {args.max_ratio:.2f}x"
     )
