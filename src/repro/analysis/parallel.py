@@ -38,8 +38,36 @@ _default_jobs: Optional[int] = None
 T = TypeVar("T")
 
 
+class InvalidJobsError(ValueError):
+    """A worker count that is not a positive integer."""
+
+
+def parse_jobs(raw: str, origin: str = "--jobs") -> int:
+    """Validate a user-supplied worker count (CLI flag or env var).
+
+    Raises :class:`InvalidJobsError` with a one-line, human-readable
+    message — the CLI turns it into a clean non-zero exit instead of a
+    traceback."""
+    try:
+        jobs = int(raw)
+    except (TypeError, ValueError):
+        raise InvalidJobsError(
+            f"{origin} must be a positive integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise InvalidJobsError(
+            f"{origin} must be a positive integer, got {raw!r}"
+        )
+    return jobs
+
+
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """The effective worker count for one parallel phase (>= 1)."""
+    """The effective worker count for one parallel phase (>= 1).
+
+    An unset ``REPRO_JOBS`` means serial; a *malformed* one raises
+    :class:`InvalidJobsError` — a typo'd worker count silently running
+    the whole analysis serially is exactly the kind of quiet
+    misconfiguration the observability layer exists to prevent."""
     if jobs is not None:
         return max(1, int(jobs))
     if _default_jobs is not None:
@@ -47,10 +75,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     raw = os.environ.get(JOBS_ENV)
     if raw is None:
         return 1
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return 1
+    return parse_jobs(raw, origin=JOBS_ENV)
 
 
 @contextmanager

@@ -13,14 +13,20 @@ Commands:
   SPEC-shaped workloads.
 - ``report``       — regenerate the *entire* evaluation as one markdown
   document (the source of EXPERIMENTS.md's numbers).
+- ``fuzz``         — differential soundness fuzzing: diff every
+  configuration's warnings against the native ground truth over
+  generated (or supplied) modules, minimizing any divergence to a
+  small reproducer (see :mod:`repro.oracle`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from repro.analysis.parallel import InvalidJobsError, default_jobs, parse_jobs
 from repro.api import CONFIG_ORDER, analyze
 from repro.ir import module_to_str, verify_module
 from repro.opt import OPT_LEVELS, run_pipeline
@@ -28,9 +34,75 @@ from repro.runtime import DEFAULT_COST_MODEL, RuntimeFault, run_native
 from repro.tinyc import LoweringError, TinyCSyntaxError, compile_source
 
 
+class UsageError(Exception):
+    """Invalid command-line input: one-line message, exit code 2."""
+
+
 def _read(path: str) -> str:
     with open(path) as handle:
         return handle.read()
+
+
+def _jobs(raw: "Optional[str]") -> "Optional[int]":
+    """Validate a ``--jobs`` value (kept as text so a typo produces a
+    one-line message instead of argparse's usage dump).  With no flag,
+    a *malformed* ``REPRO_JOBS`` is rejected here, at the boundary,
+    rather than mid-analysis."""
+    import os
+
+    from repro.analysis.parallel import JOBS_ENV
+
+    if raw is None:
+        env = os.environ.get(JOBS_ENV)
+        if env is not None:
+            parse_jobs(env, origin=JOBS_ENV)
+        return None
+    return parse_jobs(raw, origin="--jobs")
+
+
+def _parse_seeds(spec: str) -> List[int]:
+    """Seed list syntax: ``A:B`` (half-open), single ``N``, commas mix."""
+    seeds: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            lo_text, hi_text = part.split(":", 1)
+            if not (lo_text.lstrip("-").isdigit() and hi_text.lstrip("-").isdigit()):
+                raise UsageError(f"invalid seed range {part!r} (expected A:B)")
+            lo, hi = int(lo_text), int(hi_text)
+            if lo < 0 or hi < lo:
+                raise UsageError(f"invalid seed range {part!r} (expected 0 <= A <= B)")
+            seeds.extend(range(lo, hi))
+        elif part.isdigit():
+            seeds.append(int(part))
+        else:
+            raise UsageError(f"invalid seed {part!r} (expected an integer or A:B)")
+    if not seeds:
+        raise UsageError(f"empty seed specification {spec!r}")
+    return seeds
+
+
+def _parse_budget(spec: "Optional[str]") -> "Optional[float]":
+    """Budget syntax: seconds (``120``/``120s``) or minutes (``2m``)."""
+    if spec is None:
+        return None
+    text = spec.strip().lower()
+    scale = 1.0
+    if text.endswith("s"):
+        text = text[:-1]
+    elif text.endswith("m"):
+        text, scale = text[:-1], 60.0
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise UsageError(
+            f"invalid budget {spec!r} (expected e.g. 120s or 2m)"
+        ) from None
+    if seconds <= 0:
+        raise UsageError(f"invalid budget {spec!r} (must be positive)")
+    return seconds
 
 
 def _format_warning(analysis, uid: int) -> str:
@@ -48,7 +120,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         level=args.level,
         configs=[args.config],
         demand=args.demand,
-        jobs=args.jobs,
+        jobs=_jobs(args.jobs),
     )
     plan = analysis.plans[args.config]
     if args.solver_stats:
@@ -242,7 +314,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report
 
     text = build_report(
-        scale=args.scale, sections=args.sections or None, jobs=args.jobs
+        scale=args.scale, sections=args.sections or None, jobs=_jobs(args.jobs)
     )
     if args.output:
         with open(args.output, "w") as handle:
@@ -251,6 +323,63 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.oracle import build_config_matrix, run_campaign
+
+    matrix = build_config_matrix(
+        [c for c in args.configs.split(",") if c.strip()]
+    )
+    seeds = _parse_seeds(args.seeds) if args.seeds else []
+    if not seeds and not args.module:
+        raise UsageError("nothing to fuzz: give --seeds and/or --module")
+    budget = _parse_budget(args.budget)
+    jobs = _jobs(args.jobs)
+    texts = {}
+    for path in args.module or []:
+        text = _read(path)
+        # Validate at the boundary: a malformed supplied module is a
+        # usage error, not a campaign crash to triage.
+        from repro.ir.parser import parse_ir
+
+        parse_ir(text)
+        texts[path.rsplit("/", 1)[-1]] = text
+    out_path = args.out
+    if out_path is None:
+        stamp = time.strftime("%Y%m%d_%H%M%S")
+        out_path = f"benchmarks/results/fuzz_{stamp}.jsonl"
+    say = (lambda message: None) if args.quiet else print
+    with default_jobs(jobs):
+        result = run_campaign(
+            seeds,
+            matrix,
+            budget_seconds=budget,
+            minimize=args.minimize,
+            minimize_evals=args.minimize_evals,
+            out_path=out_path,
+            reproducer_dir=args.reproducers,
+            texts=texts or None,
+            log=say,
+        )
+    configs = ", ".join(spec for spec, _ in matrix)
+    print(
+        f"fuzz: {len(result.cases)}/{result.seeds_requested + len(texts)} "
+        f"cases examined ({result.skipped} skipped) under [{configs}]"
+        + (" — budget exhausted" if result.budget_exhausted else "")
+    )
+    print(f"results: {result.out_path}")
+    buckets = result.bucket_counts()
+    if not buckets:
+        print("no divergences: every configuration honored its contract")
+        return 0
+    print(f"{len(result.divergent)} divergent case(s):")
+    for (config, kind), count in sorted(buckets.items()):
+        print(f"  {config}/{kind}: {count}")
+    for case in result.divergent:
+        for path in case.reproducers:
+            print(f"  reproducer: {path}")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -283,7 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "requires a demand engine to have run "
                             "(--demand or --explain), otherwise explains "
                             "that nothing was profiled")
-    check.add_argument("--jobs", type=int, default=None, metavar="N",
+    check.add_argument("--jobs", default=None, metavar="N",
                        help="worker processes for the parallel analysis "
                             "paths (sharded constraint generation; with "
                             "--demand, batched queries too); default: "
@@ -335,7 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full experiment report (markdown)")
     report.add_argument("--scale", type=float, default=0.5)
-    report.add_argument("--jobs", type=int, default=None, metavar="N",
+    report.add_argument("--jobs", default=None, metavar="N",
                         help="worker processes for the parallel analysis "
                              "paths across every section; default: "
                              "$REPRO_JOBS or 1 (serial). Results are "
@@ -350,10 +479,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.set_defaults(func=cmd_report)
 
+    fuzz = sub.add_parser(
+        "fuzz", help="differential soundness fuzzing with minimization"
+    )
+    fuzz.add_argument("--seeds", default="0:50", metavar="A:B",
+                      help="corpus seeds: a half-open range A:B, single "
+                           "integers, or a comma mix (default 0:50)")
+    fuzz.add_argument("--configs", default="tl,tl_at,opt_i,full",
+                      metavar="LIST",
+                      help="comma list of configurations to diff; base "
+                           "names msan,tl,tl_at,opt_i,full,ext with "
+                           "variant suffixes @summary (resolver), "
+                           "+demand, *N (demand jobs)")
+    fuzz.add_argument("--budget", default=None, metavar="TIME",
+                      help="wall-clock budget for the whole campaign, "
+                           "e.g. 120s or 5m (default: unbounded)")
+    fuzz.add_argument("--minimize", action="store_true",
+                      help="shrink each divergence with ddmin and emit "
+                           "a self-contained .ir reproducer")
+    fuzz.add_argument("--minimize-evals", type=int, default=400,
+                      metavar="N",
+                      help="predicate-evaluation cap per minimization")
+    fuzz.add_argument("--module", action="append", metavar="FILE",
+                      help="also examine a printed-IR module (repeatable; "
+                           "the format `repro ir` emits and reproducers "
+                           "are stored in)")
+    fuzz.add_argument("--out", default=None, metavar="PATH",
+                      help="JSONL results path (default: "
+                           "benchmarks/results/fuzz_<stamp>.jsonl)")
+    fuzz.add_argument("--reproducers",
+                      default="benchmarks/results/reproducers",
+                      metavar="DIR",
+                      help="directory for minimized reproducers")
+    fuzz.add_argument("--jobs", default=None, metavar="N",
+                      help="worker processes for the parallel analysis "
+                           "paths; default: $REPRO_JOBS or 1 (serial)")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="suppress per-case progress lines")
+    fuzz.set_defaults(func=cmd_fuzz)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.ir.parser import IRParseError
+    from repro.ir.verifier import VerificationError
+    from repro.oracle.differ import UnknownConfigError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -363,6 +535,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     except (TinyCSyntaxError, LoweringError) as error:
         print(f"compile error: {error}", file=sys.stderr)
+        return 2
+    except (UsageError, InvalidJobsError, UnknownConfigError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (IRParseError, VerificationError) as error:
+        print(f"invalid module: {error}", file=sys.stderr)
         return 2
 
 

@@ -306,11 +306,14 @@ class _Generator:
         """Opt I: σ(sink) := ∧ σ(⊥-sources of its MFC).
 
         Returns ``False`` (caller falls back to the plain Figure 7 rule)
-        when the closure degenerates to the sink itself — a bitwise
+        when the closure degenerates to the sink itself: a bitwise
         operation, where bypassing operand shadows would be unsound at
-        bit-level precision (§4.1).
+        bit-level precision (§4.1), or a mask-preserving definition
+        (copy, ``~``), where the conjunction's spread would
+        over-approximate the exact mask (the grouping rule,
+        :func:`repro.vfg.mfc.compute_mfc`).
         """
-        mfc = compute_mfc(self.vfg, self.module, node)
+        mfc = compute_mfc(self.vfg, self.module, node, grouping=True)
         if node in mfc.sources:
             return False
         bot_sources = [

@@ -9,6 +9,13 @@ redirected to ⊤ on a scratch copy of the VFG.  Re-resolving Γ on the
 modified graph eliminates the dominated checks; guided instrumentation
 is then performed on the *original* VFG with the new Γ so that every
 shadow value remains correctly initialized (Algorithm 1, line 9 note).
+
+Bit-level adjustment (§4.1 applied to Algorithm 1): a consumer from
+which a bitwise operation is still flow-reachable is never redirected
+— see :func:`_feeds_bitwise`.  Bitwise operators launder undefined
+bits, so a check behind one reports a genuinely new definedness fact
+rather than a ripple of the dominating check; redirecting its inputs
+to ⊤ would silently drop that exact report.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from repro.analysis.callgraph import CallGraph
 from repro.vfg.builder import is_concrete_loc
 from repro.vfg.definedness import Definedness, resolve_definedness
 from repro.vfg.graph import TOP, MemNode, Node, Root, TopNode, VFG
-from repro.vfg.mfc import compute_mfc
+from repro.vfg.mfc import _BITWISE_OPS, compute_mfc
 
 
 @dataclass
@@ -66,6 +73,7 @@ def redundant_check_elimination(
     loops = {name: loop_blocks(f) for name, f in module.functions.items()}
     stats = Opt2Stats()
     redirected: Set[Node] = set()
+    barred = _feeds_bitwise(scratch, by_uid)
 
     for site in vfg.check_sites:
         if not isinstance(site.node, TopNode):
@@ -103,6 +111,8 @@ def redundant_check_elimination(
         # Lines 6-8: redirect dominated consumers to ⊤.
         check_func = check_instr.block.function.name
         for r in consumers:
+            if r in barred:
+                continue  # still feeds a bitwise op (§4.1 adjustment)
             r_uid, r_kind = scratch.def_site.get(r, (None, ""))
             cross_function = False
             if r_uid is None:
@@ -163,6 +173,41 @@ def redundant_check_elimination(
     else:
         gamma = resolve_definedness(scratch, context_depth)
     return gamma, stats
+
+
+def _feeds_bitwise(vfg: VFG, by_uid) -> Set[Node]:
+    """Nodes from which a bitwise binary operation is flow-reachable.
+
+    §4.1's bit-level adjustment for Algorithm 1: ``&``, ``|``, ``^``
+    and shifts *launder* undefined bits — their result's mask is not a
+    function of the operands' masks alone, so a report downstream of a
+    bitwise operation is a genuinely new definedness fact, not a
+    rippled copy of the dominating check's.  Redirecting a value that
+    still feeds a bitwise operation to ⊤ would let the re-resolved Γ
+    discharge such downstream checks, trading an exact report away;
+    those consumers are left untouched.  The set is computed once on
+    the unmodified scratch graph — redirects only remove edges, so it
+    stays a (conservative) superset throughout.
+    """
+    from collections import deque
+
+    barred: Set[Node] = set()
+    work: "deque[Node]" = deque()
+    for node, (uid, kind) in vfg.def_site.items():
+        if kind != "binop" or uid is None:
+            continue
+        instr = by_uid.get(uid)
+        if isinstance(instr, ins.BinOp) and instr.op in _BITWISE_OPS:
+            barred.add(node)
+            work.append(node)
+    while work:
+        n = work.popleft()
+        for edge in vfg.deps_of(n):
+            src = edge.src
+            if src not in barred and not isinstance(src, Root):
+                barred.add(src)
+                work.append(src)
+    return barred
 
 
 def _dominates_function(

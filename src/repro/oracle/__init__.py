@@ -1,0 +1,52 @@
+"""Soundness oracle: differential fuzzing with case minimization.
+
+Usher's pitch is that the pruned instrumentation set is *sound* — each
+configuration must report the undefined-value uses that full MSan
+interpretation reports, per the contracts of §3/§5.  This package is
+the always-on referee for that claim:
+
+* :mod:`repro.oracle.differ` runs a prepared module through a matrix
+  of :class:`repro.core.UsherConfig` settings and diffs the warned-uid
+  sets against the native interpreter's ground truth, classifying each
+  mismatch (spurious / missed / lost-detection / protocol /
+  transparency) per that configuration's contract.
+* :mod:`repro.oracle.minimize` shrinks a divergent module with ddmin
+  over functions → blocks → instructions, re-validating each candidate
+  with the IR verifier, until the reproducer is minimal.
+* :mod:`repro.oracle.faults` plants known-unsound behavior (a dropped
+  or spurious check, the historical pre-grouping Opt I) so the oracle
+  and minimizer can be tested against themselves.
+* :mod:`repro.oracle.harness` drives fuzzing campaigns over generated
+  seeds with a time/seed budget, emitting JSONL results and
+  self-contained ``.ir`` reproducers — the engine behind ``repro
+  fuzz`` and the property suites.
+"""
+
+from repro.oracle.differ import (
+    CONFIG_FACTORIES,
+    Divergence,
+    build_config,
+    build_config_matrix,
+    diff_config,
+    diff_module,
+)
+from repro.oracle.faults import corrupt_plan, legacy_opt1
+from repro.oracle.harness import CampaignResult, CaseResult, run_campaign
+from repro.oracle.minimize import MinimizationResult, count_instructions, minimize_ir
+
+__all__ = [
+    "CONFIG_FACTORIES",
+    "Divergence",
+    "build_config",
+    "build_config_matrix",
+    "diff_config",
+    "diff_module",
+    "corrupt_plan",
+    "legacy_opt1",
+    "CampaignResult",
+    "CaseResult",
+    "run_campaign",
+    "MinimizationResult",
+    "count_instructions",
+    "minimize_ir",
+]

@@ -1,0 +1,117 @@
+"""Fault injection: plant known-unsound behavior to test the oracle.
+
+An oracle that has never caught anything is untested.  These hooks
+deliberately break soundness in controlled ways so the differ and the
+minimizer can be validated against live prey:
+
+* :func:`corrupt_plan` mangles a finished instrumentation plan —
+  dropping a check (→ a *missed* divergence) or planting one that
+  always fires with an impossible label (→ a *spurious* divergence).
+* :func:`legacy_opt1` re-enables the historical pre-grouping Opt I
+  behavior (spreading the source conjunction over mask-preserving
+  sinks), the exact bug class of ROADMAP item 1 that the committed
+  seed-185 reproducer pins down.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.core.plan import Check, InstrumentationPlan, InstrOps, SetShadowVar
+
+#: Shadow slot reserved for planted always-undefined checks.
+_PLANTED_SLOT = ("%__planted", 0)
+
+
+def _clone(plan: InstrumentationPlan) -> InstrumentationPlan:
+    clone = InstrumentationPlan(f"{plan.name}+fault")
+    for func, ops in plan.entry_ops.items():
+        clone.entry_ops[func] = list(ops)
+    for uid, instr_ops in plan.ops.items():
+        clone.ops[uid] = InstrOps(list(instr_ops.pre), list(instr_ops.post))
+    return clone
+
+
+def _checks(plan: InstrumentationPlan):
+    """All (uid, where, position, op) check occurrences, deterministic."""
+    found = []
+    for uid in sorted(plan.ops):
+        instr_ops = plan.ops[uid]
+        for where, ops in (("pre", instr_ops.pre), ("post", instr_ops.post)):
+            for pos, op in enumerate(ops):
+                if isinstance(op, Check):
+                    found.append((uid, where, pos, op))
+    return found
+
+
+def corrupt_plan(
+    plan: InstrumentationPlan,
+    mode: str,
+    index: int = 0,
+    label: "Optional[int]" = None,
+) -> InstrumentationPlan:
+    """Return a copy of ``plan`` with one planted soundness fault.
+
+    ``mode="drop-check"`` removes one runtime check: the ``index``-th
+    in deterministic uid order, or — with ``label`` — every check
+    reporting that uid (guaranteeing the fault bites when the label is
+    a known true bug).  ``mode="spurious-check"`` adds a check that
+    always fires, reporting the impossible uid ``-1`` (or ``label``).
+    """
+    corrupted = _clone(plan)
+    if mode == "drop-check":
+        checks = _checks(corrupted)
+        if label is not None:
+            doomed = [c for c in checks if c[3].label == label]
+            if not doomed:
+                raise ValueError(f"plan has no check labelled {label}")
+        else:
+            if not checks:
+                raise ValueError("plan has no checks to drop")
+            doomed = [checks[index % len(checks)]]
+        for uid, where, pos, op in doomed:
+            ops = getattr(corrupted.ops[uid], where)
+            ops.remove(op)
+        return corrupted
+    if mode == "spurious-check":
+        checks = _checks(corrupted)
+        if not checks:
+            raise ValueError("plan has no checks to anchor the fault on")
+        uid, where, _, _ = checks[index % len(checks)]
+        planted_label = -1 if label is None else label
+        ops = getattr(corrupted.ops[uid], where)
+        ops.insert(0, SetShadowVar(_PLANTED_SLOT, literal=False))
+        ops.insert(1, Check(_PLANTED_SLOT, planted_label))
+        return corrupted
+    raise ValueError(
+        f"unknown fault mode {mode!r} (drop-check, spurious-check)"
+    )
+
+
+@contextlib.contextmanager
+def legacy_opt1() -> "Iterator[None]":
+    """Temporarily restore the pre-grouping Opt I (ROADMAP item 1).
+
+    Within the context, guided instrumentation computes must-flow-from
+    closures without the grouping rule, so Opt I emits its spread
+    conjunction even for mask-preserving sinks — the historical
+    unsoundness that produced a spurious warning on
+    ``prepared_random(185)``.  Used by the oracle's self-tests and by
+    the minimizer run that produced the committed reproducer.
+    """
+    from repro.core import instrument
+    from repro.vfg.mfc import compute_mfc
+
+    def ungrouped(vfg, module, sink, grouping=False):
+        return compute_mfc(vfg, module, sink, grouping=False)
+
+    original = instrument.compute_mfc
+    instrument.compute_mfc = ungrouped
+    try:
+        yield
+    finally:
+        instrument.compute_mfc = original
+
+
+__all__ = ["corrupt_plan", "legacy_opt1"]

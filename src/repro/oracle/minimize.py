@@ -1,0 +1,227 @@
+"""Test-case minimization: ddmin over printed IR.
+
+A divergent module is shrunk on its *pre-SSA* textual form (the shape
+:func:`repro.ir.parser.parse_ir` round-trips) at three granularities —
+whole functions, then blocks, then single instructions — with the
+classic ddmin complement loop at each level: partition the deletable
+units into chunks, try deleting each chunk, halve the chunk size when
+nothing helps, and repeat the whole cascade until a fixpoint.
+
+Every candidate is re-parsed and re-checked with the IR verifier
+before the (expensive) divergence predicate runs; a candidate that no
+longer parses or verifies — a deleted function that is still called, a
+branch into a deleted block, a block left without a terminator — is
+simply skipped, which is what keeps the deletions honest without any
+dependency bookkeeping.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.ir.module import Module
+from repro.ir.parser import IRParseError, parse_ir
+from repro.ir.verifier import VerificationError, verify_module
+
+#: Matches a block label line (``name:``).
+_LABEL_RE = re.compile(r"^[%A-Za-z_][%A-Za-z0-9_.@:\-]*:$")
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of one :func:`minimize_ir` run."""
+
+    text: str
+    instructions: int
+    evals: int
+    rounds: int
+    reduced: bool
+
+    @property
+    def module(self) -> Module:
+        return parse_ir(self.text)
+
+
+class _Budget:
+    def __init__(self, max_evals: int, deadline: "Optional[float]") -> None:
+        self.max_evals = max_evals
+        self.deadline = deadline
+        self.evals = 0
+
+    def spent(self) -> bool:
+        if self.evals >= self.max_evals:
+            return True
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+
+def count_instructions(text: str) -> int:
+    """Instruction lines in printed IR (labels/defs/globals excluded)."""
+    return sum(len(instrs) for _, instrs in _scan_blocks(text.splitlines()))
+
+
+def _scan_functions(lines: "List[str]") -> "List[Tuple[int, int]]":
+    """Inclusive line ranges of each ``def … { … }``."""
+    ranges = []
+    start = None
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        if line.startswith("def ") and line.endswith("{"):
+            start = i
+        elif line == "}" and start is not None:
+            ranges.append((start, i))
+            start = None
+    return ranges
+
+
+def _scan_blocks(lines: "List[str]") -> "List[Tuple[Tuple[int, int], List[int]]]":
+    """Per block: its inclusive line range and its instruction lines."""
+    blocks = []
+    in_function = False
+    label_line: "Optional[int]" = None
+    instrs: "List[int]" = []
+
+    def flush(end: int) -> None:
+        nonlocal label_line, instrs
+        if label_line is not None:
+            blocks.append(((label_line, end), instrs))
+        label_line, instrs = None, []
+
+    for i, raw in enumerate(lines):
+        line = raw.strip()
+        if line.startswith("def ") and line.endswith("{"):
+            in_function = True
+            continue
+        if line == "}":
+            flush(i - 1)
+            in_function = False
+            continue
+        if not in_function or not line or line.startswith(";"):
+            continue
+        if _LABEL_RE.fullmatch(line):
+            flush(i - 1)
+            label_line = i
+        elif label_line is not None:
+            instrs.append(i)
+    return blocks
+
+
+def _delete(lines: "List[str]", doomed: "set[int]") -> str:
+    return "\n".join(l for i, l in enumerate(lines) if i not in doomed)
+
+
+def _unit_lines(unit) -> "set[int]":
+    if isinstance(unit, tuple):  # an inclusive (start, end) range
+        return set(range(unit[0], unit[1] + 1))
+    return {unit}
+
+
+def _ddmin_pass(
+    text: str,
+    units_of: "Callable[[List[str]], list]",
+    check: "Callable[[str], bool]",
+    budget: _Budget,
+) -> "Tuple[str, bool]":
+    """One ddmin complement loop at a single granularity."""
+    reduced = False
+    chunks = 2
+    while not budget.spent():
+        lines = text.splitlines()
+        units = units_of(lines)
+        if not units:
+            break
+        chunks = min(chunks, len(units))
+        size = max(1, len(units) // chunks)
+        progressed = False
+        pos = 0
+        while pos < len(units) and not budget.spent():
+            doomed: "set[int]" = set()
+            for unit in units[pos : pos + size]:
+                doomed |= _unit_lines(unit)
+            candidate = _delete(lines, doomed)
+            if check(candidate):
+                text = candidate
+                lines = text.splitlines()
+                units = units_of(lines)
+                if not units:
+                    break
+                size = max(1, min(size, len(units)))
+                reduced = progressed = True
+                # stay at the same position: the list shifted left
+            else:
+                pos += size
+        if progressed:
+            chunks = 2  # coarse chunks may work again on the smaller text
+        elif size == 1:
+            break  # single-unit pass with no progress: fixpoint
+        else:
+            chunks = min(len(units), chunks * 2)
+    return text, reduced
+
+
+def minimize_ir(
+    text: str,
+    predicate: "Callable[[Module], bool]",
+    max_evals: int = 2000,
+    budget_seconds: "Optional[float]" = None,
+) -> MinimizationResult:
+    """Shrink IR text while ``predicate`` holds on the parsed module.
+
+    ``predicate`` receives a freshly parsed, verifier-clean module for
+    every candidate (it may mutate it — e.g. run the optimization
+    pipeline); it must return True iff the interesting behavior (the
+    divergence) is still present.  Any exception it raises counts as
+    "not interesting", so interpreter faults on mangled candidates
+    need no special-casing by callers.
+    """
+    deadline = (
+        time.monotonic() + budget_seconds if budget_seconds is not None else None
+    )
+    budget = _Budget(max_evals, deadline)
+
+    def check(candidate: str) -> bool:
+        if budget.spent():
+            return False
+        budget.evals += 1
+        try:
+            module = parse_ir(candidate)
+            verify_module(module)
+            return bool(predicate(module))
+        except (IRParseError, VerificationError):
+            return False
+        except Exception:
+            return False
+
+    if not check(text):
+        raise ValueError(
+            "minimize_ir: predicate does not hold on the initial module"
+        )
+
+    levels = (
+        lambda lines: _scan_functions(lines),
+        lambda lines: [rng for rng, _ in _scan_blocks(lines)],
+        lambda lines: [i for _, instrs in _scan_blocks(lines) for i in instrs],
+    )
+    rounds = 0
+    reduced_any = False
+    while not budget.spent():
+        rounds += 1
+        progressed = False
+        for units_of in levels:
+            text, reduced = _ddmin_pass(text, units_of, check, budget)
+            progressed = progressed or reduced
+        reduced_any = reduced_any or progressed
+        if not progressed:
+            break
+    return MinimizationResult(
+        text=text,
+        instructions=count_instructions(text),
+        evals=budget.evals,
+        rounds=rounds,
+        reduced=reduced_any,
+    )
+
+
+__all__ = ["MinimizationResult", "count_instructions", "minimize_ir"]

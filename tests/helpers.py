@@ -1,8 +1,15 @@
-"""Shared test helpers: small programs and pipeline shortcuts."""
+"""Shared test helpers: small programs, random corpora, pipeline shortcuts.
+
+The random-corpus fixtures (``prepared_random`` / ``analyzed_random``)
+are THE single source for every suite that consumes generated
+programs — the property tests and the soundness oracle draw from the
+same parameters (:data:`CORPUS_PARAMS` equals the oracle's
+``FUZZ_PARAMS``), so a seed number means the same program everywhere.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.analysis import CallGraph, ModRefResult, analyze_pointers
 from repro.core import prepare_module
@@ -10,6 +17,55 @@ from repro.ir import Module, verify_module
 from repro.memssa import build_memory_ssa
 from repro.opt import run_pipeline
 from repro.tinyc import compile_source
+from repro.workloads import GeneratorParams, generate_program
+
+#: The standard corpus: calls + pointer traffic + ~30% uninitialized
+#: declarations.  Identical to ``repro.oracle.harness.FUZZ_PARAMS``.
+CORPUS_PARAMS = GeneratorParams(uninit_prob=0.3, call_prob=0.6)
+
+#: Corpus for the static-analysis soundness properties (default calls).
+ANALYSIS_PARAMS = GeneratorParams(uninit_prob=0.3)
+
+#: Corpus for the end-to-end soundness properties (more bugs per run).
+SOUNDNESS_PARAMS = GeneratorParams(uninit_prob=0.35)
+
+
+def random_module(
+    seed: int,
+    params: "Optional[GeneratorParams]" = None,
+    level: str = "O0+IM",
+) -> Module:
+    """Generate, compile and optimize one corpus program."""
+    source = generate_program(seed, params or CORPUS_PARAMS)
+    module = compile_source(source, f"seed{seed}")
+    run_pipeline(module, level)
+    return module
+
+
+def prepared_random(
+    seed: int, params: "Optional[GeneratorParams]" = None
+):
+    """One corpus program through phases 1-2, ready for ``run_usher``."""
+    return prepare_module(random_module(seed, params))
+
+
+def analyzed_random(
+    seed: int, params: "Optional[GeneratorParams]" = None
+):
+    """One corpus program as an :func:`repro.api.analyze` session plus
+    its native ground-truth run; ``(None, None)`` when the native run
+    exceeds the step limit (no soundness signal in pathological
+    inputs)."""
+    from repro.api import analyze
+    from repro.runtime import StepLimitExceeded
+
+    source = generate_program(seed, params or SOUNDNESS_PARAMS)
+    analysis = analyze(source=source, name=f"seed{seed}")
+    try:
+        native = analysis.run_native()
+    except StepLimitExceeded:
+        return None, None
+    return analysis, native
 
 
 def compile_and_optimize(source: str, level: str = "O0+IM") -> Module:

@@ -1,0 +1,103 @@
+"""Regression pin for ROADMAP item 1: the Opt I grouping bug.
+
+The soundness oracle's fuzzing campaign flagged corpus seed 185 (the
+historical `prepared_random(185)`) as the divergence behind ROADMAP
+item 1: with the ungrouped min-flow cut, Opt I spread the source
+conjunction of a mask-preserving copy chain feeding a bitwise ``|``
+and warned on a defined value (uid 407), and the naive Opt II
+redirect then also dropped true bug 525.  These tests pin the fixed
+behavior on both the full corpus program and the oracle-minimized
+76-instruction reproducer committed under ``tests/data``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import UsherConfig, run_usher
+from repro.oracle import build_config_matrix, legacy_opt1
+from repro.oracle.harness import examine_text
+from repro.runtime import run_instrumented, run_native
+from tests.helpers import prepared_random
+
+DATA = Path(__file__).resolve().parents[1] / "data"
+REPRODUCER = DATA / "seed185_opt1_grouping.ir"
+
+CONFIGS = {
+    "tl": UsherConfig.tl,
+    "tl_at": UsherConfig.tl_at,
+    "opt_i": UsherConfig.opt_i,
+    "full": UsherConfig.full,
+}
+
+
+@pytest.fixture(scope="module")
+def seed185():
+    prepared = prepared_random(185)
+    native = run_native(prepared.module, max_steps=2_000_000)
+    return prepared, native
+
+
+class TestSeed185Corpus:
+    def test_native_ground_truth(self, seed185):
+        _, native = seed185
+        assert native.true_bug_set() == {517, 525}
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_warned_set_is_exact(self, seed185, name):
+        """Every guided configuration reports exactly the true bugs —
+        no spurious 407 from ungrouped Opt I, and Opt II keeps 525."""
+        prepared, native = seed185
+        result = run_usher(prepared, CONFIGS[name]())
+        report = run_instrumented(
+            prepared.module, result.plan, max_steps=4_000_000
+        )
+        assert report.warning_set() == {517, 525}, name
+        assert report.outputs == native.outputs, name
+
+    def test_opt2_does_not_drop_bug_525(self, seed185):
+        """The Opt II bitwise-feed bar: check 525 sits downstream of a
+        ``^``/``|`` chain that launders undefined bits, so redirecting
+        its feeders must not suppress it."""
+        prepared, _ = seed185
+        result = run_usher(prepared, UsherConfig.full())
+        report = run_instrumented(
+            prepared.module, result.plan, max_steps=4_000_000
+        )
+        assert 525 in report.warning_set()
+
+
+class TestMinimizedReproducer:
+    def test_reproducer_is_committed(self):
+        assert REPRODUCER.exists()
+
+    def test_fixed_code_has_no_divergence(self):
+        text = REPRODUCER.read_text()
+        matrix = build_config_matrix(["tl", "tl_at", "opt_i", "full"])
+        status, divergences = examine_text(text, "seed185_min", matrix)
+        assert status == "ok", [d.describe() for d in divergences]
+
+    def test_legacy_opt1_diverges_on_it(self):
+        """The reproducer still bites: re-enabling the historical
+        ungrouped Opt I makes the oracle flag a spurious warning under
+        every configuration that applies Opt I."""
+        text = REPRODUCER.read_text()
+        matrix = build_config_matrix(["opt_i", "full"])
+        with legacy_opt1():
+            status, divergences = examine_text(text, "seed185_min", matrix)
+        assert status == "divergent"
+        buckets = {(d.config, d.kind) for d in divergences}
+        assert ("opt_i", "spurious") in buckets
+        assert ("full", "spurious") in buckets
+
+    def test_legacy_opt1_reproduces_the_original_spurious_uid(self, seed185):
+        """On the full corpus program the historical bug warned on uid
+        407 — a defined value."""
+        prepared, native = seed185
+        with legacy_opt1():
+            result = run_usher(prepared, UsherConfig.opt_i())
+        report = run_instrumented(
+            prepared.module, result.plan, max_steps=4_000_000
+        )
+        assert 407 in report.warning_set()
+        assert 407 not in native.true_bug_set()

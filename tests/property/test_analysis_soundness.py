@@ -9,17 +9,16 @@
 - **SSA form**: every pipeline output is verifiable single-assignment.
 """
 
+import functools
+
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import UsherConfig, prepare_module, run_usher
+from repro.core import UsherConfig, run_usher
 from repro.ir import instructions as ins
 from repro.ir import verify_module
-from repro.opt import run_pipeline
 from repro.runtime import Interpreter, StepLimitExceeded
-from repro.tinyc import compile_source
-from repro.workloads import GeneratorParams, generate_program
-
-_PARAMS = GeneratorParams(uninit_prob=0.3)
+from tests.helpers import ANALYSIS_PARAMS
+from tests.helpers import prepared_random as _prepared_random
 
 _SETTINGS = dict(
     max_examples=30,
@@ -27,11 +26,7 @@ _SETTINGS = dict(
     suppress_health_check=[HealthCheck.too_slow],
 )
 
-
-def prepared_random(seed: int):
-    module = compile_source(generate_program(seed, _PARAMS), f"seed{seed}")
-    run_pipeline(module, "O0+IM")
-    return prepare_module(module)
+prepared_random = functools.partial(_prepared_random, params=ANALYSIS_PARAMS)
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))
@@ -96,8 +91,12 @@ def test_pipeline_output_is_valid_ssa(seed):
 @settings(max_examples=20, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_optimization_levels_preserve_outputs(seed):
-    source = generate_program(seed, _PARAMS)
+    from repro.opt import run_pipeline
     from repro.runtime import run_native
+    from repro.tinyc import compile_source
+    from repro.workloads import generate_program
+
+    source = generate_program(seed, ANALYSIS_PARAMS)
 
     baseline = None
     for level in ("O0", "O0+IM", "O1", "O2"):

@@ -27,7 +27,7 @@ from repro.vfg.graph import Root
 from repro.vfg.tabulation import resolve_definedness_summary
 from repro.workloads import WORKLOADS, GeneratorParams, generate_program
 
-_PARAMS = GeneratorParams(uninit_prob=0.3, call_prob=0.6)
+from tests.helpers import CORPUS_PARAMS as _PARAMS
 _SETTINGS = dict(
     max_examples=20,
     deadline=None,

@@ -28,6 +28,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import analyze_pointers
 from repro.analysis.parallel import (
+    InvalidJobsError,
     chunk_evenly,
     default_jobs,
     fork_available,
@@ -40,7 +41,7 @@ from repro.tinyc import compile_source
 from repro.vfg.demand import DemandEngine
 from repro.workloads import WORKLOADS, GeneratorParams, generate_program
 
-_PARAMS = GeneratorParams(uninit_prob=0.3, call_prob=0.6)
+from tests.helpers import CORPUS_PARAMS as _PARAMS
 _SETTINGS = dict(
     max_examples=15,
     deadline=None,
@@ -261,7 +262,8 @@ def test_resolve_jobs_precedence(monkeypatch):
             assert resolve_jobs() == 7  # None nests transparently
     assert resolve_jobs() == 5  # default restored on exit
     monkeypatch.setenv("REPRO_JOBS", "junk")
-    assert resolve_jobs() == 1
+    with pytest.raises(InvalidJobsError, match="REPRO_JOBS"):
+        resolve_jobs()  # malformed env is an error, not a silent serial run
 
 
 def test_chunk_evenly_is_contiguous_and_complete():

@@ -9,26 +9,17 @@ from dataclasses import replace
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import UsherConfig, prepare_module, run_usher
-from repro.opt import run_pipeline
+from repro.core import UsherConfig, run_usher
 from repro.runtime import StepLimitExceeded, run_instrumented, run_native
-from repro.tinyc import compile_source
 from repro.vfg import resolve_definedness
 from repro.vfg.tabulation import resolve_definedness_summary
-from repro.workloads import GeneratorParams, generate_program
+from tests.helpers import prepared_random
 
-_PARAMS = GeneratorParams(uninit_prob=0.3, call_prob=0.6)
 _SETTINGS = dict(
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-
-
-def prepared_random(seed: int):
-    module = compile_source(generate_program(seed, _PARAMS), f"seed{seed}")
-    run_pipeline(module, "O0+IM")
-    return prepare_module(module)
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))

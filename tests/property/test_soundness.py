@@ -28,24 +28,14 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.api import CONFIG_ORDER, analyze
 from repro.runtime import StepLimitExceeded
 from repro.workloads import GeneratorParams, generate_program
-
-_PARAMS = GeneratorParams(uninit_prob=0.35)
+from tests.helpers import SOUNDNESS_PARAMS as _PARAMS
+from tests.helpers import analyzed_random
 
 _SETTINGS = dict(
     max_examples=40,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-
-
-def analyzed_random(seed: int):
-    source = generate_program(seed, _PARAMS)
-    analysis = analyze(source=source, name=f"seed{seed}")
-    try:
-        native = analysis.run_native()
-    except StepLimitExceeded:
-        return None, None
-    return analysis, native
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))

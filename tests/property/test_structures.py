@@ -13,7 +13,7 @@ from repro.vfg import (
 )
 from repro.workloads import GeneratorParams, generate_program
 
-_PARAMS = GeneratorParams(uninit_prob=0.3)
+from tests.helpers import ANALYSIS_PARAMS as _PARAMS
 _SETTINGS = dict(
     max_examples=25,
     deadline=None,
