@@ -43,10 +43,11 @@ def pointer_heavy_module(seed: int, factor: int):
     return compile_source(generate_program(seed, params), f"heavy{seed}")
 
 
-def run_solver(module, use_reference: bool, schedule=None, jobs=None):
+def run_solver(module, use_reference: bool, schedule=None, jobs=None, tier=None):
     started = time.perf_counter()
     result = analyze_pointers(
-        module, use_reference=use_reference, schedule=schedule, jobs=jobs
+        module, use_reference=use_reference, schedule=schedule, jobs=jobs,
+        tier=tier,
     )
     elapsed = time.perf_counter() - started
     return elapsed, result.solver_stats
@@ -171,6 +172,94 @@ class TestWaveScheduling:
         assert wave_stats.peak_wave_width > 1
         assert wave_stats.pops < fifo_stats.pops
         assert wave_stats.facts_propagated <= fifo_stats.facts_propagated
+
+
+class TestTieredSolving:
+    """The three solving tiers on the same pointer-heavy instance.
+
+    The module runs through the standard ``O0+IM`` pipeline first —
+    exactly what ``prepare_module`` always sees in production.  That
+    matters: at O0 the frontend routes every assignment through a stack
+    slot, so the *static* copy graph is load/store pairs and nearly
+    edge-free; mem2reg is what turns assignment chains into the
+    Copy/Phi edges the Steensgaard pre-collapse exists to fold.
+
+    Each tier's row lands in the log under its own ``solver_tier_<t>``
+    benchmark name, so the cross-run gate compares like against like
+    (and additionally watches ``unified_nodes`` for a pre-collapse
+    collapse — see ``tools/diff_solver_stats.py``).
+    """
+
+    def _optimized_heavy(self, seed, factor):
+        module = pointer_heavy_module(seed, factor)
+        run_pipeline(module, "O0+IM")
+        return module
+
+    def test_unified_tier_cuts_pops_and_edges(self):
+        """The acceptance gate: at factor 6 the pre-collapse must cut
+        worklist pops and the surviving copy-edge count at least 2x
+        against the plain wave-scheduled fixpoint, on identical
+        results (asserted by the differential suites; re-checked
+        loosely here via the deterministic counters)."""
+        module = self._optimized_heavy(5, 6)
+        full_elapsed, full_stats = min(
+            (run_solver(module, use_reference=False, tier="full")
+             for _ in range(3)),
+            key=lambda pair: pair[0],
+        )
+        unified_elapsed, unified_stats = min(
+            (run_solver(module, use_reference=False, tier="unified")
+             for _ in range(3)),
+            key=lambda pair: pair[0],
+        )
+        record_solver_stats(
+            5, 6, full_elapsed, full_stats, benchmark="solver_tier_full"
+        )
+        record_solver_stats(
+            5, 6, unified_elapsed, unified_stats,
+            benchmark="solver_tier_unified",
+        )
+        assert unified_stats.unified_nodes > 0
+        assert full_stats.pops >= 2 * unified_stats.pops
+        assert full_stats.live_copy_edges >= 2 * unified_stats.live_copy_edges
+        # The pre-collapse pays for itself: smaller solve phase, and
+        # (min-of-3, generous slack against timer noise) no slower
+        # end to end.
+        assert (
+            unified_stats.phase_seconds["solve"]
+            < full_stats.phase_seconds["solve"]
+        )
+        assert unified_elapsed <= full_elapsed * 1.25
+
+    def test_lazy_tier_defers_then_matches(self):
+        """Lazy's value is *deferral*: construction does no solving at
+        all, and a full force visits every node.  Its row is recorded
+        for the trajectory log; its win shows up in the query-first
+        workflows (see ``benchmarks/test_demand_queries.py``), not in
+        force-everything wall-clock."""
+        module = self._optimized_heavy(5, 6)
+        lazy_elapsed, lazy_stats = min(
+            (run_solver(module, use_reference=False, tier="lazy")
+             for _ in range(3)),
+            key=lambda pair: pair[0],
+        )
+        record_solver_stats(
+            5, 6, lazy_elapsed, lazy_stats, benchmark="solver_tier_lazy"
+        )
+        assert lazy_stats.tier == "lazy"
+        assert lazy_stats.lazy_forced_nodes > 0
+
+    def test_tiers_agree_bit_for_bit(self):
+        module = self._optimized_heavy(5, 6)
+        results = {
+            tier: analyze_pointers(module, tier=tier)
+            for tier in ("full", "unified", "lazy")
+        }
+        full = results["full"]
+        for tier in ("unified", "lazy"):
+            assert results[tier].pts == full.pts
+            assert results[tier].call_targets == full.call_targets
+            assert results[tier].wrappers == full.wrappers
 
 
 class TestParallelConstraintGeneration:

@@ -24,6 +24,14 @@ from repro.analysis.memobjects import (
     PVar,
 )
 from repro.analysis.modref import ModRefResult
+from repro.analysis.tiers import (
+    TIERS,
+    InvalidTierError,
+    default_tier,
+    parse_tier,
+    resolve_tier,
+)
+from repro.analysis.unify import presolve_unify
 
 __all__ = [
     "DeltaSolver",
@@ -40,4 +48,10 @@ __all__ = [
     "MemObject",
     "PVar",
     "ModRefResult",
+    "TIERS",
+    "InvalidTierError",
+    "default_tier",
+    "parse_tier",
+    "resolve_tier",
+    "presolve_unify",
 ]

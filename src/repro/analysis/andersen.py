@@ -49,6 +49,7 @@ through :class:`~repro.analysis.solverstats.SolverStats`.
 
 from __future__ import annotations
 
+import heapq
 from typing import (
     Dict,
     FrozenSet,
@@ -75,6 +76,7 @@ from repro.analysis.memobjects import (
 )
 from repro.analysis.parallel import resolve_jobs
 from repro.analysis.solverstats import SolverStats
+from repro.analysis.tiers import resolve_tier
 
 Node = Union[PVar, MemLoc]
 
@@ -157,6 +159,7 @@ def analyze_pointers(
     use_reference: bool = False,
     schedule: Optional[str] = None,
     jobs: Optional[int] = None,
+    tier: Optional[str] = None,
 ) -> PointerResult:
     """Run Andersen's analysis on ``module``.
 
@@ -173,40 +176,85 @@ def analyze_pointers(
     ``"wave"`` (the default) or ``"fifo"`` (the PR-1 pop loop); the
     reference solver ignores it.  ``jobs`` shards constraint generation
     across that many worker processes (``None`` defers to the session
-    default / ``REPRO_JOBS``; 1 is strictly serial).  Neither knob can
-    change the result — both are pure wall-clock/scheduling choices.
+    default / ``REPRO_JOBS``; defaulted counts fall back to serial below
+    :data:`~repro.analysis.parallel.PARALLEL_MIN_OPS` instructions —
+    logged in ``SolverStats.gen_serial_fallbacks``; 1 is strictly
+    serial).  ``tier`` picks the solving tier (``None`` defers to the
+    session default / ``REPRO_TIER``): ``"full"`` solves eagerly,
+    ``"unified"`` runs the :mod:`repro.analysis.unify` Steensgaard-style
+    pre-collapse before each solve pass, ``"lazy"`` defers the fixpoint
+    so callers force only the slices they query.  None of these knobs
+    can change the result — all are pure wall-clock/scheduling choices
+    (the reference solver ignores ``tier``).
     """
-    jobs = resolve_jobs(jobs)
+    tier = resolve_tier(tier)
     if schedule is None:
         schedule = "wave"
     if schedule not in ("wave", "fifo"):
         raise ValueError(f"unknown solver schedule: {schedule!r}")
+    module_ops = sum(
+        1
+        for function in module.functions.values()
+        for _ in function.instructions()
+    )
+    effective_jobs = resolve_jobs(jobs, ops=module_ops)
+    serial_fallback = (
+        jobs is None and effective_jobs == 1 and resolve_jobs(jobs) > 1
+    )
 
     if use_reference:
-        stats = SolverStats(solver=ReferenceSolver.kind, schedule="fifo")
+        stats = SolverStats(
+            solver=ReferenceSolver.kind, schedule="fifo", tier="full"
+        )
 
         def make(wrappers: FrozenSet[str]) -> "_SolverBase":
-            return ReferenceSolver(module, wrappers=wrappers, stats=stats, jobs=jobs)
+            if serial_fallback:
+                stats.gen_serial_fallbacks += 1
+            return ReferenceSolver(
+                module, wrappers=wrappers, stats=stats, jobs=effective_jobs
+            )
 
     else:
-        stats = SolverStats(solver=DeltaSolver.kind, schedule=schedule)
+        stats = SolverStats(solver=DeltaSolver.kind, schedule=schedule, tier=tier)
+        lazy = tier == "lazy"
 
         def make(wrappers: FrozenSet[str]) -> "_SolverBase":
-            return DeltaSolver(
-                module, wrappers=wrappers, stats=stats, jobs=jobs, schedule=schedule
+            if serial_fallback:
+                stats.gen_serial_fallbacks += 1
+            solver = DeltaSolver(
+                module,
+                wrappers=wrappers,
+                stats=stats,
+                jobs=effective_jobs,
+                schedule=schedule,
+                lazy=lazy,
             )
+            if tier == "unified":
+                from repro.analysis.unify import presolve_unify
+
+                presolve_unify(solver)
+            return solver
+
+    def finish(solver: "_SolverBase") -> PointerResult:
+        # Lazy tier: settle any deferred work outside the finalize
+        # phase so solve time is attributed to "solve", not "finalize".
+        if isinstance(solver, DeltaSolver):
+            solver.force_all()
+        return solver.result()
 
     base = make(frozenset())
     base.solve()
     if not heap_cloning:
-        return base.result()
+        return finish(base)
+    if isinstance(base, DeltaSolver):
+        base.force_wrapper_candidates()
     with stats.phase("wrappers"):
         wrappers = base.detect_wrappers()
     if not wrappers:
-        return base.result()
+        return finish(base)
     refined = make(frozenset(wrappers))
     refined.solve()
-    result = refined.result()
+    result = finish(refined)
     result.wrappers = set(wrappers)
     return result
 
@@ -669,6 +717,9 @@ class ReferenceSolver(_SolverBase):
         self.stats.solve_passes += 1
         with self.stats.phase("solve"):
             self._run()
+        self.stats.live_copy_edges = sum(
+            len(dsts) for dsts in self.copy_edges.values()
+        )
 
     def _run(self) -> None:
         while self.worklist:
@@ -789,15 +840,42 @@ class DeltaSolver(_SolverBase):
         jobs: int = 1,
         recursive: Optional[Set[str]] = None,
         schedule: str = "wave",
+        lazy: bool = False,
     ) -> None:
         if schedule not in ("wave", "fifo"):
             raise ValueError(f"unknown solver schedule: {schedule!r}")
         self.schedule = schedule
-        #: wave-mode bookkeeping: topological position of each rep in
-        #: the wave currently being processed (None outside a wave) and
-        #: the position of the rep being popped right now.
-        self._wave_pos: Optional[Dict[int, int]] = None
-        self._wave_cursor = 0
+        #: wave-mode bookkeeping: the ord-keyed heap of reps scheduled
+        #: in the wave currently being processed (None outside a wave),
+        #: the set of reps it holds, and the ord of the rep being popped
+        #: right now.
+        self._wave_heap: Optional[List[Tuple[int, int]]] = None
+        self._wave_members: Set[int] = set()
+        self._wave_cursor_ord = -1
+        #: Pearce–Kelly incremental topological order: ``_ord[rep]`` is
+        #: the rep's position.  Until :meth:`_init_pk_order` runs (at the
+        #: first wave-mode solve) ords are creation indices and
+        #: ``_pk_live`` is False; afterwards the order is maintained
+        #: online per inserted copy edge and cycles are collapsed
+        #: eagerly at insertion.
+        self._ord: List[int] = []
+        self._next_ord = 0
+        self._pk_live = False
+        self._offline_collapsed = False
+        #: lazy tier: the demand-forced constraint slice — raw node ids
+        #: whose backward closure has been pulled in, the union-find
+        #: reps the restricted fixpoint is allowed to pop, and the
+        #: one-shot conservative closures (stores once any MemLoc class
+        #: enters the slice; indirect-call callees on the first force).
+        self._lazy = lazy
+        self._complete = False
+        self._forcing = False
+        self._slice: Set[int] = set()
+        self._slice_reps: Set[int] = set()
+        self._slice_grew = False
+        self._stores_pulled = False
+        self._store_pairs: List[Tuple[int, int]] = []
+        self._icall_callee_ids: List[int] = []
         #: interning: MemLoc <-> bit index
         self._locs: List[MemLoc] = []
         self._loc_ids: Dict[MemLoc, int] = {}
@@ -811,6 +889,17 @@ class DeltaSolver(_SolverBase):
         self._bits: List[int] = []  #: full points-to bitset
         self._delta: List[int] = []  #: unpropagated subset of _bits
         self._copy_out: List[Optional[Set[int]]] = []
+        #: reverse copy adjacency (raw source ids per rep) — drives the
+        #: Pearce–Kelly backward pass, the unify pre-collapse and the
+        #: lazy backward closure
+        self._copy_in: List[Optional[Set[int]]] = []
+        #: lazy-tier reverse indexes: raw base/ptr ids per gep/load dst
+        #: rep (populated only when ``lazy``)
+        self._rev_geps: List[Optional[Set[int]]] = []
+        self._rev_loads: List[Optional[Set[int]]] = []
+        #: whether the node's union-find class contains a MemLoc (store
+        #: targets — the oversharing guard and the lazy store closure)
+        self._has_loc: List[bool] = []
         self._loads: List[Optional[Set[int]]] = []
         self._stores: List[Optional[Set[int]]] = []
         self._geps: List[Optional[Set[Tuple[int, Optional[int]]]]] = []
@@ -844,10 +933,16 @@ class DeltaSolver(_SolverBase):
             self._bits.append(0)
             self._delta.append(0)
             self._copy_out.append(None)
+            self._copy_in.append(None)
+            self._rev_geps.append(None)
+            self._rev_loads.append(None)
+            self._has_loc.append(isinstance(node, MemLoc))
             self._loads.append(None)
             self._stores.append(None)
             self._geps.append(None)
             self._icalls.append(None)
+            self._ord.append(self._next_ord)
+            self._next_ord += 1
         return nid
 
     def _lid(self, loc: MemLoc) -> int:
@@ -903,10 +998,19 @@ class DeltaSolver(_SolverBase):
 
     # -- constraint store ----------------------------------------------
     def _touch(self, rep: int) -> None:
-        if rep not in self.dirty:
-            self.dirty.add(rep)
-            self.worklist.append(rep)
-            self.stats.note_worklist(len(self.worklist))
+        if rep in self.dirty:
+            return
+        self.dirty.add(rep)
+        heap = self._wave_heap
+        if heap is not None and self._ord[rep] > self._wave_cursor_ord:
+            # Dirtied mid-wave at a downstream position: schedule it
+            # into the current wave instead of deferring to the next.
+            if rep not in self._wave_members:
+                self._wave_members.add(rep)
+                heapq.heappush(heap, (self._ord[rep], rep))
+            return
+        self.worklist.append(rep)
+        self.stats.note_worklist(len(self.worklist))
 
     def _processed(self, rep: int) -> int:
         """Facts of ``rep`` already pushed along its existing edges —
@@ -943,8 +1047,11 @@ class DeltaSolver(_SolverBase):
             # later in the current wave's topological order, these bits
             # ride along with its single in-wave pop — a FIFO loop
             # would have queued a separate re-pop for them.
-            wave_pos = self._wave_pos
-            if wave_pos is not None and wave_pos.get(rep, -1) > self._wave_cursor:
+            if (
+                self._wave_heap is not None
+                and rep in self._wave_members
+                and self._ord[rep] > self._wave_cursor_ord
+            ):
                 self.stats.wave_reoffers_avoided += 1
         else:
             self._touch(rep)
@@ -960,7 +1067,25 @@ class DeltaSolver(_SolverBase):
         elif d in out:
             return
         out.add(d)
+        ins_ = self._copy_in[d]
+        if ins_ is None:
+            ins_ = self._copy_in[d] = set()
+        ins_.add(s)
         self.stats.copy_edges += 1
+        if self._pk_live and self._ord[d] < self._ord[s]:
+            self._pk_insert(s, d)
+            s = self._find(s)
+            d = self._find(d)
+            if s == d:
+                return
+        if (
+            self._forcing
+            and d in self._slice_reps
+            and s not in self._slice_reps
+        ):
+            # A dynamic edge landed inside the demand slice from
+            # outside: grow the slice so the source's facts flow.
+            self._extend_slice(s)
         # A new edge must catch up on the facts the source has already
         # propagated; the unprocessed delta crosses it at the next pop.
         bits = self._bits[s] & ~self._delta[s]
@@ -978,6 +1103,12 @@ class DeltaSolver(_SolverBase):
         elif dst_id in dsts:
             return
         dsts.add(dst_id)
+        if self._lazy:
+            drep = self._find(dst_id)
+            ptrs = self._rev_loads[drep]
+            if ptrs is None:
+                ptrs = self._rev_loads[drep] = set()
+            ptrs.add(ptr_id)
         for lid in self._iter_lids(self._processed(rep) & ~self._func_mask):
             self._copy_ids(self._loc_node(lid), dst_id)
 
@@ -992,6 +1123,8 @@ class DeltaSolver(_SolverBase):
         elif src_id in srcs:
             return
         srcs.add(src_id)
+        if self._lazy:
+            self._store_pairs.append((ptr_id, src_id))
         for lid in self._iter_lids(self._processed(rep) & ~self._func_mask):
             self._copy_ids(src_id, self._loc_node(lid))
 
@@ -1007,6 +1140,12 @@ class DeltaSolver(_SolverBase):
         elif entry in entries:
             return
         entries.add(entry)
+        if self._lazy:
+            drep = self._find(dst_id)
+            bases = self._rev_geps[drep]
+            if bases is None:
+                bases = self._rev_geps[drep] = set()
+            bases.add(base_id)
         bits = self._processed(rep) & ~self._func_mask
         if bits:
             self._offer(dst_id, self._shift_bits(bits, offset))
@@ -1040,6 +1179,8 @@ class DeltaSolver(_SolverBase):
         elif entry in entries:
             return
         entries.add(entry)
+        if self._lazy:
+            self._icall_callee_ids.append(callee_id)
         locs = self._locs
         for lid in self._iter_lids(self._processed(rep) & self._func_mask):
             name = locs[lid].obj.func
@@ -1095,11 +1236,31 @@ class DeltaSolver(_SolverBase):
     # -- fixpoint ------------------------------------------------------
     def solve(self) -> None:
         self.stats.solve_passes += 1
+        if self._lazy and not self._complete:
+            # Lazy tier: the fixpoint is deferred.  force_nodes() /
+            # force_all() run restricted / complete fixpoints on demand.
+            return
         with self.stats.phase("solve"):
             if self.schedule == "wave":
                 self._run_wave()
             else:
                 self._run_fifo()
+        self.stats.live_copy_edges = self._count_live_copy_edges()
+
+    def _count_live_copy_edges(self) -> int:
+        """Distinct rep-level copy edges surviving all collapsing —
+        the graph the solver actually propagated over, as opposed to
+        ``stats.copy_edges`` which counts edges at insertion time."""
+        find = self._find
+        parent = self._parent
+        total = 0
+        for nid, out in enumerate(self._copy_out):
+            if not out or parent[nid] != nid:
+                continue
+            dsts = {find(raw) for raw in out}
+            dsts.discard(nid)
+            total += len(dsts)
+        return total
 
     def _run_fifo(self) -> None:
         worklist = self.worklist
@@ -1121,41 +1282,49 @@ class DeltaSolver(_SolverBase):
         """Wave/deep propagation: drain the worklist in topological
         sweeps of the copy-edge DAG instead of one pop at a time.
 
-        Each iteration snapshots the dirty frontier, computes a
-        reverse-postorder schedule of everything reachable from it
-        along copy edges, and pops in that order.  Nodes dirtied
-        *mid-wave* by an upstream pop occupy a later slot in the same
-        schedule, so their merged delta is popped once in this wave
-        rather than once per incoming edge.  Mid-wave SCC collapses are
-        handled by re-resolving each scheduled node through ``_find``
-        at pop time; a collapse at worst costs one extra pop for the
-        representative in the next wave.  The fixpoint reached is the
-        same as FIFO's — only the schedule (and hence pops / propagated
-        facts) differs.
+        Each wave heapifies the dirty frontier keyed by the
+        Pearce–Kelly order (:meth:`_init_pk_order` /
+        :meth:`_pk_insert`) and pops in ascending order.  Because the
+        order is maintained online as copy edges are inserted, no
+        per-wave reverse-postorder recomputation is needed; nodes
+        dirtied *mid-wave* downstream of the cursor are pushed into the
+        same wave's heap, so their merged delta is popped once in this
+        wave rather than once per incoming edge.  Mid-wave SCC
+        collapses are handled by re-resolving each popped entry through
+        ``_find``; stale heap entries are skipped via the dirty check.
+        The fixpoint reached is the same as FIFO's — only the schedule
+        (and hence pops / propagated facts) differs.
         """
+        if not self._pk_live:
+            self._init_pk_order()
         worklist = self.worklist
         dirty = self.dirty
         delta_of = self._delta
         find = self._find
+        ord_ = self._ord
         stats = self.stats
+        heappop = heapq.heappop
         while worklist:
-            frontier: List[int] = []
-            seen: Set[int] = set()
+            entries: List[Tuple[int, int]] = []
+            members: Set[int] = set()
             for nid in worklist:
                 rep = find(nid)
-                if rep in dirty and rep not in seen:
-                    seen.add(rep)
-                    frontier.append(rep)
+                if rep in dirty and rep not in members:
+                    members.add(rep)
+                    entries.append((ord_[rep], rep))
             worklist.clear()
-            if not frontier:
+            if not entries:
                 continue
-            order = self._wave_order(frontier)
+            heapq.heapify(entries)
             stats.waves += 1
-            self._wave_pos = {rep: pos for pos, rep in enumerate(order)}
+            self._wave_heap = entries
+            self._wave_members = members
             width = 0
             try:
-                for pos, scheduled in enumerate(order):
-                    self._wave_cursor = pos
+                while entries:
+                    key, scheduled = heappop(entries)
+                    members.discard(scheduled)
+                    self._wave_cursor_ord = key
                     rep = find(scheduled)
                     if rep not in dirty:
                         continue
@@ -1168,31 +1337,32 @@ class DeltaSolver(_SolverBase):
                     stats.pops += 1
                     self._propagate(rep, delta)
             finally:
-                self._wave_pos = None
-                self._wave_cursor = 0
+                self._wave_heap = None
+                self._wave_members = set()
+                self._wave_cursor_ord = -1
             if width > stats.peak_wave_width:
                 stats.peak_wave_width = width
 
-    def _wave_order(self, frontier: List[int]) -> List[int]:
-        """Reverse-postorder schedule of the copy-edge subgraph
-        reachable from ``frontier``.
-
-        With collapsed SCCs the copy graph is a DAG and this is a
-        topological order; cycles not yet detected merely degrade the
-        order locally (still a valid schedule — correctness never
-        depends on it).  The schedule covers *reachable* nodes, not
-        just currently-dirty ones, precisely so that nodes dirtied
-        mid-wave already hold a downstream slot.
-        """
+    # -- Pearce–Kelly incremental topological order --------------------
+    def _init_pk_order(self) -> None:
+        """Batch-initialize the incremental order: collapse every SCC
+        of the copy graph built so far (one offline Tarjan sweep), then
+        number the condensation in reverse postorder.  From here on the
+        order is maintained per inserted edge by :meth:`_pk_insert` and
+        cycles are collapsed eagerly at insertion, so wave mode never
+        needs the lazy-cycle-detection suspect machinery."""
+        self._offline_collapse()
         find = self._find
         copy_out = self._copy_out
-        visited: Set[int] = set()
+        parent = self._parent
+        ord_ = self._ord
+        total = len(self._nodes)
+        visited = bytearray(total)
         post: List[int] = []
-        for root in frontier:
-            root = find(root)
-            if root in visited:
+        for root in range(total):
+            if parent[root] != root or visited[root]:
                 continue
-            visited.add(root)
+            visited[root] = 1
             frames: List[Tuple[int, Iterator[int]]] = [
                 (root, iter(copy_out[root] or ()))
             ]
@@ -1201,16 +1371,118 @@ class DeltaSolver(_SolverBase):
                 advanced = False
                 for raw in succs:
                     succ = find(raw)
-                    if succ not in visited:
-                        visited.add(succ)
+                    if not visited[succ]:
+                        visited[succ] = 1
                         frames.append((succ, iter(copy_out[succ] or ())))
                         advanced = True
                         break
                 if not advanced:
                     frames.pop()
                     post.append(node)
-        post.reverse()
-        return post
+        # Reverse postorder over all roots is a topological order of
+        # the (now acyclic) condensation.
+        for position, node in enumerate(reversed(post)):
+            ord_[node] = position
+        # Nodes created later slot in above everything numbered so far
+        # (they are edge-free at creation, so appending is valid).
+        self._next_ord = total
+        self._pk_live = True
+
+    def _pk_insert(self, s: int, d: int) -> None:
+        """Restore the order's invariant after inserting copy edge
+        ``s -> d`` with ``ord[d] < ord[s]`` (Pearce & Kelly 2006).
+
+        Forward DFS from ``d`` bounded by ``ord < ord[s]``: every
+        existing edge respects the order, so any path from ``d`` back
+        to ``s`` stays inside the bound — reaching ``s`` exactly
+        detects that the new edge closed a cycle, which is collapsed
+        eagerly.  Otherwise the affected region (backward set of ``s``
+        above ``ord[d]``, forward set of ``d`` below ``ord[s]``) is
+        permuted within its own slots, keeping the order valid.
+        """
+        ord_ = self._ord
+        find = self._find
+        ub = ord_[s]
+        lb = ord_[d]
+        seen_f: Set[int] = {d}
+        rf: List[int] = [d]
+        stack: List[int] = [d]
+        cycle = False
+        while stack:
+            node = stack.pop()
+            out = self._copy_out[node]
+            if not out:
+                continue
+            for raw in out:
+                m = find(raw)
+                if m == s:
+                    cycle = True
+                elif m not in seen_f and ord_[m] < ub:
+                    seen_f.add(m)
+                    rf.append(m)
+                    stack.append(m)
+        if cycle:
+            self._pk_collapse_cycle(s, seen_f)
+            return
+        seen_b: Set[int] = {s}
+        rb: List[int] = [s]
+        stack = [s]
+        while stack:
+            node = stack.pop()
+            ins_ = self._copy_in[node]
+            if not ins_:
+                continue
+            for raw in ins_:
+                m = find(raw)
+                if m not in seen_b and ord_[m] > lb:
+                    seen_b.add(m)
+                    rb.append(m)
+                    stack.append(m)
+        self.stats.pk_reorders += 1
+        rb.sort(key=ord_.__getitem__)
+        rf.sort(key=ord_.__getitem__)
+        region = rb + rf
+        slots = sorted(ord_[node] for node in region)
+        for slot, node in zip(slots, region):
+            ord_[node] = slot
+
+    def _pk_collapse_cycle(self, s: int, forward: Set[int]) -> None:
+        """The new edge ``s -> d`` closed a cycle: its members are the
+        nodes of the bounded forward set that reach ``s`` backward.
+        Collapse them eagerly, then repair any in-edges of the merged
+        representative the collapse left violated (the graph is acyclic
+        again, so each repair is a plain reorder)."""
+        find = self._find
+        members: List[int] = [s]
+        mseen: Set[int] = {s}
+        stack: List[int] = [s]
+        while stack:
+            node = stack.pop()
+            ins_ = self._copy_in[node]
+            if not ins_:
+                continue
+            for raw in ins_:
+                m = find(raw)
+                if m in forward and m not in mseen:
+                    mseen.add(m)
+                    members.append(m)
+                    stack.append(m)
+        ord_ = self._ord
+        floor = min(ord_[member] for member in members)
+        self._collapse(members)
+        rep = find(s)
+        # The window floor keeps every out-edge of the merged rep valid
+        # (all members' successors sat above their member's slot).
+        ord_[rep] = floor
+        ins_ = self._copy_in[rep]
+        if ins_:
+            pending = sorted(
+                {find(raw) for raw in ins_} - {rep}, key=ord_.__getitem__
+            )
+            for u in pending:
+                u = find(u)
+                if u != rep and ord_[u] > ord_[rep]:
+                    self._pk_insert(u, rep)
 
     def _propagate(self, rep: int, delta: int) -> None:
         # Copy edges: pts(rep) ⊆ pts(dst), pushing only the delta.
@@ -1226,6 +1498,11 @@ class DeltaSolver(_SolverBase):
                     continue
                 seen.add(dst)
                 if self._offer(dst, delta):
+                    continue
+                if self._pk_live:
+                    # Pearce–Kelly collapses cycles eagerly at edge
+                    # insertion, so a no-op push can never mean an
+                    # undetected cycle here.
                     continue
                 key = (rep << 32) | dst
                 if key in checked:
@@ -1285,6 +1562,39 @@ class DeltaSolver(_SolverBase):
         so total sweep cost stays near linear even on cycle-free
         graphs."""
         self.stats.lcd_triggers += 1
+        roots = {self._find(node) for node in self._lcd_suspects}
+        components = self._tarjan_components(roots)
+        for component in components:
+            self._collapse(component)
+        self._lcd_suspects.clear()
+        if components:
+            self._lcd_threshold = self._LCD_BASE_THRESHOLD
+        else:
+            self._lcd_threshold = min(
+                self._lcd_threshold * 2, self._LCD_MAX_THRESHOLD
+            )
+
+    def _offline_collapse(self) -> None:
+        """Collapse every multi-node SCC of the whole copy graph in one
+        Tarjan sweep (the batch counterpart of lazy cycle detection —
+        used by :meth:`_init_pk_order` and the unify pre-pass).  Exact:
+        cycle members provably share their fixpoint points-to set."""
+        if self._offline_collapsed:
+            return
+        self._offline_collapsed = True
+        roots = [
+            nid
+            for nid in range(len(self._nodes))
+            if self._parent[nid] == nid and self._copy_out[nid]
+        ]
+        for component in self._tarjan_components(roots):
+            self._collapse(component)
+
+    def _tarjan_components(
+        self, roots: Iterable[int]
+    ) -> List[List[int]]:
+        """Multi-node SCCs of the rep-level copy graph reachable from
+        ``roots`` (iterative Tarjan)."""
         find = self._find
         copy_out = self._copy_out
         total = len(self._nodes)
@@ -1303,8 +1613,8 @@ class DeltaSolver(_SolverBase):
             reps.discard(node)
             return list(reps)
 
-        roots = {find(node) for node in self._lcd_suspects}
         for start in roots:
+            start = find(start)
             if index[start] >= 0:
                 continue
             index[start] = low[start] = counter
@@ -1345,18 +1655,12 @@ class DeltaSolver(_SolverBase):
                             break
                     if len(component) > 1:
                         components.append(component)
-        for component in components:
-            self._collapse(component)
-        self._lcd_suspects.clear()
-        if components:
-            self._lcd_threshold = self._LCD_BASE_THRESHOLD
-        else:
-            self._lcd_threshold = min(
-                self._lcd_threshold * 2, self._LCD_MAX_THRESHOLD
-            )
+        return components
 
-    def _collapse(self, members: List[int]) -> None:
-        """Merge an SCC onto one representative."""
+    def _collapse(self, members: List[int], unify: bool = False) -> None:
+        """Merge an SCC (or, with ``unify=True``, a unification group
+        from the Steensgaard pre-pass) onto one representative — the
+        first member."""
         reps: List[int] = []
         seen: Set[int] = set()
         for member in members:
@@ -1369,12 +1673,17 @@ class DeltaSolver(_SolverBase):
         rep = reps[0]
         union_bits = 0
         processed_all = -1  # intersection of each member's processed set
+        has_loc = False
         for member in reps:
             bits = self._bits[member]
             union_bits |= bits
             processed_all &= bits & ~self._delta[member]
+            has_loc = has_loc or self._has_loc[member]
         tables = (
             self._copy_out,
+            self._copy_in,
+            self._rev_geps,
+            self._rev_loads,
             self._loads,
             self._stores,
             self._geps,
@@ -1394,6 +1703,11 @@ class DeltaSolver(_SolverBase):
             self._bits[member] = 0
             self._delta[member] = 0
             self.dirty.discard(member)
+        self._has_loc[rep] = has_loc
+        if self._slice_reps and not self._slice_reps.isdisjoint(seen):
+            # Keep the demand slice closed under collapsing: facts of a
+            # merged class live on the representative.
+            self._slice_reps.add(rep)
         self._bits[rep] = union_bits
         # A fact needs (re-)propagation from the representative unless
         # every member had already pushed it along its own edges.
@@ -1401,17 +1715,150 @@ class DeltaSolver(_SolverBase):
         self._delta[rep] = pending
         if pending:
             self._touch(rep)
-        self.stats.sccs_collapsed += 1
-        self.stats.scc_nodes_merged += len(reps) - 1
+        if unify:
+            self.stats.unified_nodes += len(reps) - 1
+        else:
+            self.stats.sccs_collapsed += 1
+            self.stats.scc_nodes_merged += len(reps) - 1
+
+    # -- lazy demand forcing -------------------------------------------
+    def force_nodes(self, nodes: Iterable[Node]) -> None:
+        """Lazy tier: compute the exact points-to sets of ``nodes`` by
+        solving only the constraint slice reachable backward from them
+        (plus the conservative store / indirect-call closures), memoized
+        across calls — facts already forced are never recomputed.  A
+        no-op for eager solvers and after :meth:`force_all`."""
+        if not self._lazy or self._complete:
+            return
+        node_ids = self._node_ids
+        ids = [
+            node_ids[node] for node in nodes if node in node_ids
+        ]
+        self._force_ids(ids)
+
+    def force_wrapper_candidates(self) -> None:
+        """Lazy tier: force exactly the ``<ret>`` slices that wrapper
+        detection inspects, leaving the rest of the fixpoint deferred."""
+        if not self._lazy or self._complete:
+            return
+        self.force_nodes(
+            self._ret_node(name)
+            for name in self.module.functions
+            if name not in self._recursive and name != "main"
+        )
+
+    def force_all(self) -> None:
+        """Lazy tier: settle the complete fixpoint (everything still
+        deferred, including previously out-of-slice pops)."""
+        if not self._lazy or self._complete:
+            return
+        self._complete = True
+        with self.stats.phase("solve"):
+            self._run_fifo()
+        self.stats.lazy_forced_nodes = len(self._nodes)
+        self.stats.live_copy_edges = self._count_live_copy_edges()
+
+    def _force_ids(self, ids: List[int]) -> None:
+        # Indirect-call resolution can rebind arguments anywhere, so
+        # callee slices ride along with every force (idempotent).
+        fresh = [raw for raw in ids if raw not in self._slice]
+        fresh.extend(
+            raw for raw in self._icall_callee_ids if raw not in self._slice
+        )
+        if not fresh:
+            return
+        with self.stats.phase("solve"):
+            for raw in fresh:
+                self._extend_slice(raw)
+            self._forcing = True
+            try:
+                self._run_restricted()
+            finally:
+                self._forcing = False
+        self.stats.lazy_forced_nodes = len(self._slice)
+
+    def _extend_slice(self, raw: int) -> None:
+        """Grow the demand slice by the backward closure of node
+        ``raw`` over copy, gep and load constraints.  Stores are pulled
+        wholesale the first time any MemLoc class enters the slice —
+        facts reach memory locations only through stores, and which
+        stores hit which location is itself a points-to question."""
+        find = self._find
+        slice_ids = self._slice
+        slice_reps = self._slice_reps
+        copy_in = self._copy_in
+        rev_geps = self._rev_geps
+        rev_loads = self._rev_loads
+        stack = [raw]
+        while stack:
+            nid = stack.pop()
+            if nid in slice_ids:
+                continue
+            slice_ids.add(nid)
+            rep = find(nid)
+            slice_reps.add(rep)
+            if self._has_loc[rep] and not self._stores_pulled:
+                self._stores_pulled = True
+                for ptr, src in self._store_pairs:
+                    stack.append(ptr)
+                    stack.append(src)
+            ins_ = copy_in[rep]
+            if ins_:
+                stack.extend(ins_)
+            bases = rev_geps[rep]
+            if bases:
+                stack.extend(bases)
+            ptrs = rev_loads[rep]
+            if ptrs:
+                stack.extend(ptrs)
+        self._slice_grew = True
+
+    def _run_restricted(self) -> None:
+        """FIFO fixpoint restricted to the demand slice: pops outside
+        the slice are deferred (they stay dirty), and any mid-run slice
+        growth — a dynamic copy edge landing inside the slice — requeues
+        the deferred pops.  On exit every slice rep is at its fixpoint
+        and the deferred dirt is back on the worklist for a later
+        force."""
+        worklist = self.worklist
+        dirty = self.dirty
+        delta_of = self._delta
+        find = self._find
+        deferred: List[int] = []
+        while True:
+            self._slice_grew = False
+            while worklist:
+                rep = find(worklist.pop())
+                if rep not in dirty:
+                    continue
+                if rep not in self._slice_reps:
+                    deferred.append(rep)
+                    continue
+                dirty.discard(rep)
+                delta = delta_of[rep]
+                if not delta:
+                    continue
+                delta_of[rep] = 0
+                self.stats.pops += 1
+                self._propagate(rep, delta)
+            if self._slice_grew and deferred:
+                worklist.extend(deferred)
+                deferred.clear()
+                continue
+            break
+        worklist.extend(deferred)
 
     # -- results -------------------------------------------------------
     def _node_pts(self, node: Node) -> Set[MemLoc]:
         nid = self._node_ids.get(node)
         if nid is None:
             return set()
+        if self._lazy and not self._complete:
+            self._force_ids([nid])
         return set(self._iter_locs(self._bits[self._find(nid)]))
 
     def _final_pts(self) -> Dict[Node, Set[MemLoc]]:
+        self.force_all()  # lazy tier: full results need the full fixpoint
         expanded: Dict[Node, Set[MemLoc]] = {}
         cache: Dict[int, Set[MemLoc]] = {}
         nodes = self._nodes

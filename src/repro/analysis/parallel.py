@@ -14,6 +14,12 @@ controls them all:
    lane runs the whole tier-1 suite under ``REPRO_JOBS=2``);
 4. otherwise 1 — strictly serial, the default.
 
+Defaulted worker counts (cases 2-3) are additionally subject to a
+workload-size floor: below :data:`PARALLEL_MIN_OPS` instructions the
+phase runs serially anyway, because fork-pool setup and the shard
+merge cost more than they save on small modules.  Explicit ``jobs=``
+arguments are taken literally.
+
 All pools are ``fork``-start: workers inherit the module / VFG /
 wrappers / memo snapshot through copy-on-write memory instead of
 pickling them, which is what makes per-call pools affordable.  On
@@ -32,6 +38,16 @@ from typing import Iterator, List, Optional, Sequence, TypeVar
 
 #: Environment variable consulted when no explicit ``jobs=`` is given.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Module size (instruction count) below which a *defaulted* worker
+#: count falls back to serial.  Forking a pool, pickling op tapes back
+#: and replaying the merge costs more than it saves on small modules:
+#: the ``parallel_constraint_gen`` benchmark shows jobs=4 running ~5x
+#: slower than serial at ~4.7k instructions (factor-8 pointer-heavy),
+#: so the break-even sits comfortably above every corpus-scale module.
+#: An explicit ``jobs=`` argument bypasses the threshold — differential
+#: tests and benchmarks must be able to force sharding at any size.
+PARALLEL_MIN_OPS = 10_000
 
 _default_jobs: Optional[int] = None
 
@@ -61,21 +77,35 @@ def parse_jobs(raw: str, origin: str = "--jobs") -> int:
     return jobs
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
+def resolve_jobs(
+    jobs: Optional[int] = None, *, ops: Optional[int] = None
+) -> int:
     """The effective worker count for one parallel phase (>= 1).
 
     An unset ``REPRO_JOBS`` means serial; a *malformed* one raises
     :class:`InvalidJobsError` — a typo'd worker count silently running
     the whole analysis serially is exactly the kind of quiet
-    misconfiguration the observability layer exists to prevent."""
+    misconfiguration the observability layer exists to prevent.
+
+    ``ops`` is the workload size (module instruction count).  When the
+    worker count came from the session default or the environment —
+    not an explicit ``jobs=`` argument — and ``ops`` is below
+    :data:`PARALLEL_MIN_OPS`, the phase runs serially: fork-pool
+    overhead dominates at that size, and "parallel by default" must
+    not be a slowdown by default.  Callers that care log the fallback
+    (``SolverStats.gen_serial_fallbacks``)."""
     if jobs is not None:
         return max(1, int(jobs))
     if _default_jobs is not None:
-        return _default_jobs
-    raw = os.environ.get(JOBS_ENV)
-    if raw is None:
+        resolved = _default_jobs
+    else:
+        raw = os.environ.get(JOBS_ENV)
+        if raw is None:
+            return 1
+        resolved = parse_jobs(raw, origin=JOBS_ENV)
+    if resolved > 1 and ops is not None and ops < PARALLEL_MIN_OPS:
         return 1
-    return parse_jobs(raw, origin=JOBS_ENV)
+    return resolved
 
 
 @contextmanager

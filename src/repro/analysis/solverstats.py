@@ -41,6 +41,8 @@ class SolverStats:
         schedule: Worklist discipline — ``"wave"`` (topological waves
             over the copy-edge DAG, the delta solver's default) or
             ``"fifo"`` (plain worklist pops).
+        tier: Precision tier of the run — ``"full"``, ``"lazy"`` or
+            ``"unified"`` (see :mod:`repro.analysis.tiers`).
         solve_passes: Number of ``solve()`` fixpoints run (2 with heap
             cloning: the wrapper-detection pre-pass plus the re-run).
         pops: Worklist pops that did propagation work.
@@ -51,36 +53,61 @@ class SolverStats:
             of that node's delta) the FIFO schedule would have risked.
         gen_shards: Constraint-generation shards merged (0 when the
             generator ran serially).
+        gen_serial_fallbacks: Constraint-generation passes that asked
+            for parallel sharding (via the session default or
+            ``REPRO_JOBS``) but fell back to serial because the module
+            was below the fork-pool break-even size
+            (:data:`repro.analysis.parallel.PARALLEL_MIN_OPS`).
         facts_propagated: Facts offered along constraint edges (the
             solver's raw propagation volume — the figure difference
             propagation shrinks).
         facts_added: Facts newly inserted into a points-to set.
-        copy_edges: Distinct copy edges added to the constraint graph.
+        copy_edges: Distinct copy edges added to the constraint graph
+            (counted at insertion, before any collapsing).
+        live_copy_edges: Distinct representative-level copy edges left
+            when solving finished — what unification and cycle collapse
+            actually shrank the graph to.
         icall_bindings: Distinct (call site, callee) pairs bound for
             indirect calls.
         lcd_triggers: Lazy-cycle-detection sweeps started.
         sccs_collapsed: Copy-edge SCCs collapsed onto a representative.
         scc_nodes_merged: Total nodes folded into representatives.
+        unified_nodes: Nodes folded into their single copy source by
+            the Steensgaard-style pre-collapse
+            (:mod:`repro.analysis.unify`; unified tier only).
+        pk_reorders: Pearce–Kelly reorder operations performed to keep
+            the incremental topological order valid as copy edges
+            landed during solving (wave schedule only).
+        lazy_forced_nodes: Distinct constraint-graph nodes pulled into
+            the forced slice universe by demand queries (lazy tier
+            only; a full ``force_all`` sets it to the node count).
         peak_worklist: High-water mark of the worklist.
-        phase_seconds: Wall time per phase (``constraints``, ``solve``,
-            ``wrappers``, ``finalize``), accumulated across passes.
+        phase_seconds: Wall time per phase (``constraints``, ``unify``,
+            ``solve``, ``wrappers``, ``finalize``), accumulated across
+            passes.
     """
 
     solver: str = "delta"
     schedule: str = "fifo"
+    tier: str = "full"
     solve_passes: int = 0
     pops: int = 0
     waves: int = 0
     peak_wave_width: int = 0
     wave_reoffers_avoided: int = 0
     gen_shards: int = 0
+    gen_serial_fallbacks: int = 0
     facts_propagated: int = 0
     facts_added: int = 0
     copy_edges: int = 0
+    live_copy_edges: int = 0
     icall_bindings: int = 0
     lcd_triggers: int = 0
     sccs_collapsed: int = 0
     scc_nodes_merged: int = 0
+    unified_nodes: int = 0
+    pk_reorders: int = 0
+    lazy_forced_nodes: int = 0
     peak_worklist: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -108,19 +135,25 @@ class SolverStats:
         return {
             "solver": self.solver,
             "schedule": self.schedule,
+            "tier": self.tier,
             "solve_passes": self.solve_passes,
             "pops": self.pops,
             "waves": self.waves,
             "peak_wave_width": self.peak_wave_width,
             "wave_reoffers_avoided": self.wave_reoffers_avoided,
             "gen_shards": self.gen_shards,
+            "gen_serial_fallbacks": self.gen_serial_fallbacks,
             "facts_propagated": self.facts_propagated,
             "facts_added": self.facts_added,
             "copy_edges": self.copy_edges,
+            "live_copy_edges": self.live_copy_edges,
             "icall_bindings": self.icall_bindings,
             "lcd_triggers": self.lcd_triggers,
             "sccs_collapsed": self.sccs_collapsed,
             "scc_nodes_merged": self.scc_nodes_merged,
+            "unified_nodes": self.unified_nodes,
+            "pk_reorders": self.pk_reorders,
+            "lazy_forced_nodes": self.lazy_forced_nodes,
             "peak_worklist": self.peak_worklist,
             "phase_seconds": {
                 name: round(seconds, 6)
@@ -137,13 +170,22 @@ class SolverStats:
         self.peak_wave_width = max(self.peak_wave_width, other.peak_wave_width)
         self.wave_reoffers_avoided += other.wave_reoffers_avoided
         self.gen_shards += other.gen_shards
+        self.gen_serial_fallbacks += other.gen_serial_fallbacks
         self.facts_propagated += other.facts_propagated
         self.facts_added += other.facts_added
         self.copy_edges += other.copy_edges
+        self.live_copy_edges = max(
+            self.live_copy_edges, other.live_copy_edges
+        )
         self.icall_bindings += other.icall_bindings
         self.lcd_triggers += other.lcd_triggers
         self.sccs_collapsed += other.sccs_collapsed
         self.scc_nodes_merged += other.scc_nodes_merged
+        self.unified_nodes += other.unified_nodes
+        self.pk_reorders += other.pk_reorders
+        self.lazy_forced_nodes = max(
+            self.lazy_forced_nodes, other.lazy_forced_nodes
+        )
         self.peak_worklist = max(self.peak_worklist, other.peak_worklist)
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = (
@@ -154,36 +196,53 @@ class SolverStats:
         """Multi-line human-readable profile (CLI / harness report)."""
         lines = [
             f"solver profile ({self.solver}, {self.schedule} schedule, "
-            f"{self.solve_passes} solve pass(es)):",
+            f"{self.tier} tier, {self.solve_passes} solve pass(es)):",
             f"  pops              {self.pops:>10d}",
         ]
         if self.waves:
             lines.append(
                 f"  waves             {self.waves:>10d} "
                 f"(peak width {self.peak_wave_width}, "
-                f"{self.wave_reoffers_avoided} re-offers avoided)"
+                f"{self.wave_reoffers_avoided} re-offers avoided, "
+                f"{self.pk_reorders} PK reorders)"
             )
         if self.gen_shards:
             lines.append(
                 f"  gen shards        {self.gen_shards:>10d}"
             )
+        if self.gen_serial_fallbacks:
+            lines.append(
+                f"  serial fallbacks  {self.gen_serial_fallbacks:>10d} "
+                f"(module below the parallel-gen break-even size)"
+            )
         lines += [
             f"  facts propagated  {self.facts_propagated:>10d}",
             f"  facts added       {self.facts_added:>10d}",
-            f"  copy edges        {self.copy_edges:>10d}",
+            f"  copy edges        {self.copy_edges:>10d} "
+            f"({self.live_copy_edges} live post-solve)",
             f"  icall bindings    {self.icall_bindings:>10d}",
             f"  SCCs collapsed    {self.sccs_collapsed:>10d} "
             f"({self.scc_nodes_merged} nodes merged, "
             f"{self.lcd_triggers} LCD sweeps)",
-            f"  peak worklist     {self.peak_worklist:>10d}",
         ]
-        for name in ("constraints", "solve", "wrappers", "finalize"):
+        if self.unified_nodes:
+            lines.append(
+                f"  unified nodes     {self.unified_nodes:>10d} "
+                f"(Steensgaard pre-collapse)"
+            )
+        if self.lazy_forced_nodes:
+            lines.append(
+                f"  lazy forced nodes {self.lazy_forced_nodes:>10d}"
+            )
+        lines.append(f"  peak worklist     {self.peak_worklist:>10d}")
+        for name in ("constraints", "unify", "solve", "wrappers", "finalize"):
             if name in self.phase_seconds:
                 lines.append(
                     f"  {name + ' time':<18s}{self.phase_seconds[name]:>9.4f}s"
                 )
         for name in sorted(self.phase_seconds):
-            if name not in ("constraints", "solve", "wrappers", "finalize"):
+            if name not in ("constraints", "unify", "solve", "wrappers",
+                            "finalize"):
                 lines.append(
                     f"  {name + ' time':<18s}{self.phase_seconds[name]:>9.4f}s"
                 )

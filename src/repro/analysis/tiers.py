@@ -1,0 +1,101 @@
+"""The precision-tier knob of the tiered solving stack.
+
+Every entry point that runs the pointer analysis —
+:func:`repro.analysis.andersen.analyze_pointers`,
+:func:`repro.core.usher.prepare_module`, :func:`repro.api.analyze`,
+the ``repro`` CLI and the fuzzing harness — resolves its tier through
+:func:`resolve_tier`, so one knob controls them all:
+
+1. an explicit ``tier=`` argument wins;
+2. otherwise a session default installed by :func:`default_tier`
+   (the ``repro report --tier X`` path);
+3. otherwise the ``REPRO_TIER`` environment variable (the CI lane runs
+   the whole tier-1 suite under ``REPRO_TIER=unified``);
+4. otherwise ``"full"`` — the plain eager Andersen fixpoint.
+
+The tiers (see ``docs/internals.md`` § Tiered solving):
+
+- ``full`` — eager Andersen fixpoint, wave-scheduled (the default).
+- ``lazy`` — defer the fixpoint; demand forces only the constraint
+  slice reachable backward from what is actually queried, memoized
+  across queries.  Through :func:`repro.api.analyze` the whole static
+  pipeline defers until the first query.
+- ``unified`` — Steensgaard-style pre-collapse
+  (:mod:`repro.analysis.unify`) union-finds the copy graph before
+  solving, with the no-oversharing guard, then solves eagerly on the
+  smaller node universe.
+
+Every tier produces bit-identical results (warned uids, Γ verdicts,
+:class:`~repro.analysis.andersen.PointerResult` contents); the knob
+only trades *when* and *how much* solving work is done.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: The recognized precision tiers, cheapest-semantics first.
+TIERS = ("full", "lazy", "unified")
+
+#: Environment variable consulted when no explicit ``tier=`` is given.
+TIER_ENV = "REPRO_TIER"
+
+_default_tier: Optional[str] = None
+
+
+class InvalidTierError(ValueError):
+    """A tier name outside :data:`TIERS`."""
+
+
+def parse_tier(raw: str, origin: str = "--tier") -> str:
+    """Validate a user-supplied tier name (CLI flag or env var).
+
+    Raises :class:`InvalidTierError` with a one-line, human-readable
+    message — the CLI turns it into a clean non-zero exit instead of a
+    traceback."""
+    text = (raw or "").strip().lower() if isinstance(raw, str) else raw
+    if text not in TIERS:
+        known = ", ".join(TIERS)
+        raise InvalidTierError(
+            f"{origin} must be one of {known}; got {raw!r}"
+        )
+    return text
+
+
+def resolve_tier(tier: Optional[str] = None) -> str:
+    """The effective solving tier for one analysis (always a member of
+    :data:`TIERS`).
+
+    An unset ``REPRO_TIER`` means ``"full"``; a *malformed* one raises
+    :class:`InvalidTierError` — a typo'd tier silently running the
+    default is exactly the kind of quiet misconfiguration the
+    observability layer exists to prevent."""
+    if tier is not None:
+        return parse_tier(tier, origin="tier")
+    if _default_tier is not None:
+        return _default_tier
+    raw = os.environ.get(TIER_ENV)
+    if raw is None:
+        return "full"
+    return parse_tier(raw, origin=TIER_ENV)
+
+
+@contextmanager
+def default_tier(tier: Optional[str]) -> Iterator[None]:
+    """Install ``tier`` as the session default for the enclosed block.
+
+    ``None`` is a no-op (callers can pass an optional CLI argument
+    straight through).  Nesting restores the previous default on exit.
+    """
+    global _default_tier
+    if tier is None:
+        yield
+        return
+    previous = _default_tier
+    _default_tier = parse_tier(tier, origin="tier")
+    try:
+        yield
+    finally:
+        _default_tier = previous

@@ -1,0 +1,118 @@
+"""Steensgaard-style unification pre-pass for the unified tier.
+
+Andersen's analysis is inclusion-based: a copy edge ``s -> d`` means
+``pts(s) ⊆ pts(d)``, and the solver pays one propagation per edge per
+delta.  Steensgaard's analysis is unification-based: it merges ``s``
+and ``d`` into one equivalence class and pays nothing — at the price of
+*oversharing*, forcing ``pts(d) ⊆ pts(s)`` too even when ``d`` has
+other fact sources.
+
+:func:`presolve_unify` takes the profitable half of that trade.  After
+constraint generation and before solving, it union-finds the copy graph
+(:class:`~repro.analysis.andersen.DeltaSolver`'s node universe) in two
+exact steps:
+
+1. **Offline SCC collapse.**  Every copy cycle's members provably share
+   their fixpoint points-to set, so one batch Tarjan sweep collapses
+   them all up front (the same collapses lazy cycle detection would
+   discover mid-solve, for free).
+
+2. **Guarded chain absorption.**  A node ``d`` is absorbed into ``s``
+   when ``s -> d`` is its *only possible* fact source — in the least
+   fixpoint ``pts(d) = pts(s)`` exactly, so the merge loses nothing.
+   The no-oversharing guard rejects every ``d`` that can gain facts any
+   other way:
+
+   - ``d`` holds seeded facts (address-of constraints),
+   - ``d`` has more than one distinct copy predecessor,
+   - ``d``'s class contains a memory location (stores write into it),
+   - ``d`` is a load or gep destination (dereference results arrive as
+     the solve discovers pointees),
+   - ``d`` is an indirect-call destination, or a function formal while
+     any indirect call exists (on-the-fly call-graph edges bind actuals
+     to formals mid-solve).
+
+   Absorptions cascade: folding ``d`` into ``s`` can leave ``s``'s next
+   successor single-predecessor, so whole copy chains and fan-out trees
+   collapse into their heads.
+
+The result is a pre-collapsed node universe handed to the same wave
+scheduler — fewer live copy edges, fewer pops, bit-identical results
+(the differential suites and the fuzz oracle enforce that contract).
+Work is attributed to ``SolverStats.unified_nodes`` and the ``unify``
+phase.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.analysis.memobjects import PVar
+
+
+def presolve_unify(solver) -> None:
+    """Pre-collapse ``solver``'s copy graph (a freshly constructed
+    :class:`~repro.analysis.andersen.DeltaSolver`: constraints
+    generated, fixpoint not yet run)."""
+    with solver.stats.phase("unify"):
+        solver._offline_collapse()
+        protected = _protected_reps(solver)
+        find = solver._find
+        parent = solver._parent
+        bits = solver._bits
+        has_loc = solver._has_loc
+        copy_in = solver._copy_in
+        total = len(solver._nodes)
+        # Worklist pass: an absorption can only enable further
+        # absorptions at the merged class's successors (two formerly
+        # distinct predecessors may now dedup to one), so seed with
+        # every node and requeue just those.
+        work = list(range(total))
+        while work:
+            d = work.pop()
+            if parent[d] != d or d in protected:
+                continue
+            if bits[d] or has_loc[d]:
+                continue
+            ins_ = copy_in[d]
+            if not ins_:
+                continue
+            preds = {find(raw) for raw in ins_}
+            preds.discard(d)
+            if len(preds) != 1:
+                continue
+            solver._collapse([preds.pop(), d], unify=True)
+            rep = find(d)
+            out = solver._copy_out[rep]
+            if out:
+                work.extend({find(raw) for raw in out} - {rep})
+
+
+def _protected_reps(solver) -> Set[int]:
+    """Union-find representatives that may gain facts from sources
+    other than their copy predecessors — never absorb these."""
+    find = solver._find
+    protected: Set[int] = set()
+    for dsts in solver._loads:
+        if dsts:
+            for dst in dsts:
+                protected.add(find(dst))
+    for entries in solver._geps:
+        if entries:
+            for dst, _offset in entries:
+                protected.add(find(dst))
+    has_icalls = False
+    for entries in solver._icalls:
+        if entries:
+            has_icalls = True
+            for _uid, _args, dst in entries:
+                if dst >= 0:
+                    protected.add(find(dst))
+    if has_icalls:
+        node_ids = solver._node_ids
+        for name, function in solver.module.functions.items():
+            for param in function.params:
+                nid = node_ids.get(PVar(name, param))
+                if nid is not None:
+                    protected.add(find(nid))
+    return protected

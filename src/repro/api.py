@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
-from repro.analysis.parallel import resolve_jobs
 from repro.analysis.solverstats import QueryStats
+from repro.analysis.tiers import resolve_tier
 from repro.core import (
     InstrumentationPlan,
     PreparedModule,
@@ -192,6 +192,51 @@ class Analysis:
         return self._engines[picked].stats
 
 
+class LazyAnalysis(Analysis):
+    """The ``analyze(tier="lazy")`` result: a fully deferred
+    :class:`Analysis`.
+
+    Nothing beyond compilation runs at construction — optimization,
+    pointer analysis (itself lazy-tier), VFG building and plan
+    construction all wait inside a thunk.  The first attribute access
+    (a ``query()``, a ``run()``, reading ``plans``) forces the eager
+    pipeline once; every later access delegates to the forced result,
+    so verdicts, plans and stats are bit-identical to the eager path.
+    """
+
+    def __init__(self, thunk: "Callable[[], Analysis]") -> None:
+        # Deliberately not calling the dataclass __init__: this instance
+        # holds only the thunk; every field lives on the forced inner
+        # analysis and is reached through __getattr__ / the properties.
+        self._thunk = thunk
+        self._inner: Optional[Analysis] = None
+
+    @property
+    def forced(self) -> bool:
+        """Whether the deferred pipeline has run yet."""
+        return self._inner is not None
+
+    def _force(self) -> Analysis:
+        if self._inner is None:
+            self._inner = self._thunk()
+        return self._inner
+
+    def __getattr__(self, name: str):
+        if name in ("_thunk", "_inner"):
+            raise AttributeError(name)
+        return getattr(self._force(), name)
+
+    # Dataclass fields with plain defaults remain class attributes on
+    # Analysis and would shadow __getattr__; route them to the inner
+    # analysis explicitly.
+    context_depth = property(lambda self: self._force().context_depth)
+    resolver = property(lambda self: self._force().resolver)
+    max_steps = property(
+        lambda self: self._force().max_steps,
+        lambda self, value: setattr(self._force(), "max_steps", value),
+    )
+
+
 def analyze(
     *,
     source: Optional[str] = None,
@@ -206,6 +251,7 @@ def analyze(
     demand: bool = False,
     use_reference_solver: bool = False,
     jobs: Optional[int] = None,
+    tier: Optional[str] = None,
 ) -> Analysis:
     """Optimize, analyze and instrument a program under every config.
 
@@ -223,56 +269,74 @@ def analyze(
     constraint generation is sharded across worker processes and
     (with ``demand=True``) batched definedness queries fan out too.
     ``None`` defers to the session default / the ``REPRO_JOBS``
-    environment variable; 1 is strictly serial.  Every result is
+    environment variable, with a workload-size floor below which the
+    phase stays serial; 1 is strictly serial.  Every result is
     bit-identical regardless of ``jobs`` — it only buys wall-clock.
+
+    ``tier`` picks the solving tier (``None`` defers to the session
+    default / ``REPRO_TIER``): ``"full"`` solves eagerly, ``"unified"``
+    runs the Steensgaard-style pre-collapse first, and ``"lazy"``
+    defers the *entire* static pipeline — a :class:`LazyAnalysis` comes
+    back immediately and the first query / attribute access forces it
+    (``demand=True`` is implied so Γ itself resolves by backward
+    slicing).  Results are bit-identical across tiers.
     """
     if (source is None) == (module is None):
         raise ValueError("pass exactly one of source= or module=")
+    tier = resolve_tier(tier)
+    if tier == "lazy":
+        demand = True
     if module is None:
         module = compile_source(source, name)
-    jobs = resolve_jobs(jobs)
-    run_pipeline(module, level)
-    verify_module(module)
-    prepared = prepare_module(
-        module,
-        heap_cloning=heap_cloning,
-        use_reference_solver=use_reference_solver,
-        jobs=jobs,
-    )
-    wanted = list(configs) if configs else list(CONFIG_ORDER)
-    plans: Dict[str, InstrumentationPlan] = {}
-    results: Dict[str, UsherResult] = {}
-    base_configs = {
-        "usher_tl": UsherConfig.tl(),
-        "usher_tl_at": UsherConfig.tl_at(),
-        "usher_opt1": UsherConfig.opt_i(),
-        "usher": UsherConfig.full(),
-        "usher_ext": UsherConfig.extended(),
-    }
-    for config_name in wanted:
-        if config_name == "msan":
-            plans[config_name] = run_msan(prepared)
-            continue
-        config = replace(
-            base_configs[config_name],
-            semi_strong=semi_strong,
+
+    def build() -> Analysis:
+        run_pipeline(module, level)
+        verify_module(module)
+        prepared = prepare_module(
+            module,
+            heap_cloning=heap_cloning,
+            use_reference_solver=use_reference_solver,
+            jobs=jobs,
+            tier=tier,
+        )
+        wanted = list(configs) if configs else list(CONFIG_ORDER)
+        plans: Dict[str, InstrumentationPlan] = {}
+        results: Dict[str, UsherResult] = {}
+        base_configs = {
+            "usher_tl": UsherConfig.tl(),
+            "usher_tl_at": UsherConfig.tl_at(),
+            "usher_opt1": UsherConfig.opt_i(),
+            "usher": UsherConfig.full(),
+            "usher_ext": UsherConfig.extended(),
+        }
+        for config_name in wanted:
+            if config_name == "msan":
+                plans[config_name] = run_msan(prepared)
+                continue
+            config = replace(
+                base_configs[config_name],
+                semi_strong=semi_strong,
+                context_depth=context_depth,
+                resolver=resolver,
+                demand=demand,
+                jobs=jobs,
+            )
+            result = run_usher(prepared, config)
+            results[config_name] = result
+            plans[config_name] = result.plan
+        return Analysis(
+            module,
+            prepared,
+            plans,
+            results,
+            level,
             context_depth=context_depth,
             resolver=resolver,
-            demand=demand,
-            jobs=jobs,
         )
-        result = run_usher(prepared, config)
-        results[config_name] = result
-        plans[config_name] = result.plan
-    return Analysis(
-        module,
-        prepared,
-        plans,
-        results,
-        level,
-        context_depth=context_depth,
-        resolver=resolver,
-    )
+
+    if tier == "lazy":
+        return LazyAnalysis(build)
+    return build()
 
 
 def analyze_module(

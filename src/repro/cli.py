@@ -27,6 +27,7 @@ import time
 from typing import List, Optional
 
 from repro.analysis.parallel import InvalidJobsError, default_jobs, parse_jobs
+from repro.analysis.tiers import InvalidTierError, default_tier, parse_tier
 from repro.api import CONFIG_ORDER, analyze
 from repro.ir import module_to_str, verify_module
 from repro.opt import OPT_LEVELS, run_pipeline
@@ -58,6 +59,22 @@ def _jobs(raw: "Optional[str]") -> "Optional[int]":
             parse_jobs(env, origin=JOBS_ENV)
         return None
     return parse_jobs(raw, origin="--jobs")
+
+
+def _tier(raw: "Optional[str]") -> "Optional[str]":
+    """Validate a ``--tier`` value (same boundary discipline as
+    :func:`_jobs`: with no flag, a *malformed* ``REPRO_TIER`` is
+    rejected here with a one-line message, not mid-analysis)."""
+    import os
+
+    from repro.analysis.tiers import TIER_ENV
+
+    if raw is None:
+        env = os.environ.get(TIER_ENV)
+        if env is not None:
+            parse_tier(env, origin=TIER_ENV)
+        return None
+    return parse_tier(raw, origin="--tier")
 
 
 def _parse_seeds(spec: str) -> List[int]:
@@ -121,6 +138,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         configs=[args.config],
         demand=args.demand,
         jobs=_jobs(args.jobs),
+        tier=_tier(args.tier),
     )
     plan = analysis.plans[args.config]
     if args.solver_stats:
@@ -313,9 +331,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report
 
-    text = build_report(
-        scale=args.scale, sections=args.sections or None, jobs=_jobs(args.jobs)
-    )
+    with default_tier(_tier(args.tier)):
+        text = build_report(
+            scale=args.scale,
+            sections=args.sections or None,
+            jobs=_jobs(args.jobs),
+        )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -336,6 +357,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         raise UsageError("nothing to fuzz: give --seeds and/or --module")
     budget = _parse_budget(args.budget)
     jobs = _jobs(args.jobs)
+    tier = _tier(args.tier)
     texts = {}
     for path in args.module or []:
         text = _read(path)
@@ -361,6 +383,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             reproducer_dir=args.reproducers,
             texts=texts or None,
             log=say,
+            tier=tier,
         )
     configs = ", ".join(spec for spec, _ in matrix)
     print(
@@ -418,6 +441,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "--demand, batched queries too); default: "
                             "$REPRO_JOBS or 1 (serial). Results are "
                             "identical for any value")
+    check.add_argument("--tier", default=None, metavar="TIER",
+                       help="solving tier: full (eager Andersen fixpoint), "
+                            "lazy (defer solving; queries force only "
+                            "their backward constraint slice) or unified "
+                            "(Steensgaard-style pre-collapse, then solve); "
+                            "default: $REPRO_TIER or full. Results are "
+                            "identical for any tier")
     check.set_defaults(func=cmd_check)
 
     run = sub.add_parser("run", help="execute natively")
@@ -469,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "paths across every section; default: "
                              "$REPRO_JOBS or 1 (serial). Results are "
                              "identical for any value")
+    report.add_argument("--tier", default=None, metavar="TIER",
+                        help="solving tier for every section (full, lazy "
+                             "or unified); default: $REPRO_TIER or full. "
+                             "Results are identical for any tier")
     report.add_argument("-o", "--output", default=None)
     report.add_argument(
         "--sections",
@@ -514,6 +548,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--jobs", default=None, metavar="N",
                       help="worker processes for the parallel analysis "
                            "paths; default: $REPRO_JOBS or 1 (serial)")
+    fuzz.add_argument("--tier", default=None, metavar="TIER",
+                      help="solving tier every examined configuration "
+                           "runs under (full, lazy or unified); default: "
+                           "$REPRO_TIER or full. A divergence between "
+                           "tiers is exactly what the campaign exists "
+                           "to catch")
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress per-case progress lines")
     fuzz.set_defaults(func=cmd_fuzz)
@@ -536,7 +576,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (TinyCSyntaxError, LoweringError) as error:
         print(f"compile error: {error}", file=sys.stderr)
         return 2
-    except (UsageError, InvalidJobsError, UnknownConfigError) as error:
+    except (UsageError, InvalidJobsError, InvalidTierError,
+            UnknownConfigError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except (IRParseError, VerificationError) as error:

@@ -178,6 +178,7 @@ def prepare_module(
     heap_cloning: bool = True,
     use_reference_solver: bool = False,
     jobs: Optional[int] = None,
+    tier: Optional[str] = None,
 ) -> PreparedModule:
     """Run pointer analysis, mod/ref and memory-SSA construction.
 
@@ -186,6 +187,9 @@ def prepare_module(
     for differential debugging); results are identical, only slower.
     ``jobs`` shards constraint generation across worker processes
     (``None`` defers to the session default / ``REPRO_JOBS``).
+    ``tier`` picks the solving tier — ``"full"``, ``"lazy"`` or
+    ``"unified"`` (``None`` defers to the session default /
+    ``REPRO_TIER``); results are bit-identical across tiers.
     """
     started = time.perf_counter()
     pointers = analyze_pointers(
@@ -193,6 +197,7 @@ def prepare_module(
         heap_cloning=heap_cloning,
         use_reference=use_reference_solver,
         jobs=jobs,
+        tier=tier,
     )
     callgraph = CallGraph(module, pointers)
     modref = ModRefResult(module, pointers, callgraph)

@@ -79,14 +79,14 @@ class CampaignResult:
         return buckets
 
 
-def _prepare_text(text: str, name: str):
+def _prepare_text(text: str, name: str, tier: "Optional[str]" = None):
     """Parse printed IR, run the standard pipeline, prepare for Usher."""
     from repro.ir.parser import parse_ir
 
     module = parse_ir(text)
     module.name = name
     run_pipeline(module, FUZZ_PIPELINE)
-    return prepare_module(module)
+    return prepare_module(module, tier=tier)
 
 
 def examine_text(
@@ -94,14 +94,19 @@ def examine_text(
     name: str,
     matrix,
     plan_hook: "Optional[PlanHook]" = None,
+    tier: "Optional[str]" = None,
 ) -> "Tuple[str, List[Divergence]]":
     """Diff one printed-IR module against the matrix.
+
+    ``tier`` picks the solving tier the preparation runs under
+    (``None`` defers to the session default / ``REPRO_TIER``) — the
+    campaign's ground-truth diff is how tier-invariance is enforced.
 
     Returns ``(status, divergences)`` with status ``ok`` /
     ``divergent`` / ``skipped`` (native run exceeded the step limit or
     faulted — pathological inputs carry no soundness signal).
     """
-    prepared = _prepare_text(text, name)
+    prepared = _prepare_text(text, name, tier)
     try:
         native = run_native(prepared.module)
     except (StepLimitExceeded, RuntimeFault):
@@ -118,14 +123,14 @@ def examine_text(
     return ("divergent" if divergences else "ok"), divergences
 
 
-def _bucket_predicate(matrix, bucket, plan_hook):
+def _bucket_predicate(matrix, bucket, plan_hook, tier=None):
     """Minimization predicate: the module still diverges in ``bucket``."""
     spec_wanted, kind_wanted = bucket
 
     def predicate(module) -> bool:
         text = module_to_str(module)
         status, divergences = examine_text(
-            text, "minimize-candidate", matrix, plan_hook
+            text, "minimize-candidate", matrix, plan_hook, tier
         )
         return status == "divergent" and any(
             d.config == spec_wanted and d.kind == kind_wanted
@@ -180,6 +185,7 @@ def run_campaign(
     plan_hook: "Optional[PlanHook]" = None,
     texts: "Optional[Dict[str, str]]" = None,
     log: "Optional[Callable[[str], None]]" = None,
+    tier: "Optional[str]" = None,
 ) -> CampaignResult:
     """Run a differential fuzzing campaign.
 
@@ -187,9 +193,12 @@ def run_campaign(
     :data:`FUZZ_PARAMS`); ``texts`` adds supplied printed-IR modules
     (name → text) examined before the seeds.  The wall-clock budget,
     when given, bounds the whole campaign including minimization.
-    Results stream to ``out_path`` as JSONL (one record per case plus
-    a trailing summary) when provided; minimized reproducers land in
-    ``reproducer_dir``.
+    ``tier`` runs every examination (and minimization replay) under
+    one solving tier — since the diff is against *native* ground
+    truth, a campaign per tier is exactly how tier-invariance of the
+    tiered solving stack is enforced.  Results stream to ``out_path``
+    as JSONL (one record per case plus a trailing summary) when
+    provided; minimized reproducers land in ``reproducer_dir``.
     """
     t0 = time.monotonic()
 
@@ -225,7 +234,7 @@ def run_campaign(
         case = CaseResult(name=name, seed=seed, status="ok")
         try:
             case.status, case.divergences = examine_text(
-                text, name, matrix, plan_hook
+                text, name, matrix, plan_hook, tier
             )
         except Exception as exc:  # analysis crash: triage as its own kind
             case.status = "divergent"
@@ -248,7 +257,7 @@ def run_campaign(
                     try:
                         shrunk: MinimizationResult = minimize_ir(
                             text,
-                            _bucket_predicate(matrix, bucket, plan_hook),
+                            _bucket_predicate(matrix, bucket, plan_hook, tier),
                             max_evals=minimize_evals,
                             budget_seconds=left,
                         )
@@ -287,9 +296,12 @@ def run_campaign(
             }
         )
 
+    from repro.analysis.tiers import resolve_tier
+
     records.append(
         {
             "type": "summary",
+            "tier": resolve_tier(tier),
             "cases": len(result.cases),
             "divergent": len(result.divergent),
             "skipped": result.skipped,

@@ -65,7 +65,16 @@ serial loop either way.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.parallel import fork_available, fork_pool, resolve_jobs
 from repro.analysis.solverstats import QueryStats
@@ -135,7 +144,7 @@ class DemandEngine:
 
     def __init__(
         self,
-        vfg: VFG,
+        vfg: "VFG | Callable[[], VFG]",
         context_depth: int = 1,
         resolver: str = "callstring",
         stats: Optional[QueryStats] = None,
@@ -144,18 +153,35 @@ class DemandEngine:
             raise ValueError(f"unknown resolver {resolver!r}")
         if resolver == "callstring" and context_depth < 0:
             raise ValueError("context_depth must be >= 0")
-        self.vfg = vfg
+        #: ``vfg`` may be a zero-argument thunk (the lazy tier: the
+        #: deferred static pipeline); the first query forces it.
+        if callable(vfg):
+            self._vfg: Optional[VFG] = None
+            self._vfg_thunk: Optional[Callable[[], VFG]] = vfg
+        else:
+            self._vfg = vfg
+            self._vfg_thunk = None
         self.resolver = resolver
         self.context_depth = -1 if resolver == "summary" else context_depth
         self.stats = stats or QueryStats(
             resolver=resolver,
             context_depth=self.context_depth,
-            graph_nodes=vfg.num_nodes,
+            graph_nodes=self._vfg.num_nodes if self._vfg is not None else 0,
         )
         #: state -> verdict (True = a realizable ⊥-path exists through it)
         self._memo: Dict[State, bool] = {}
         #: summary mode: reverse summary edges, built lazily once.
         self._rev_summaries: Optional[Dict[Node, List[Node]]] = None
+
+    @property
+    def vfg(self) -> VFG:
+        """The engine's graph, forcing a deferred one on first access."""
+        if self._vfg is None:
+            assert self._vfg_thunk is not None
+            self._vfg = self._vfg_thunk()
+            self._vfg_thunk = None
+            self.stats.graph_nodes = self._vfg.num_nodes
+        return self._vfg
 
     # -- public surface ------------------------------------------------
     def is_bottom(self, node: Optional[Node]) -> bool:

@@ -59,6 +59,17 @@ class TestCheck:
         assert "instrumentation plan" in out
         assert "σ(" in out
 
+    @pytest.mark.parametrize("tier", ["full", "lazy", "unified"])
+    def test_every_tier_detects(self, buggy_file, tier, capsys):
+        assert main(["check", buggy_file, "--tier", tier]) == 1
+        assert "use of undefined value" in capsys.readouterr().out
+
+    def test_unified_tier_reports_unified_nodes(self, buggy_file, capsys):
+        main(["check", buggy_file, "--tier", "unified", "--solver-stats"])
+        out = capsys.readouterr().out
+        assert "unified tier" in out
+        assert "unified nodes" in out
+
     def test_missing_file_exits_2(self, capsys):
         assert main(["check", "/nonexistent.tc"]) == 2
 

@@ -57,6 +57,35 @@ class TestJobsValidation:
         assert one_clean_error_line(capsys).startswith("error:")
 
 
+class TestTierValidation:
+    @pytest.mark.parametrize("bad", ["turbo", "0", "", "fulll"])
+    def test_invalid_tier_flag(self, clean_file, bad, capsys):
+        assert main(["check", clean_file, "--tier", bad]) == 2
+        line = one_clean_error_line(capsys)
+        assert line.startswith("error:")
+        assert "--tier" in line
+        assert "full, lazy, unified" in line
+
+    def test_invalid_tier_env(self, clean_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "turbo")
+        assert main(["check", clean_file]) == 2
+        line = one_clean_error_line(capsys)
+        assert line.startswith("error:")
+        assert "REPRO_TIER" in line
+
+    def test_valid_tier_env_still_works(self, clean_file, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "unified")
+        assert main(["check", clean_file]) == 0
+
+    def test_report_validates_tier_too(self, capsys):
+        assert main(["report", "--scale", "0.05", "--tier", "nope"]) == 2
+        assert one_clean_error_line(capsys).startswith("error:")
+
+    def test_fuzz_validates_tier_too(self, capsys):
+        assert main(["fuzz", "--seeds", "0:1", "--tier", "nope"]) == 2
+        assert one_clean_error_line(capsys).startswith("error:")
+
+
 class TestFuzzArgValidation:
     def test_unknown_config(self, capsys):
         assert main(["fuzz", "--configs", "tl,bogus"]) == 2

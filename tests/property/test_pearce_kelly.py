@@ -1,0 +1,240 @@
+"""Property suite: the Pearce–Kelly incremental topological order.
+
+Wave scheduling pops each dirty frontier in topological order of the
+copy-edge condensation.  Since Issue 6 that order is not recomputed
+per wave — :meth:`DeltaSolver._init_pk_order` numbers the condensation
+once and :meth:`DeltaSolver._pk_insert` repairs the numbering online
+as copy edges are inserted (collapsing any cycle an insertion closes,
+eagerly).  The solver-level contract ("every tier/schedule reaches the
+identical fixpoint") is enforced by the differential suites; this file
+attacks the *order maintenance itself* with adversarial edge
+insertions, asserting after every single insertion that
+
+1. each union-find representative holds a distinct order slot;
+2. every copy edge between distinct representatives points upward in
+   the maintained order — i.e. it is a valid topological order of the
+   SCC-condensed copy graph, exactly the property a from-scratch
+   reverse-postorder numbering (what :meth:`_init_pk_order` computes,
+   and what per-wave recomputation used to re-derive) guarantees;
+3. the union-find classes are exactly the SCCs of the inserted edge
+   set, matched against an independent from-scratch Tarjan run in the
+   test — eager insertion-time collapse must find precisely the cycles
+   batch recomputation would.
+"""
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.andersen import DeltaSolver
+from repro.analysis.memobjects import PVar
+from repro.analysis.solverstats import SolverStats
+from repro.tinyc import compile_source
+
+_SETTINGS = dict(max_examples=60, deadline=None)
+
+#: Adversarial instance size: small enough to check invariants after
+#: every insertion, large enough for chains, diamonds and nested
+#: cycles to occur routinely.
+MAX_NODES = 10
+
+Edge = Tuple[int, int]
+
+
+def _fresh_solver() -> DeltaSolver:
+    module = compile_source("def main() { return 0; }", "pk")
+    return DeltaSolver(module, frozenset(), SolverStats(solver="delta"))
+
+
+def _synthetic_nodes(solver: DeltaSolver, count: int) -> List[int]:
+    return [solver._nid(PVar("<pk>", f"v{index}")) for index in range(count)]
+
+
+def _from_scratch_sccs(count: int, edges: Sequence[Edge]) -> List[Set[int]]:
+    """Independent iterative Tarjan over the raw inserted edge set."""
+    out: Dict[int, Set[int]] = {}
+    for src, dst in edges:
+        out.setdefault(src, set()).add(dst)
+    index_of = [-1] * count
+    low = [0] * count
+    on_stack = [False] * count
+    stack: List[int] = []
+    components: List[Set[int]] = []
+    counter = 0
+    for root in range(count):
+        if index_of[root] >= 0:
+            continue
+        frames: List[Tuple[int, List[int], int]] = [
+            (root, sorted(out.get(root, ())), 0)
+        ]
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        while frames:
+            node, succs, position = frames.pop()
+            advanced = False
+            while position < len(succs):
+                succ = succs[position]
+                position += 1
+                if index_of[succ] < 0:
+                    frames.append((node, succs, position))
+                    index_of[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    frames.append((succ, sorted(out.get(succ, ())), 0))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            if low[node] == index_of[node]:
+                component: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if frames:
+                parent = frames[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return components
+
+
+def _check_invariants(
+    solver: DeltaSolver, nodes: List[int], edges: Sequence[Edge]
+) -> None:
+    find = solver._find
+    ord_ = solver._ord
+    # 1. One distinct slot per representative.
+    reps = {find(nid) for nid in nodes}
+    slots = [ord_[rep] for rep in reps]
+    assert len(set(slots)) == len(slots), "duplicate order slots"
+    # 2. A valid topological order of the condensation: every inserted
+    # edge between distinct classes points upward.
+    for src, dst in edges:
+        rep_s, rep_d = find(nodes[src]), find(nodes[dst])
+        if rep_s != rep_d:
+            assert ord_[rep_s] < ord_[rep_d], (
+                f"edge v{src}->v{dst} violates the maintained order"
+            )
+    # 3. Union-find classes == from-scratch SCCs: the eager
+    # insertion-time collapse found exactly the cycles a batch Tarjan
+    # over the same edge set finds.
+    components = _from_scratch_sccs(len(nodes), edges)
+    rep_of_component = []
+    for component in components:
+        component_reps = {find(nodes[member]) for member in component}
+        assert len(component_reps) == 1, (
+            f"SCC {sorted(component)} not fully collapsed"
+        )
+        rep_of_component.append(component_reps.pop())
+    assert len(set(rep_of_component)) == len(components), (
+        "distinct SCCs were over-merged"
+    )
+
+
+@st.composite
+def _edge_sequences(draw):
+    count = draw(st.integers(min_value=2, max_value=MAX_NODES))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, count - 1), st.integers(0, count - 1)
+            ).filter(lambda pair: pair[0] != pair[1]),
+            min_size=1,
+            max_size=3 * count,
+        )
+    )
+    return count, edges
+
+
+class TestPearceKellyMaintenance:
+    @settings(**_SETTINGS)
+    @given(_edge_sequences())
+    def test_order_survives_adversarial_insertion(self, case):
+        """After *every* random-order insertion the maintained order is
+        a topological order of the SCC-condensed copy graph and the
+        collapsed classes match a from-scratch Tarjan."""
+        count, edges = case
+        solver = _fresh_solver()
+        nodes = _synthetic_nodes(solver, count)
+        solver._init_pk_order()
+        inserted: List[Edge] = []
+        for src, dst in edges:
+            solver._copy_ids(nodes[src], nodes[dst])
+            inserted.append((src, dst))
+            _check_invariants(solver, nodes, inserted)
+
+    @settings(**_SETTINGS)
+    @given(_edge_sequences())
+    def test_late_created_nodes_join_the_order(self, case):
+        """Nodes interned *after* the order is initialized (the solver
+        creates nodes mid-solve: loads, geps, clones) slot in above the
+        numbered prefix and reorder correctly from there."""
+        count, edges = case
+        solver = _fresh_solver()
+        early = _synthetic_nodes(solver, (count + 1) // 2)
+        solver._init_pk_order()
+        nodes = early + [
+            solver._nid(PVar("<pk-late>", f"w{index}"))
+            for index in range(count - len(early))
+        ]
+        inserted: List[Edge] = []
+        for src, dst in edges:
+            solver._copy_ids(nodes[src], nodes[dst])
+            inserted.append((src, dst))
+        _check_invariants(solver, nodes, inserted)
+
+
+class TestPearceKellyDeterministic:
+    def test_forward_chain_reorders_every_insertion(self):
+        """The initial numbering runs opposite to creation order for
+        edge-free nodes, so inserting a forward chain violates it at
+        every step: each insertion must trigger exactly one reorder
+        and the final numbering must run head to tail."""
+        solver = _fresh_solver()
+        nodes = _synthetic_nodes(solver, 8)
+        solver._init_pk_order()
+        edges = [(i, i + 1) for i in range(len(nodes) - 1)]
+        for src, dst in edges:
+            solver._copy_ids(nodes[src], nodes[dst])
+        assert solver.stats.pk_reorders == len(edges)
+        _check_invariants(solver, nodes, edges)
+        ords = [solver._ord[solver._find(nid)] for nid in nodes]
+        assert ords == sorted(ords)
+
+    def test_closing_edge_collapses_whole_cycle(self):
+        solver = _fresh_solver()
+        nodes = _synthetic_nodes(solver, 6)
+        solver._init_pk_order()
+        before = solver.stats.sccs_collapsed
+        edges = [(i, i + 1) for i in range(len(nodes) - 1)]
+        edges.append((len(nodes) - 1, 0))  # closes the cycle
+        for src, dst in edges:
+            solver._copy_ids(nodes[src], nodes[dst])
+        reps = {solver._find(nid) for nid in nodes}
+        assert len(reps) == 1
+        assert solver.stats.sccs_collapsed == before + 1
+        _check_invariants(solver, nodes, edges)
+
+    def test_nested_cycles_collapse_incrementally(self):
+        """Two overlapping cycles arriving out of order end up as one
+        class, with in-edges of the merged rep repaired."""
+        solver = _fresh_solver()
+        nodes = _synthetic_nodes(solver, 7)
+        solver._init_pk_order()
+        edges = [
+            (4, 5), (5, 6),          # tail chain
+            (2, 3), (3, 1), (1, 2),  # inner cycle out of order
+            (0, 1), (3, 4),          # entry and exit
+            (6, 0),                  # outer cycle through everything
+        ]
+        for src, dst in edges:
+            solver._copy_ids(nodes[src], nodes[dst])
+        assert len({solver._find(nid) for nid in nodes}) == 1
+        _check_invariants(solver, nodes, edges)

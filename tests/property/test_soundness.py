@@ -23,7 +23,7 @@ claims end to end:
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.api import CONFIG_ORDER, analyze
 from repro.runtime import StepLimitExceeded
@@ -112,14 +112,30 @@ def test_array_init_extension_is_sound(seed):
 
 
 @given(seed=st.integers(min_value=0, max_value=10_000))
+@example(seed=386)
 @settings(**_SETTINGS)
 def test_static_cost_ordering(seed):
+    """Static cost dominates along each same-VFG refinement chain.
+
+    MSan instruments every definition and critical use, so it bounds
+    every guided configuration; Opt I/II only remove work from the
+    TL+AT plan.  TL and TL+AT are *not* compared: they build different
+    graphs (one summary node vs. per-location address-taken nodes) that
+    instrument different flow regions, so neither dominates per program
+    — seed 386 is a counterexample where the per-location graph routes
+    undefined-at-allocation flows through context relays the summary
+    node short-circuits (TL 114/10 vs TL+AT 124/15 propagations/
+    checks).  The tl >= tl_at *aggregate* trend is Figure 11's claim
+    and is asserted over the workloads in benchmarks/test_figure11.py.
+    """
     analysis, native = analyzed_random(seed)
     if analysis is None:
         return
     props = {c: analysis.static_propagations(c) for c in CONFIG_ORDER}
-    assert props["msan"] >= props["usher_tl"] >= props["usher_tl_at"]
+    assert props["msan"] >= props["usher_tl"]
+    assert props["msan"] >= props["usher_tl_at"]
     assert props["usher_tl_at"] >= props["usher_opt1"]
     checks = {c: analysis.static_checks(c) for c in CONFIG_ORDER}
-    assert checks["msan"] >= checks["usher_tl"] >= checks["usher_tl_at"]
+    assert checks["msan"] >= checks["usher_tl"]
+    assert checks["msan"] >= checks["usher_tl_at"]
     assert checks["usher_tl_at"] >= checks["usher"]

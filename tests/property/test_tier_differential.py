@@ -1,0 +1,233 @@
+"""Differential suite: the solving tier is invisible in results.
+
+The tiered solving stack (Issue 6) promises that ``tier=`` changes
+*when* and *how much* solving work happens — never what comes out.
+Checked here over the bundled workloads, generated programs (plain and
+pointer-heavy) and the end-to-end API:
+
+* ``analyze_pointers`` under every tier is bit-identical to the
+  ``full`` tier (and, transitively via the solver differential suite,
+  to the :class:`~repro.analysis.andersen.ReferenceSolver`): points-to
+  sets, call targets, wrappers, allocation objects;
+* the unified tier actually unifies on copy-chain-rich inputs
+  (``unified_nodes > 0`` — otherwise the tier silently degrades to
+  ``full`` and these tests prove nothing);
+* ``analyze(tier=...)`` produces identical warned uids, Γ verdicts and
+  instrumentation plans, with ``tier="lazy"`` deferring the whole
+  pipeline until first touch;
+* tier-knob plumbing: ``resolve_tier`` precedence and error paths.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import analyze_pointers
+from repro.analysis.tiers import (
+    TIER_ENV,
+    TIERS,
+    InvalidTierError,
+    default_tier,
+    parse_tier,
+    resolve_tier,
+)
+from repro.api import LazyAnalysis, analyze
+from repro.opt import run_pipeline
+from repro.tinyc import compile_source
+from repro.workloads import WORKLOADS, GeneratorParams, generate_program
+
+from tests.helpers import CORPUS_PARAMS as _PARAMS
+
+_SETTINGS = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+WORKLOADS_BY_NAME = {w.name: w for w in WORKLOADS}
+
+
+def _module_for(seed, params=_PARAMS, name=None):
+    module = compile_source(
+        generate_program(seed, params), name or f"seed{seed}"
+    )
+    run_pipeline(module, "O0+IM")
+    return module
+
+
+def _normalize(result):
+    return (
+        {node: frozenset(locs) for node, locs in result.pts.items()},
+        {uid: frozenset(t) for uid, t in result.call_targets.items()},
+        frozenset(result.wrappers),
+        {
+            uid: [obj.name for obj in objs]
+            for uid, objs in result.alloc_objects.items()
+        },
+    )
+
+
+def assert_tiers_agree(module):
+    full = analyze_pointers(module, tier="full")
+    expected = _normalize(full)
+    for tier in ("unified", "lazy"):
+        result = analyze_pointers(module, tier=tier)
+        assert _normalize(result) == expected, f"tier {tier} diverged"
+        assert result.solver_stats.tier == tier
+    return full
+
+
+class TestPointerTiersAgree:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS_BY_NAME))
+    def test_workloads(self, name):
+        module = compile_source(WORKLOADS_BY_NAME[name].source(0.1), name)
+        run_pipeline(module, "O0+IM")
+        assert_tiers_agree(module)
+
+    @settings(**_SETTINGS)
+    @given(st.integers(0, 500))
+    def test_generated(self, seed):
+        assert_tiers_agree(_module_for(seed))
+
+    @settings(**_SETTINGS)
+    @given(st.integers(0, 500))
+    def test_generated_pointer_heavy(self, seed):
+        module = _module_for(
+            seed, GeneratorParams().pointer_heavy(), f"heavy{seed}"
+        )
+        assert_tiers_agree(module)
+
+    def test_unified_tier_actually_unifies(self):
+        """On a mem2reg'd pointer-heavy instance the pre-collapse must
+        merge nodes and shrink the surviving copy graph — a unified
+        run indistinguishable from full would make this whole suite
+        vacuous."""
+        module = _module_for(
+            5, GeneratorParams().scaled(3).pointer_heavy(), "heavy-at-scale"
+        )
+        full = analyze_pointers(module, tier="full")
+        unified = analyze_pointers(module, tier="unified")
+        assert _normalize(full) == _normalize(unified)
+        stats = unified.solver_stats
+        assert stats.unified_nodes > 0
+        assert stats.live_copy_edges < full.solver_stats.live_copy_edges
+        assert stats.pops < full.solver_stats.pops
+
+    def test_lazy_tier_counts_forced_nodes(self):
+        module = _module_for(3)
+        lazy = analyze_pointers(module, tier="lazy")
+        assert lazy.solver_stats.lazy_forced_nodes > 0
+
+
+SOURCE = """
+def helper(p) {
+  var q = p;
+  return q;
+}
+
+def main() {
+  var x;
+  if (0) { x = 1; }
+  var box = malloc(1);
+  *box = x;
+  var alias = helper(box);
+  output(*alias);
+  return 0;
+}
+"""
+
+
+class TestApiTiersAgree:
+    def _full(self):
+        return analyze(source=SOURCE, configs=["usher_tl_at", "usher"])
+
+    @pytest.mark.parametrize("tier", ["unified", "lazy"])
+    def test_warnings_plans_and_gamma_match(self, tier):
+        base = self._full()
+        other = analyze(
+            source=SOURCE, configs=["usher_tl_at", "usher"], tier=tier
+        )
+        for config in ("usher_tl_at", "usher"):
+            assert (
+                other.run(config).warning_set()
+                == base.run(config).warning_set()
+            )
+            assert (
+                other.plans[config].count_checks()
+                == base.plans[config].count_checks()
+            )
+            assert (
+                other.plans[config].count_propagations()
+                == base.plans[config].count_propagations()
+            )
+            # Per-site Γ verdicts, queried demand-driven on both.
+            for site in base.results[config].vfg.check_sites:
+                assert other.query(site.instr_uid, config=config) == base.query(
+                    site.instr_uid, config=config
+                )
+
+    def test_lazy_defers_until_first_touch(self):
+        lazy = analyze(source=SOURCE, configs=["usher_tl_at"], tier="lazy")
+        assert isinstance(lazy, LazyAnalysis)
+        assert not lazy.forced
+        # First real attribute access forces the pipeline exactly once.
+        plans = lazy.plans
+        assert lazy.forced
+        assert "usher_tl_at" in plans
+        assert lazy.plans is plans
+
+    def test_lazy_query_forces_and_answers(self):
+        base = self._full()
+        lazy = analyze(source=SOURCE, configs=["usher_tl_at"], tier="lazy")
+        warned = sorted(base.run("usher_tl_at").warning_set())
+        assert warned, "corpus program must actually warn"
+        for uid in warned:
+            assert lazy.query(uid, config="usher_tl_at") is False
+        assert lazy.forced
+
+
+class TestTierKnob:
+    def test_explicit_argument_wins(self):
+        with default_tier("lazy"):
+            assert resolve_tier("unified") == "unified"
+
+    def test_session_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(TIER_ENV, "lazy")
+        with default_tier("unified"):
+            assert resolve_tier(None) == "unified"
+        assert resolve_tier(None) == "lazy"
+
+    def test_env_fallback_and_default(self, monkeypatch):
+        monkeypatch.delenv(TIER_ENV, raising=False)
+        assert resolve_tier(None) == "full"
+        monkeypatch.setenv(TIER_ENV, "unified")
+        assert resolve_tier(None) == "unified"
+
+    def test_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv(TIER_ENV, "turbo")
+        with pytest.raises(InvalidTierError):
+            resolve_tier(None)
+
+    @pytest.mark.parametrize("bad", ["", "Fast", "lazy ", "both", None, 3])
+    def test_parse_rejects_garbage(self, bad):
+        if isinstance(bad, str) and bad.strip().lower() in TIERS:
+            parse_tier(bad)
+            return
+        with pytest.raises(InvalidTierError):
+            parse_tier(bad)
+
+    def test_parse_normalizes(self):
+        assert parse_tier(" Unified ") == "unified"
+
+    def test_nested_defaults_restore(self):
+        with default_tier("unified"):
+            with default_tier("lazy"):
+                assert resolve_tier(None) == "lazy"
+            assert resolve_tier(None) == "unified"
+
+    def test_env_reaches_the_solver(self, monkeypatch):
+        monkeypatch.setenv(TIER_ENV, "unified")
+        module = _module_for(1)
+        result = analyze_pointers(module)
+        assert result.solver_stats.tier == "unified"

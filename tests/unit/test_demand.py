@@ -179,6 +179,42 @@ class TestLazyDefinedness:
         assert lazy.gamma(None) == "⊤"
 
 
+class TestThunkedVFG:
+    """The lazy tier hands the engine a VFG *thunk*; nothing may build
+    until a query actually needs the graph."""
+
+    def test_thunk_deferred_until_first_query(self, setup):
+        _prepared, result = setup
+        built = []
+
+        def thunk():
+            built.append(True)
+            return result.vfg
+
+        engine = DemandEngine(thunk)
+        assert not built
+        assert engine.stats.graph_nodes == 0
+        site = next(s for s in result.vfg.check_sites if s.node is not None)
+        verdict = engine.is_defined(site.node)
+        assert built == [True]
+        assert engine.stats.graph_nodes == result.vfg.num_nodes
+        assert verdict == DemandEngine(result.vfg).is_defined(site.node)
+
+    def test_thunk_runs_exactly_once(self, setup):
+        _prepared, result = setup
+        calls = []
+
+        def thunk():
+            calls.append(True)
+            return result.vfg
+
+        engine = DemandEngine(thunk)
+        engine.query_sites(result.vfg.check_sites)
+        engine.query_sites(result.vfg.check_sites)
+        assert calls == [True]
+        assert engine.vfg is result.vfg
+
+
 class TestDemandExplain:
     def test_same_path_length_as_oracle_bfs(self, setup):
         prepared, result = setup

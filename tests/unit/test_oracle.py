@@ -214,6 +214,19 @@ class TestCampaign:
         assert [r["type"] for r in records] == ["case", "case", "summary"]
         assert records[-1]["divergent"] == 0
 
+    @pytest.mark.parametrize("tier", ["unified", "lazy"])
+    def test_campaign_under_tier_stays_clean(self, tmp_path, tier):
+        """The per-tier acceptance loop: diffing against native ground
+        truth under a non-default solving tier must stay divergence-
+        free, and the summary records which tier ran."""
+        out = tmp_path / "fuzz.jsonl"
+        matrix = build_config_matrix(["tl", "full"])
+        result = run_campaign([4, 9], matrix, out_path=str(out), tier=tier)
+        assert [c.status for c in result.cases] == ["ok", "ok"]
+        assert not result.divergent
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        assert records[-1]["tier"] == tier
+
     def test_fault_campaign_minimizes_and_emits_reproducer(self, tmp_path):
         out = tmp_path / "fuzz.jsonl"
         repro_dir = tmp_path / "reproducers"

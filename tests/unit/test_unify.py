@@ -1,0 +1,201 @@
+"""Unit tests for the Steensgaard-style unification pre-pass.
+
+:func:`repro.analysis.unify.presolve_unify` may only merge a node into
+its single copy predecessor when that edge is provably the node's only
+fact source — the *no-oversharing guard*.  These tests drive the pass
+over hand-built constraint systems (synthetic nodes interned straight
+into a :class:`~repro.analysis.andersen.DeltaSolver`) and check both
+directions: eligible chains collapse, and every guarded shape is left
+alone with the resulting fixpoint identical to an untouched solver's.
+"""
+
+from typing import Dict, FrozenSet, List
+
+from repro.analysis.andersen import DeltaSolver
+from repro.analysis.memobjects import HEAP, MemLoc, MemObject, PVar
+from repro.analysis.solverstats import SolverStats
+from repro.analysis.unify import presolve_unify
+from repro.tinyc import compile_source
+
+
+def _fresh_solver() -> DeltaSolver:
+    module = compile_source("def main() { return 0; }", "unify")
+    return DeltaSolver(module, frozenset(), SolverStats(solver="delta"))
+
+
+def _var(name: str) -> PVar:
+    return PVar("<unify>", name)
+
+
+def _loc(name: str) -> MemLoc:
+    return MemLoc(MemObject(name=name, kind=HEAP, func="<unify>"), 0)
+
+
+def _pts_snapshot(solver: DeltaSolver, names: List[str]) -> Dict[str, FrozenSet]:
+    solver.solve()
+    result = solver.result()
+    return {
+        name: frozenset(result.pts.get(_var(name), set())) for name in names
+    }
+
+
+def _build(build_constraints) -> DeltaSolver:
+    solver = _fresh_solver()
+    build_constraints(solver)
+    return solver
+
+
+def _assert_guard_holds(build_constraints, names, absorbed_expected):
+    """The pass must merge exactly ``absorbed_expected`` nodes and the
+    solved fixpoint must match a pass-free solver's bit for bit."""
+    plain = _pts_snapshot(_build(build_constraints), names)
+    unified_solver = _build(build_constraints)
+    presolve_unify(unified_solver)
+    assert unified_solver.stats.unified_nodes == absorbed_expected
+    assert _pts_snapshot(unified_solver, names) == plain
+
+
+class TestChainAbsorption:
+    def test_copy_chain_folds_into_head(self):
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h"))
+            solver._add_copy(_var("a"), _var("b"))
+            solver._add_copy(_var("b"), _var("c"))
+            solver._add_copy(_var("c"), _var("d"))
+
+        _assert_guard_holds(constraints, ["a", "b", "c", "d"], 3)
+
+    def test_fanout_tree_folds(self):
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h"))
+            solver._add_copy(_var("a"), _var("l"))
+            solver._add_copy(_var("a"), _var("r"))
+            solver._add_copy(_var("l"), _var("ll"))
+
+        _assert_guard_holds(constraints, ["a", "l", "r", "ll"], 3)
+
+    def test_absorption_cascades_after_merge(self):
+        # d has two predecessors until b and c (a cycle) collapse into
+        # one class; the worklist must revisit d and absorb it then.
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h"))
+            solver._add_copy(_var("a"), _var("b"))
+            solver._add_copy(_var("b"), _var("c"))
+            solver._add_copy(_var("c"), _var("b"))
+            solver._add_copy(_var("b"), _var("d"))
+            solver._add_copy(_var("c"), _var("d"))
+
+        plain = _pts_snapshot(
+            _build(constraints), ["a", "b", "c", "d"]
+        )
+        solver = _build(constraints)
+        presolve_unify(solver)
+        # b+c collapse offline as an SCC (not counted as unification);
+        # then b-class and d are chain-absorbed into a.
+        assert solver.stats.unified_nodes == 2
+        assert (
+            solver._find(solver._nid(_var("d")))
+            == solver._find(solver._nid(_var("a")))
+        )
+        assert _pts_snapshot(solver, ["a", "b", "c", "d"]) == plain
+
+
+class TestNoOversharingGuard:
+    def test_two_predecessors_block_absorption(self):
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h1"))
+            solver._add_pts(_var("b"), _loc("h2"))
+            solver._add_copy(_var("a"), _var("d"))
+            solver._add_copy(_var("b"), _var("d"))
+
+        _assert_guard_holds(constraints, ["a", "b", "d"], 0)
+
+    def test_seeded_facts_block_absorption(self):
+        # d holds an address-of fact of its own: absorbing it into a
+        # would force that fact back into a (oversharing).
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h1"))
+            solver._add_pts(_var("d"), _loc("h2"))
+            solver._add_copy(_var("a"), _var("d"))
+
+        _assert_guard_holds(constraints, ["a", "d"], 0)
+
+    def test_load_destination_protected(self):
+        # d also receives *p: its facts depend on what p points to,
+        # discovered mid-solve — never a pure copy of a.
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h1"))
+            solver._add_pts(_var("p"), _loc("cell"))
+            solver._add_pts(_var("q"), _loc("h2"))
+            solver._add_store(_var("p"), _var("q"))
+            solver._add_copy(_var("a"), _var("d"))
+            solver._add_load(_var("p"), _var("d"))
+
+        _assert_guard_holds(constraints, ["a", "p", "q", "d"], 0)
+
+    def test_gep_destination_protected(self):
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h1"))
+            base = MemObject(
+                name="obj", kind=HEAP, func="<unify>", size=2
+            )
+            solver._add_pts(_var("b"), MemLoc(base, 0))
+            solver._add_copy(_var("a"), _var("d"))
+            solver._add_gep(_var("b"), _var("d"), 1)
+
+        _assert_guard_holds(constraints, ["a", "b", "d"], 0)
+
+    def test_store_target_class_protected(self):
+        # The chain destination sits in a class containing a MemLoc:
+        # stores write into it mid-solve.
+        def constraints(solver):
+            loc = _loc("cell")
+            solver._add_pts(_var("a"), loc)
+            cell_node = loc  # MemLoc nodes are constraint nodes too
+            solver._add_copy(_var("a"), cell_node)
+
+        plain_solver = _build(constraints)
+        plain = _pts_snapshot(plain_solver, ["a"])
+        solver = _build(constraints)
+        presolve_unify(solver)
+        assert solver.stats.unified_nodes == 0
+        assert _pts_snapshot(solver, ["a"]) == plain
+
+
+class TestGuardOnPrograms:
+    def test_formals_protected_under_indirect_calls(self):
+        """With a function pointer in play, actual->formal copy edges
+        appear mid-solve; formals must never be chain-absorbed even
+        when their static in-degree is one."""
+        source = """
+def callee(p) {
+  return p;
+}
+
+def main() {
+  var f = &callee;
+  var h = malloc(1);
+  var r = f(h);
+  output(r);
+  return 0;
+}
+"""
+        module = compile_source(source, "icall")
+        from repro.analysis import analyze_pointers
+
+        full = analyze_pointers(module, tier="full")
+        unified = analyze_pointers(module, tier="unified")
+        assert {
+            node: frozenset(locs) for node, locs in unified.pts.items()
+        } == {node: frozenset(locs) for node, locs in full.pts.items()}
+        assert unified.call_targets == full.call_targets
+
+    def test_phase_and_counter_recorded(self):
+        def constraints(solver):
+            solver._add_pts(_var("a"), _loc("h"))
+            solver._add_copy(_var("a"), _var("b"))
+
+        solver = _build(constraints)
+        presolve_unify(solver)
+        assert solver.stats.unified_nodes == 1
+        assert "unify" in solver.stats.phase_seconds

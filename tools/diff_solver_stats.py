@@ -5,17 +5,24 @@
 to ``benchmarks/results/solver_stats.jsonl``, and
 ``benchmarks/test_demand_queries.py`` does the same per demand-query
 batch to ``benchmarks/results/query_stats.jsonl``.  This tool groups a
-log by workload key — ``(benchmark, seed, factor, solver)`` for solver
-records, ``(benchmark, seed, factor, resolver)`` for query records
-(auto-detected per line: query records carry a ``resolver`` field) —
-and compares the most recent entry of each group against the one before
-it: if the same workload suddenly does more than ``--max-ratio`` times
-the work, a performance regression slipped in and the gate fails.
+log by workload key — ``(benchmark, seed, factor, solver, tier)`` for
+solver records, ``(benchmark, seed, factor, resolver)`` for query
+records (auto-detected per line: query records carry a ``resolver``
+field; solver records written before the tiered solving stack default
+to tier ``full``) — and compares the most recent entry of each group
+against the one before it: if the same workload suddenly does more than
+``--max-ratio`` times the work, a performance regression slipped in and
+the gate fails.
 
 Gated counters (deterministic by construction; wall-clock fields are
 deliberately ignored because CI machines are noisy):
 
 - solver records: worklist ``pops`` and ``facts_propagated``;
+- ``solver_tier_*`` benchmark rows additionally gate ``unified_nodes``
+  in the *inverted* direction — the Steensgaard pre-collapse merging
+  ``--max-ratio`` times *fewer* nodes than last run means the unified
+  tier quietly stopped pre-collapsing (its whole point), which the
+  ``pops`` gate alone would take one extra run to notice;
 - query records: ``peak_visited_fraction`` (largest single-query share
   of the VFG visited) and ``states_per_query`` (derived:
   ``states_visited / queries``).
@@ -41,6 +48,10 @@ from typing import Dict, List, Tuple
 #: Deterministic work counters gated for regressions, per record kind.
 SOLVER_METRICS = ("pops", "facts_propagated")
 QUERY_METRICS = ("peak_visited_fraction", "states_per_query")
+
+#: Counters where *shrinking* is the regression (gated only on
+#: ``solver_tier_*`` benchmark rows, where the pre-collapse runs).
+TIER_INVERTED_METRICS = ("unified_nodes",)
 
 #: Backwards-compatible alias (the original solver-only gate).
 GATED_METRICS = SOLVER_METRICS
@@ -96,6 +107,7 @@ def load_groups(path: Path, kind: str = "auto") -> Dict[GroupKey, List[dict]]:
                     record.get("seed"),
                     record.get("factor"),
                     record.get("solver"),
+                    record.get("tier", "full"),
                 )
             groups.setdefault(key, []).append(record)
     return groups
@@ -109,6 +121,7 @@ def check_group(
         return []
     previous, latest = history[-2], history[-1]
     metrics = QUERY_METRICS if key[0] == "query" else SOLVER_METRICS
+    label = "/".join(str(part) for part in key[1:])
     problems = []
     for metric in metrics:
         before = previous.get(metric)
@@ -121,11 +134,30 @@ def check_group(
             continue
         ratio = after / before
         if ratio > max_ratio:
-            label = "/".join(str(part) for part in key[1:])
             problems.append(
                 f"{label}: {metric} regressed {before} -> {after} "
                 f"({ratio:.2f}x > {max_ratio:.2f}x allowed)"
             )
+    benchmark = key[1] if len(key) > 1 else None
+    if key[0] == "solver" and isinstance(benchmark, str) and benchmark.startswith(
+        "solver_tier"
+    ):
+        for metric in TIER_INVERTED_METRICS:
+            before = previous.get(metric)
+            after = latest.get(metric)
+            if not isinstance(before, (int, float)) or not isinstance(
+                after, (int, float)
+            ):
+                continue
+            if before <= 0:
+                continue
+            drop = before / after if after > 0 else float("inf")
+            if drop > max_ratio:
+                problems.append(
+                    f"{label}: {metric} collapsed {before} -> {after} "
+                    f"({drop:.2f}x shrink > {max_ratio:.2f}x allowed — "
+                    "the pre-collapse stopped unifying)"
+                )
     return problems
 
 
