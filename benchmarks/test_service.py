@@ -1,0 +1,127 @@
+"""Benchmark: resident worker pool vs the one-shot query paths.
+
+The service acceptance gate: on a factor-16 generated program, a
+:class:`~repro.service.pool.ResidentPool` answering a session's worth
+of ``query_sites`` batches (``jobs=4``) must beat the serial path,
+where every batch pays a fresh demand engine — the status quo before
+``repro serve``, where each request re-analyzes from scratch.  The
+per-call fork pool (the path that *loses* to serial today, see
+``parallel_batch16`` in ``benchmarks/results/query_stats.jsonl``) is
+measured alongside for the three-way comparison.
+
+The pool's fork and first cold batch are paid once per session
+generation; every later batch hits the workers' resident memo tables.
+All three timings are therefore *amortized per batch* over the same
+``BATCHES`` identical batches, which is the quantity a service client
+observes.  Each run appends one JSON line to
+``benchmarks/results/service_stats.jsonl``; the record's
+``resident_seconds < serial_seconds`` invariant is re-checked by
+``tools/diff_solver_stats.py`` in CI (kind ``service``).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.parallel import fork_available
+from repro.core import UsherConfig, prepare_module, run_usher
+from repro.opt import run_pipeline
+from repro.service.pool import ResidentPool
+from repro.tinyc import compile_source
+from repro.vfg.demand import DemandEngine
+from repro.workloads import GeneratorParams, generate_program
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SERVICE_STATS_LOG = RESULTS_DIR / "service_stats.jsonl"
+
+SEED = 11
+FACTOR = 16
+JOBS = 4
+BATCHES = 8
+
+
+def build_vfg(seed: int, factor: int):
+    params = GeneratorParams().scaled(factor)
+    module = compile_source(generate_program(seed, params), f"gen{seed}")
+    run_pipeline(module, "O0+IM")
+    prepared = prepare_module(module)
+    return run_usher(prepared, UsherConfig.tl_at()).vfg
+
+
+def record_service_stats(benchmark: str, seed: int, factor: int, **extra):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"benchmark": benchmark, "seed": seed, "factor": factor}
+    payload.update(extra)
+    with SERVICE_STATS_LOG.open("a") as handle:
+        handle.write(json.dumps(payload) + "\n")
+    return payload
+
+
+class TestResidentPoolBeatsSerial:
+    def test_session_of_batches_amortized(self):
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        vfg = build_vfg(SEED, FACTOR)
+        sites = vfg.check_sites
+        assert sites, "factor-16 program must have check sites"
+        indices = list(range(len(sites)))
+
+        # Status quo A: every batch pays a fresh serial engine (what a
+        # from-scratch `repro check --demand` does per request).
+        started = time.perf_counter()
+        for _ in range(BATCHES):
+            serial_verdicts = DemandEngine(vfg, context_depth=1).query_sites(
+                sites
+            )
+        serial_seconds = (time.perf_counter() - started) / BATCHES
+
+        # Status quo B: the one-shot fork pool — fork + pickle on every
+        # single batch (the path that loses to serial on small batches).
+        started = time.perf_counter()
+        for _ in range(BATCHES):
+            fork_verdicts = DemandEngine(vfg, context_depth=1).query_sites(
+                sites, jobs=JOBS
+            )
+        fork_seconds = (time.perf_counter() - started) / BATCHES
+
+        # The service: fork once, keep the workers (and their memo
+        # tables) resident, answer every batch over the pipes.
+        pool = ResidentPool(JOBS, engine=DemandEngine(vfg, context_depth=1))
+        started = time.perf_counter()
+        pool.start()
+        start_seconds = time.perf_counter() - started
+        batch_seconds = []
+        resident_verdicts = None
+        try:
+            for _ in range(BATCHES):
+                batch_started = time.perf_counter()
+                resident_verdicts = pool.query_sites(indices)
+                batch_seconds.append(time.perf_counter() - batch_started)
+                assert resident_verdicts is not None, "pool degraded"
+        finally:
+            pool.shutdown()
+        resident_seconds = (start_seconds + sum(batch_seconds)) / BATCHES
+
+        assert resident_verdicts == serial_verdicts == fork_verdicts
+        record = record_service_stats(
+            "service_query_batches",
+            SEED,
+            FACTOR,
+            jobs=JOBS,
+            batches=BATCHES,
+            sites=len(sites),
+            uids=len(serial_verdicts),
+            serial_seconds=round(serial_seconds, 6),
+            fork_seconds=round(fork_seconds, 6),
+            resident_seconds=round(resident_seconds, 6),
+            resident_start_seconds=round(start_seconds, 6),
+            resident_cold_seconds=round(batch_seconds[0], 6),
+            resident_warm_seconds=round(min(batch_seconds[1:]), 6),
+        )
+        assert record["resident_seconds"] < record["serial_seconds"], (
+            f"resident pool ({resident_seconds:.4f}s/batch) must beat "
+            f"serial ({serial_seconds:.4f}s/batch) once workers are "
+            f"resident"
+        )

@@ -14,13 +14,15 @@ TinyC ``source`` or a compiled ``module``)::
     analysis.explain(uid)        # how F reaches it, step by step
     analysis.query_stats()       # what the queries actually visited
 
-``analyze_source`` / ``analyze_module`` remain as thin deprecated
-shims over :func:`analyze`.
+All knobs can be passed as one :class:`repro.options.AnalysisOptions`
+record (``analyze(options=...)``); the individual keyword arguments
+remain as a deprecated compatibility surface and lose to a set options
+field.  For a long-lived, incrementally re-analyzed program, see
+:class:`repro.service.session.AnalysisSession` and ``repro serve``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -38,6 +40,7 @@ from repro.core import (
     run_usher,
 )
 from repro.opt import run_pipeline
+from repro.options import AnalysisOptions
 from repro.runtime import (
     DEFAULT_COST_MODEL,
     CostModel,
@@ -226,6 +229,27 @@ class LazyAnalysis(Analysis):
             raise AttributeError(name)
         return getattr(self._force(), name)
 
+    def __repr__(self) -> str:
+        # The dataclass __repr__ inherited from Analysis reads every
+        # field and would force the whole deferred pipeline from a bare
+        # ``repr()`` (or a REPL echo); report the deferral state instead.
+        if self._inner is None:
+            return "<LazyAnalysis (deferred; no attribute access yet)>"
+        return (
+            f"<LazyAnalysis forced over {len(self._inner.plans)} plan(s): "
+            f"{', '.join(sorted(self._inner.plans))}>"
+        )
+
+    def __dir__(self):
+        # Tab-completion must not run the pipeline either: the class
+        # (and, once forced, the inner instance) already names every
+        # reachable attribute without touching the thunk.
+        names = set(dir(type(self)))
+        names.update(self.__dict__)
+        if self._inner is not None:
+            names.update(dir(self._inner))
+        return sorted(names)
+
     # Dataclass fields with plain defaults remain class attributes on
     # Analysis and would shadow __getattr__; route them to the inner
     # analysis explicitly.
@@ -252,12 +276,20 @@ def analyze(
     use_reference_solver: bool = False,
     jobs: Optional[int] = None,
     tier: Optional[str] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> Analysis:
     """Optimize, analyze and instrument a program under every config.
 
     Exactly one of ``source`` (TinyC text, compiled as ``name``) or
     ``module`` (an already-compiled IR module) must be given.  All
     arguments are keyword-only.
+
+    ``options`` is the consolidated knob record
+    (:class:`repro.options.AnalysisOptions`): any field set on it wins
+    over the corresponding keyword argument below.  The individual
+    keywords (``jobs=``, ``tier=``, ``demand=``, ``resolver=``,
+    ``context_depth=``) remain as a deprecated one-release
+    compatibility surface.
 
     ``demand=True`` resolves Γ demand-driven (backward slicing per
     node, :mod:`repro.vfg.demand`) in every configuration, including
@@ -283,6 +315,23 @@ def analyze(
     """
     if (source is None) == (module is None):
         raise ValueError("pass exactly one of source= or module=")
+    schedule: Optional[str] = None
+    if options is not None:
+        resolved = options.or_keywords(
+            jobs=jobs,
+            tier=tier,
+            demand=demand,
+            resolver=resolver,
+            context_depth=context_depth,
+        )
+        jobs = resolved["jobs"]
+        tier = resolved["tier"]
+        demand = resolved["demand"]
+        resolver = resolved["resolver"]
+        context_depth = resolved["context_depth"]
+        schedule = options.schedule
+        if configs is None and options.config is not None:
+            configs = [options.config]
     tier = resolve_tier(tier)
     if tier == "lazy":
         demand = True
@@ -298,6 +347,7 @@ def analyze(
             use_reference_solver=use_reference_solver,
             jobs=jobs,
             tier=tier,
+            schedule=schedule,
         )
         wanted = list(configs) if configs else list(CONFIG_ORDER)
         plans: Dict[str, InstrumentationPlan] = {}
@@ -337,36 +387,3 @@ def analyze(
     if tier == "lazy":
         return LazyAnalysis(build)
     return build()
-
-
-def analyze_module(
-    module: Module,
-    level: str = "O0+IM",
-    configs: Optional[List[str]] = None,
-    **kwargs,
-) -> Analysis:
-    """Deprecated: use :func:`analyze` with ``module=``."""
-    warnings.warn(
-        "repro.api.analyze_module is deprecated; "
-        "use repro.api.analyze(module=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return analyze(module=module, level=level, configs=configs, **kwargs)
-
-
-def analyze_source(
-    source: str,
-    name: str = "module",
-    level: str = "O0+IM",
-    configs: Optional[List[str]] = None,
-    **kwargs,
-) -> Analysis:
-    """Deprecated: use :func:`analyze` with ``source=``."""
-    warnings.warn(
-        "repro.api.analyze_source is deprecated; "
-        "use repro.api.analyze(source=...) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return analyze(source=source, name=name, level=level, configs=configs, **kwargs)

@@ -17,6 +17,14 @@ Commands:
   configuration's warnings against the native ground truth over
   generated (or supplied) modules, minimizing any divergence to a
   small reproducer (see :mod:`repro.oracle`).
+- ``serve``        — resident analysis service: a localhost HTTP/JSON
+  endpoint over long-lived :class:`repro.service.AnalysisSession`
+  objects with incremental re-analysis (see :mod:`repro.service`).
+
+``check``, ``report``, ``fuzz`` and ``serve`` share one analysis-options
+flag group (``--jobs`` / ``--tier`` / ``--demand``), resolved through
+:class:`repro.options.AnalysisOptions` (explicit flag > session default
+> ``REPRO_JOBS``/``REPRO_TIER`` environment > built-in default).
 """
 
 from __future__ import annotations
@@ -26,11 +34,16 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.analysis.parallel import InvalidJobsError, default_jobs, parse_jobs
-from repro.analysis.tiers import InvalidTierError, default_tier, parse_tier
 from repro.api import CONFIG_ORDER, analyze
 from repro.ir import module_to_str, verify_module
 from repro.opt import OPT_LEVELS, run_pipeline
+from repro.options import (
+    InvalidJobsError,
+    InvalidTierError,
+    add_analysis_options,
+    options_from_args,
+    session_options,
+)
 from repro.runtime import DEFAULT_COST_MODEL, RuntimeFault, run_native
 from repro.tinyc import LoweringError, TinyCSyntaxError, compile_source
 
@@ -42,39 +55,6 @@ class UsageError(Exception):
 def _read(path: str) -> str:
     with open(path) as handle:
         return handle.read()
-
-
-def _jobs(raw: "Optional[str]") -> "Optional[int]":
-    """Validate a ``--jobs`` value (kept as text so a typo produces a
-    one-line message instead of argparse's usage dump).  With no flag,
-    a *malformed* ``REPRO_JOBS`` is rejected here, at the boundary,
-    rather than mid-analysis."""
-    import os
-
-    from repro.analysis.parallel import JOBS_ENV
-
-    if raw is None:
-        env = os.environ.get(JOBS_ENV)
-        if env is not None:
-            parse_jobs(env, origin=JOBS_ENV)
-        return None
-    return parse_jobs(raw, origin="--jobs")
-
-
-def _tier(raw: "Optional[str]") -> "Optional[str]":
-    """Validate a ``--tier`` value (same boundary discipline as
-    :func:`_jobs`: with no flag, a *malformed* ``REPRO_TIER`` is
-    rejected here with a one-line message, not mid-analysis)."""
-    import os
-
-    from repro.analysis.tiers import TIER_ENV
-
-    if raw is None:
-        env = os.environ.get(TIER_ENV)
-        if env is not None:
-            parse_tier(env, origin=TIER_ENV)
-        return None
-    return parse_tier(raw, origin="--tier")
 
 
 def _parse_seeds(spec: str) -> List[int]:
@@ -136,9 +116,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         name=args.file,
         level=args.level,
         configs=[args.config],
-        demand=args.demand,
-        jobs=_jobs(args.jobs),
-        tier=_tier(args.tier),
+        options=options_from_args(args),
     )
     plan = analysis.plans[args.config]
     if args.solver_stats:
@@ -331,12 +309,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report
 
-    with default_tier(_tier(args.tier)):
-        text = build_report(
-            scale=args.scale,
-            sections=args.sections or None,
-            jobs=_jobs(args.jobs),
-        )
+    text = build_report(
+        scale=args.scale,
+        sections=args.sections or None,
+        options=options_from_args(args),
+    )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -356,8 +333,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if not seeds and not args.module:
         raise UsageError("nothing to fuzz: give --seeds and/or --module")
     budget = _parse_budget(args.budget)
-    jobs = _jobs(args.jobs)
-    tier = _tier(args.tier)
+    opts = options_from_args(args)
     texts = {}
     for path in args.module or []:
         text = _read(path)
@@ -372,7 +348,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         stamp = time.strftime("%Y%m%d_%H%M%S")
         out_path = f"benchmarks/results/fuzz_{stamp}.jsonl"
     say = (lambda message: None) if args.quiet else print
-    with default_jobs(jobs):
+    with session_options(opts):
         result = run_campaign(
             seeds,
             matrix,
@@ -383,7 +359,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             reproducer_dir=args.reproducers,
             texts=texts or None,
             log=say,
-            tier=tier,
+            options=opts,
+            via_session=args.via_session,
         )
     configs = ", ".join(spec for spec, _ in matrix)
     print(
@@ -403,6 +380,23 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         for path in case.reproducers:
             print(f"  reproducer: {path}")
     return 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    server = serve(
+        host=args.host, port=args.port, options=options_from_args(args)
+    )
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -425,29 +419,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace each warning's undefined value back "
                             "to its origin (demand-driven: only the "
                             "warned sites' backward slices are visited)")
-    check.add_argument("--demand", action="store_true",
-                       help="resolve definedness demand-driven (backward "
-                            "VFG slicing) instead of whole-program "
-                            "reachability; identical verdicts")
     check.add_argument("--query-stats", action="store_true",
                        help="print the demand-query work profile "
                             "(states/nodes visited, memo hits, latency); "
                             "requires a demand engine to have run "
                             "(--demand or --explain), otherwise explains "
                             "that nothing was profiled")
-    check.add_argument("--jobs", default=None, metavar="N",
-                       help="worker processes for the parallel analysis "
-                            "paths (sharded constraint generation; with "
-                            "--demand, batched queries too); default: "
-                            "$REPRO_JOBS or 1 (serial). Results are "
-                            "identical for any value")
-    check.add_argument("--tier", default=None, metavar="TIER",
-                       help="solving tier: full (eager Andersen fixpoint), "
-                            "lazy (defer solving; queries force only "
-                            "their backward constraint slice) or unified "
-                            "(Steensgaard-style pre-collapse, then solve); "
-                            "default: $REPRO_TIER or full. Results are "
-                            "identical for any tier")
+    add_analysis_options(check, demand_flag=True)
     check.set_defaults(func=cmd_check)
 
     run = sub.add_parser("run", help="execute natively")
@@ -494,15 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="full experiment report (markdown)")
     report.add_argument("--scale", type=float, default=0.5)
-    report.add_argument("--jobs", default=None, metavar="N",
-                        help="worker processes for the parallel analysis "
-                             "paths across every section; default: "
-                             "$REPRO_JOBS or 1 (serial). Results are "
-                             "identical for any value")
-    report.add_argument("--tier", default=None, metavar="TIER",
-                        help="solving tier for every section (full, lazy "
-                             "or unified); default: $REPRO_TIER or full. "
-                             "Results are identical for any tier")
+    add_analysis_options(report)
     report.add_argument("-o", "--output", default=None)
     report.add_argument(
         "--sections",
@@ -545,18 +515,28 @@ def build_parser() -> argparse.ArgumentParser:
                       default="benchmarks/results/reproducers",
                       metavar="DIR",
                       help="directory for minimized reproducers")
-    fuzz.add_argument("--jobs", default=None, metavar="N",
-                      help="worker processes for the parallel analysis "
-                           "paths; default: $REPRO_JOBS or 1 (serial)")
-    fuzz.add_argument("--tier", default=None, metavar="TIER",
-                      help="solving tier every examined configuration "
-                           "runs under (full, lazy or unified); default: "
-                           "$REPRO_TIER or full. A divergence between "
-                           "tiers is exactly what the campaign exists "
-                           "to catch")
+    fuzz.add_argument("--via-session", action="store_true",
+                      help="route every examined case through the "
+                           "resident AnalysisSession API (open + "
+                           "incremental update) instead of from-scratch "
+                           "analysis; a verdict difference between the "
+                           "two paths is exactly what the campaign "
+                           "exists to catch")
     fuzz.add_argument("--quiet", action="store_true",
                       help="suppress per-case progress lines")
+    add_analysis_options(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
+
+    serve_p = sub.add_parser(
+        "serve", help="resident analysis service (localhost HTTP/JSON)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=0, metavar="N",
+                         help="TCP port; 0 picks a free port and prints it "
+                              "(default 0)")
+    add_analysis_options(serve_p, demand_flag=True)
+    serve_p.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -49,6 +49,7 @@ def redundant_check_elimination(
     interprocedural: bool = False,
     demand: bool = False,
     jobs: "Optional[int]" = None,
+    engine_factory=None,
 ) -> "tuple[Definedness, Opt2Stats]":
     """Run Algorithm 1; return the refined Γ and statistics.
 
@@ -64,7 +65,13 @@ def redundant_check_elimination(
     whole-program reachability — bit-identical verdicts, but only the
     check sites' backward slices are visited.  ``jobs`` fans that batch
     across worker processes (``None`` defers to the session default /
-    ``REPRO_JOBS``)."""
+    ``REPRO_JOBS``).
+
+    ``engine_factory``, when given, builds the demand engine for the
+    rewired scratch graph — ``engine_factory(scratch) -> DemandEngine``
+    — letting a resident :class:`repro.service.session.AnalysisSession`
+    prime it with memos carried across edits.  Only consulted on the
+    ``demand=True`` path."""
     scratch = vfg.copy()
     by_uid = module.instr_by_uid()
     dts: Dict[str, DominatorTree] = {
@@ -161,11 +168,18 @@ def redundant_check_elimination(
     if demand:
         from repro.vfg.demand import resolve_definedness_demand
 
-        # A fresh engine: the scratch graph's edge set differs from the
-        # original VFG's, so no memo may be shared with it.
-        gamma = resolve_definedness_demand(
-            scratch, context_depth, resolver=resolver, jobs=jobs
-        )
+        # A fresh engine by default: the scratch graph's edge set
+        # differs from the original VFG's, so no memo may be shared
+        # with it.  A session-supplied factory may prime the engine
+        # with memos proven valid for *this* scratch graph.
+        if engine_factory is not None:
+            engine = engine_factory(scratch)
+            engine.query_sites(scratch.check_sites, jobs=jobs)
+            gamma = engine.gamma()
+        else:
+            gamma = resolve_definedness_demand(
+                scratch, context_depth, resolver=resolver, jobs=jobs
+            )
     elif resolver == "summary":
         from repro.vfg.tabulation import resolve_definedness_summary
 

@@ -179,6 +179,8 @@ def prepare_module(
     use_reference_solver: bool = False,
     jobs: Optional[int] = None,
     tier: Optional[str] = None,
+    schedule: Optional[str] = None,
+    options: Optional["AnalysisOptions"] = None,
 ) -> PreparedModule:
     """Run pointer analysis, mod/ref and memory-SSA construction.
 
@@ -190,12 +192,22 @@ def prepare_module(
     ``tier`` picks the solving tier — ``"full"``, ``"lazy"`` or
     ``"unified"`` (``None`` defers to the session default /
     ``REPRO_TIER``); results are bit-identical across tiers.
+    ``schedule`` picks the solver worklist discipline (``"wave"`` /
+    ``"fifo"``).  ``options`` is the consolidated knob record
+    (:class:`repro.options.AnalysisOptions`); a set field wins over the
+    corresponding keyword.
     """
+    if options is not None:
+        resolved = options.or_keywords(jobs=jobs, tier=tier, schedule=schedule)
+        jobs = resolved["jobs"]
+        tier = resolved["tier"]
+        schedule = resolved["schedule"]
     started = time.perf_counter()
     pointers = analyze_pointers(
         module,
         heap_cloning=heap_cloning,
         use_reference=use_reference_solver,
+        schedule=schedule,
         jobs=jobs,
         tier=tier,
     )

@@ -11,8 +11,8 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
-from repro.analysis.parallel import default_jobs
 from repro.api import analyze
+from repro.options import AnalysisOptions, session_options
 from repro.core.static_warner import false_positive_report
 from repro.harness.ablation import build_ablation, format_ablation
 from repro.harness.figure10 import build_figure10, format_figure10
@@ -33,17 +33,21 @@ def build_report(
     scale: float = 1.0,
     sections: Optional[List[str]] = None,
     jobs: Optional[int] = None,
+    options: Optional[AnalysisOptions] = None,
 ) -> str:
     """Build the full markdown report.
 
     ``sections`` may restrict to a subset of
     ``{"table1", "figure10", "figure11", "opt_levels", "ablation",
-    "warner", "extension", "solver"}``.  ``jobs`` installs a session
-    default worker count so every analysis the report runs uses the
-    parallel paths (``None`` keeps the ambient default); the report
-    content is identical for any value.
+    "warner", "extension", "solver"}``.  ``options`` (or the legacy
+    ``jobs`` keyword) installs session-default knobs — worker count,
+    solving tier — so every analysis the report runs picks them up;
+    the report content is identical for any value.
     """
-    with default_jobs(jobs):
+    opts = options if options is not None else AnalysisOptions()
+    if jobs is not None and opts.jobs is None:
+        opts = opts.merged(jobs=jobs)
+    with session_options(opts):
         return _build_report_body(scale, sections)
 
 

@@ -95,17 +95,29 @@ def examine_text(
     matrix,
     plan_hook: "Optional[PlanHook]" = None,
     tier: "Optional[str]" = None,
+    options=None,
+    via_session: bool = False,
 ) -> "Tuple[str, List[Divergence]]":
     """Diff one printed-IR module against the matrix.
 
     ``tier`` picks the solving tier the preparation runs under
     (``None`` defers to the session default / ``REPRO_TIER``) — the
     campaign's ground-truth diff is how tier-invariance is enforced.
+    ``options`` (:class:`repro.options.AnalysisOptions`) is the
+    consolidated form; its set fields win over ``tier``.  With
+    ``via_session=True`` every configuration is analyzed through an
+    incrementally updated :class:`repro.service.session.AnalysisSession`
+    instead of the one-shot pipeline — same diff against native ground
+    truth, so a session-core bug shows up as a divergence.
 
     Returns ``(status, divergences)`` with status ``ok`` /
     ``divergent`` / ``skipped`` (native run exceeded the step limit or
     faulted — pathological inputs carry no soundness signal).
     """
+    if options is not None:
+        tier = options.or_keywords(tier=tier)["tier"]
+    if via_session:
+        return _examine_via_session(text, name, matrix, plan_hook, tier)
     prepared = _prepare_text(text, name, tier)
     try:
         native = run_native(prepared.module)
@@ -123,14 +135,54 @@ def examine_text(
     return ("divergent" if divergences else "ok"), divergences
 
 
-def _bucket_predicate(matrix, bucket, plan_hook, tier=None):
+def _examine_via_session(
+    text: str, name: str, matrix, plan_hook, tier
+) -> "Tuple[str, List[Divergence]]":
+    """Examine through resident sessions: open, apply a semantics-
+    preserving single-function edit (a dead constant copy after the
+    entry label), incrementally re-analyze, then diff the *updated*
+    session's plan against native execution of the session's own
+    module.  Exercises the tape cache, warm solver restart, uid
+    transplant and memo carryover on every corpus program."""
+    from repro.options import AnalysisOptions
+    from repro.service.session import AnalysisSession
+
+    options = AnalysisOptions(tier=tier)
+    divergences: "List[Divergence]" = []
+    for spec, config in matrix:
+        session = AnalysisSession.from_ir(
+            text, name, options=options, usher_config=config
+        )
+        fname = session.function_names()[0]
+        lines = session.function_text(fname).splitlines()
+        for index, line in enumerate(lines):
+            if line.endswith(":"):
+                lines.insert(index + 1, "    %__svc0 := 0")
+                break
+        session.update(fname, "\n".join(lines))
+        prepared = session.prepared
+        try:
+            native = run_native(prepared.module)
+        except (StepLimitExceeded, RuntimeFault):
+            return "skipped", []
+        plan = run_msan(prepared) if config is None else session.plan
+        if plan_hook is not None:
+            plan = plan_hook(spec, prepared, plan)
+        divergences.extend(
+            diff_config(prepared, native, spec, config, plan=plan)
+        )
+    return ("divergent" if divergences else "ok"), divergences
+
+
+def _bucket_predicate(matrix, bucket, plan_hook, tier=None, via_session=False):
     """Minimization predicate: the module still diverges in ``bucket``."""
     spec_wanted, kind_wanted = bucket
 
     def predicate(module) -> bool:
         text = module_to_str(module)
         status, divergences = examine_text(
-            text, "minimize-candidate", matrix, plan_hook, tier
+            text, "minimize-candidate", matrix, plan_hook, tier,
+            via_session=via_session,
         )
         return status == "divergent" and any(
             d.config == spec_wanted and d.kind == kind_wanted
@@ -186,6 +238,8 @@ def run_campaign(
     texts: "Optional[Dict[str, str]]" = None,
     log: "Optional[Callable[[str], None]]" = None,
     tier: "Optional[str]" = None,
+    options=None,
+    via_session: bool = False,
 ) -> CampaignResult:
     """Run a differential fuzzing campaign.
 
@@ -196,10 +250,19 @@ def run_campaign(
     ``tier`` runs every examination (and minimization replay) under
     one solving tier — since the diff is against *native* ground
     truth, a campaign per tier is exactly how tier-invariance of the
-    tiered solving stack is enforced.  Results stream to ``out_path``
-    as JSONL (one record per case plus a trailing summary) when
-    provided; minimized reproducers land in ``reproducer_dir``.
+    tiered solving stack is enforced.  ``options``
+    (:class:`repro.options.AnalysisOptions`) is the consolidated form
+    of the same knobs; set fields win over the keywords.  With
+    ``via_session=True`` every case routes through an edited resident
+    :class:`repro.service.session.AnalysisSession` (see
+    :func:`examine_text`) — the campaign then certifies the session's
+    incremental re-analysis against native ground truth.  Results
+    stream to ``out_path`` as JSONL (one record per case plus a
+    trailing summary) when provided; minimized reproducers land in
+    ``reproducer_dir``.
     """
+    if options is not None:
+        tier = options.or_keywords(tier=tier)["tier"]
     t0 = time.monotonic()
 
     def time_left() -> "Optional[float]":
@@ -234,7 +297,8 @@ def run_campaign(
         case = CaseResult(name=name, seed=seed, status="ok")
         try:
             case.status, case.divergences = examine_text(
-                text, name, matrix, plan_hook, tier
+                text, name, matrix, plan_hook, tier,
+                via_session=via_session,
             )
         except Exception as exc:  # analysis crash: triage as its own kind
             case.status = "divergent"
@@ -257,7 +321,10 @@ def run_campaign(
                     try:
                         shrunk: MinimizationResult = minimize_ir(
                             text,
-                            _bucket_predicate(matrix, bucket, plan_hook, tier),
+                            _bucket_predicate(
+                                matrix, bucket, plan_hook, tier,
+                                via_session=via_session,
+                            ),
                             max_evals=minimize_evals,
                             budget_seconds=left,
                         )
@@ -302,6 +369,7 @@ def run_campaign(
         {
             "type": "summary",
             "tier": resolve_tier(tier),
+            "via_session": via_session,
             "cases": len(result.cases),
             "divergent": len(result.divergent),
             "skipped": result.skipped,

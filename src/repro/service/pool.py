@@ -1,0 +1,344 @@
+"""Persistent fork workers with shared-memory constraint tapes.
+
+The one-shot parallel paths fork a fresh pool per call and pickle every
+result back, which is why ``query_sites(jobs=4)`` *loses* to serial on
+small batches (see ``parallel_batch16`` in
+``benchmarks/results/query_stats.jsonl``).  A :class:`ResidentPool`
+pays the fork exactly once per session generation:
+
+* Workers inherit their snapshot (a demand engine and/or a module)
+  through the ``fork`` — nothing is pickled on the way out, and each
+  worker keeps its own growing memo table across query batches.
+* Answers come back tiny: ``{instr_uid: bool}`` per query stripe.
+* Constraint tapes come back through ``multiprocessing.shared_memory``
+  as flat ``int64`` arrays (:class:`FlatTape`) — the op stream is
+  already interned integers, so the parent attaches, copies, unlinks,
+  and never pickles an op list.  Symbol tables and generation
+  side-tables are small and travel over the pipe.
+
+Workers are ``fork``-context daemons talking over pipes; any worker
+failure degrades to the serial path (the pool returns ``None`` and
+shuts itself down) — results never depend on the pool.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.andersen import OP_GEP, OP_ICALL
+
+__all__ = ["FlatTape", "ResidentPool"]
+
+#: ``None`` GEP-offset sentinel — far outside any field index.
+_GEP_NONE = -(2**62)
+
+#: Snapshot handed to workers through the fork (set only around
+#: ``Process.start``; never pickled).
+_POOL_SNAPSHOT: Optional[tuple] = None
+
+
+class FlatTape:
+    """A shard op tape as one flat ``int64`` array.
+
+    Encoding per op (all values shard-local symbol ids unless noted):
+    ``PTS/COPY/LOAD/STORE`` → ``[tag, a, b]``; ``GEP`` → ``[tag, dst,
+    base, offset]`` (``None`` offset as :data:`_GEP_NONE`); ``ICALL`` →
+    ``[tag, callee, call_uid, nargs, arg...,  dst]`` (``-1`` encodes a
+    missing arg/dst).  The format round-trips exactly — ``decode`` is
+    the inverse of ``encode`` — and backs the shared-memory transport.
+    """
+
+    @staticmethod
+    def encode(ops: Sequence[tuple]) -> "array":
+        words = array("q")
+        for op in ops:
+            tag = op[0]
+            if tag == OP_ICALL:
+                args = op[3]
+                words.append(tag)
+                words.append(op[1])
+                words.append(op[2])
+                words.append(len(args))
+                words.extend(args)
+                words.append(op[4])
+            elif tag == OP_GEP:
+                words.append(tag)
+                words.append(op[1])
+                words.append(op[2])
+                words.append(_GEP_NONE if op[3] is None else op[3])
+            else:
+                words.append(tag)
+                words.append(op[1])
+                words.append(op[2])
+        return words
+
+    @staticmethod
+    def decode(words: Sequence[int]) -> List[tuple]:
+        ops: List[tuple] = []
+        i = 0
+        n = len(words)
+        while i < n:
+            tag = words[i]
+            if tag == OP_ICALL:
+                nargs = words[i + 3]
+                args = tuple(words[i + 4 : i + 4 + nargs])
+                ops.append(
+                    (tag, words[i + 1], words[i + 2], args, words[i + 4 + nargs])
+                )
+                i += 5 + nargs
+            elif tag == OP_GEP:
+                offset = words[i + 3]
+                ops.append(
+                    (
+                        tag,
+                        words[i + 1],
+                        words[i + 2],
+                        None if offset == _GEP_NONE else offset,
+                    )
+                )
+                i += 4
+            else:
+                ops.append((tag, words[i + 1], words[i + 2]))
+                i += 3
+        return ops
+
+
+def _ship_ops(ops: Sequence[tuple]):
+    """Encode an op tape for the pipe: shared-memory when available
+    (``("shm", name, nwords)``), else inline (``("ops", words)``)."""
+    words = FlatTape.encode(ops)
+    try:
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, len(words) * words.itemsize)
+        )
+        shm.buf[: len(words) * words.itemsize] = words.tobytes()
+        name = shm.name
+        # The worker must not unlink the segment at exit — the parent
+        # owns its lifetime (attach, copy, close, unlink).
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        shm.close()
+        return ("shm", name, len(words))
+    except Exception:
+        return ("ops", words)
+
+
+def _receive_ops(payload) -> List[tuple]:
+    kind = payload[0]
+    if kind == "shm":
+        from multiprocessing import shared_memory
+
+        _, name, nwords = payload
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            words = array("q")
+            words.frombytes(bytes(shm.buf[: nwords * words.itemsize]))
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        return FlatTape.decode(words)
+    return FlatTape.decode(payload[1])
+
+
+def _worker_main(conn) -> None:
+    engine, module = _POOL_SNAPSHOT
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if command == "stop":
+                break
+            if command == "query":
+                sites = engine.vfg.check_sites
+                verdicts: Dict[int, bool] = {}
+                for index in payload:
+                    site = sites[index]
+                    ok = engine.is_defined(site.node)
+                    verdicts[site.instr_uid] = (
+                        verdicts.get(site.instr_uid, True) and ok
+                    )
+                conn.send(("ok", verdicts))
+            elif command == "tape":
+                from repro.analysis import shardgen
+
+                names, wrappers, recursive = payload
+                out = []
+                for name in names:
+                    shard = shardgen._collector_class()(
+                        module, frozenset(wrappers), set(recursive), [name]
+                    ).result_shard
+                    out.append(
+                        (
+                            name,
+                            _ship_ops(shard.ops),
+                            pickle.dumps(
+                                (
+                                    shard.syms,
+                                    shard.call_targets,
+                                    shard.clone_base,
+                                    shard.instantiated,
+                                    shard.alloc_objects,
+                                ),
+                                protocol=pickle.HIGHEST_PROTOCOL,
+                            ),
+                        )
+                    )
+                conn.send(("ok", out))
+            else:
+                conn.send(("err", f"unknown command {command!r}"))
+        except Exception as exc:  # ship the failure, keep serving
+            try:
+                conn.send(("err", repr(exc)))
+            except (OSError, BrokenPipeError):
+                break
+    conn.close()
+
+
+class ResidentPool:
+    """``jobs`` long-lived fork workers over a shared snapshot.
+
+    Construct with the state workers should inherit (``engine`` for
+    query batches, ``module`` for tape collection — either or both),
+    then :meth:`start` once; every later batch reuses the same
+    processes.  All batch methods return ``None`` on any worker
+    failure, after shutting the pool down, so callers fall back to
+    their serial path.
+    """
+
+    def __init__(self, jobs: int, engine=None, module=None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.engine = engine
+        self.module = module
+        self._pipes: List = []
+        self._procs: List = []
+        self.started = False
+
+    def start(self) -> None:
+        from multiprocessing import get_context
+
+        global _POOL_SNAPSHOT
+        ctx = get_context("fork")
+        _POOL_SNAPSHOT = (self.engine, self.module)
+        try:
+            for _ in range(self.jobs):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._pipes.append(parent_conn)
+                self._procs.append(proc)
+        finally:
+            _POOL_SNAPSHOT = None
+        self.started = True
+
+    # -- batches ---------------------------------------------------------
+    def query_sites(
+        self, indices: Sequence[int]
+    ) -> Optional[Dict[int, bool]]:
+        """AND-folded definedness verdicts for check sites given by
+        index into the snapshot engine's ``vfg.check_sites``."""
+        stripes = [list(indices[offset :: self.jobs]) for offset in range(self.jobs)]
+        try:
+            live = []
+            for pipe, stripe in zip(self._pipes, stripes):
+                if stripe:
+                    pipe.send(("query", stripe))
+                    live.append(pipe)
+            verdicts: Dict[int, bool] = {}
+            for pipe in live:
+                status, payload = pipe.recv()
+                if status != "ok":
+                    raise RuntimeError(payload)
+                for uid, ok in payload.items():
+                    verdicts[uid] = verdicts.get(uid, True) and ok
+            return verdicts
+        except Exception:
+            self.shutdown()
+            return None
+
+    def collect_tapes(
+        self,
+        names: Sequence[str],
+        wrappers: FrozenSet[str],
+        recursive: Set[str],
+    ) -> Optional[Dict[str, object]]:
+        """Constraint tapes for ``names``, collected on the snapshot
+        module, keyed by function name."""
+        from repro.analysis.shardgen import ShardResult
+
+        stripes = [list(names[offset :: self.jobs]) for offset in range(self.jobs)]
+        try:
+            live = []
+            for pipe, stripe in zip(self._pipes, stripes):
+                if stripe:
+                    pipe.send(("tape", (stripe, set(wrappers), set(recursive))))
+                    live.append(pipe)
+            shards: Dict[str, object] = {}
+            for pipe in live:
+                status, payload = pipe.recv()
+                if status != "ok":
+                    raise RuntimeError(payload)
+                for name, ops_payload, rest in payload:
+                    syms, call_targets, clone_base, instantiated, allocs = (
+                        pickle.loads(rest)
+                    )
+                    shards[name] = ShardResult(
+                        syms=syms,
+                        ops=_receive_ops(ops_payload),
+                        call_targets=call_targets,
+                        clone_base=clone_base,
+                        instantiated=instantiated,
+                        alloc_objects=allocs,
+                    )
+            return shards
+        except Exception:
+            self.shutdown()
+            return None
+
+    # -- lifecycle -------------------------------------------------------
+    def shutdown(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop", None))
+            except (OSError, BrokenPipeError):
+                pass
+        for pipe in self._pipes:
+            try:
+                pipe.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+            if proc.is_alive():
+                proc.terminate()
+        self._pipes = []
+        self._procs = []
+        self.started = False
+
+    def __enter__(self) -> "ResidentPool":
+        if not self.started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:
+        try:
+            if self.started:
+                self.shutdown()
+        except Exception:
+            pass

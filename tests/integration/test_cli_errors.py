@@ -129,3 +129,27 @@ class TestFuzzArgValidation:
         bad.write_text("def main() {\nentry:\n    this is not ir\n}\n")
         assert main(["fuzz", "--seeds", "", "--module", str(bad)]) == 2
         assert one_clean_error_line(capsys).startswith("invalid module:")
+
+
+class TestServeArgValidation:
+    """``repro serve`` shares the analysis-options flag group, so the
+    same boundary discipline applies before any socket is bound."""
+
+    def test_invalid_jobs_flag(self, capsys):
+        assert main(["serve", "--jobs", "banana"]) == 2
+        line = one_clean_error_line(capsys)
+        assert line.startswith("error:")
+        assert "--jobs" in line
+
+    def test_invalid_tier_flag(self, capsys):
+        assert main(["serve", "--tier", "warp"]) == 2
+        line = one_clean_error_line(capsys)
+        assert line.startswith("error:")
+        assert "full, lazy, unified" in line
+
+    def test_invalid_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "turbo")
+        assert main(["serve"]) == 2
+        line = one_clean_error_line(capsys)
+        assert line.startswith("error:")
+        assert "REPRO_TIER" in line

@@ -8,8 +8,6 @@ from repro.api import (
     CONFIG_ORDER,
     EXTENDED_CONFIG_ORDER,
     analyze,
-    analyze_module,
-    analyze_source,
 )
 from repro.runtime import CostModel, DynamicEvents, ExecutionReport
 from repro.tinyc import compile_source
@@ -158,17 +156,16 @@ class TestDemandQueries:
         assert analysis.explain(bottom) is not None
 
 
-class TestDeprecatedShims:
-    def test_analyze_source_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning):
-            analysis = analyze_source(SOURCE, configs=["usher"])
-        assert set(analysis.plans) == {"usher"}
+class TestRemovedShims:
+    def test_analyze_source_is_gone(self):
+        # The one-release deprecation window closed: the old entry
+        # points no longer exist, analyze(source=...) is the only door.
+        import repro.api as api
 
-    def test_analyze_module_warns_and_delegates(self):
-        module = compile_source(SOURCE, "shim")
-        with pytest.warns(DeprecationWarning):
-            analysis = analyze_module(module, configs=["usher"])
-        assert analysis.module is module
+        assert not hasattr(api, "analyze_source")
+        assert not hasattr(api, "analyze_module")
+        with pytest.raises(ImportError):
+            from repro.api import analyze_source  # noqa: F401
 
     def test_new_entry_point_does_not_warn(self):
         with _warnings.catch_warnings():

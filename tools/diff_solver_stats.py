@@ -25,7 +25,13 @@ deliberately ignored because CI machines are noisy):
   ``pops`` gate alone would take one extra run to notice;
 - query records: ``peak_visited_fraction`` (largest single-query share
   of the VFG visited) and ``states_per_query`` (derived:
-  ``states_visited / queries``).
+  ``states_visited / queries``);
+- service records (``benchmarks/test_service.py`` →
+  ``benchmarks/results/service_stats.jsonl``, detected by their
+  ``resident_seconds`` field) are gated *within* the newest entry:
+  the resident worker pool's batched ``query_sites`` must beat the
+  serial path (``resident_seconds < serial_seconds``), or the pool
+  lost its point.
 
 Usage (the CI invocations)::
 
@@ -60,7 +66,10 @@ GroupKey = Tuple[object, ...]
 
 
 def record_kind(record: dict) -> str:
-    """``"query"`` for demand-query records, ``"solver"`` otherwise."""
+    """``"service"`` for resident-pool benchmark records, ``"query"``
+    for demand-query records, ``"solver"`` otherwise."""
+    if "resident_seconds" in record:
+        return "service"
     return "query" if "resolver" in record else "solver"
 
 
@@ -83,6 +92,16 @@ def load_groups(path: Path, kind: str = "auto") -> Dict[GroupKey, List[dict]]:
                 raise ValueError(f"{path}:{lineno}: bad JSON ({error})")
             this_kind = record_kind(record)
             if kind != "auto" and this_kind != kind:
+                continue
+            if this_kind == "service":
+                key: GroupKey = (
+                    this_kind,
+                    record.get("benchmark"),
+                    record.get("seed"),
+                    record.get("factor"),
+                    record.get("jobs"),
+                )
+                groups.setdefault(key, []).append(record)
                 continue
             if this_kind == "query":
                 queries = record.get("queries")
@@ -116,7 +135,24 @@ def load_groups(path: Path, kind: str = "auto") -> Dict[GroupKey, List[dict]]:
 def check_group(
     key: GroupKey, history: List[dict], max_ratio: float
 ) -> List[str]:
-    """Compare the newest entry against its predecessor."""
+    """Compare the newest entry against its predecessor (service
+    records instead gate *within* their newest entry: the resident
+    pool must beat the serial path, or the pool lost its point)."""
+    if key[0] == "service":
+        latest = history[-1]
+        label = "/".join(str(part) for part in key[1:])
+        resident = latest.get("resident_seconds")
+        serial = latest.get("serial_seconds")
+        if not isinstance(resident, (int, float)) or not isinstance(
+            serial, (int, float)
+        ):
+            return [f"{label}: service record lacks resident/serial timings"]
+        if resident >= serial:
+            return [
+                f"{label}: resident pool ({resident:.4f}s) did not beat "
+                f"serial ({serial:.4f}s) — the pool lost to the fallback"
+            ]
+        return []
     if len(history) < 2:
         return []
     previous, latest = history[-2], history[-1]
@@ -179,10 +215,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--kind",
-        choices=("auto", "solver", "query"),
+        choices=("auto", "solver", "query", "service"),
         default="auto",
         help="restrict to one record kind (default: auto-detect per "
-        "line and gate both)",
+        "line and gate all)",
     )
     args = parser.parse_args(argv)
 
@@ -196,7 +232,12 @@ def main(argv=None) -> int:
         return 2
 
     kinds = {key[0] for key in groups}
-    label = "query-stats" if kinds == {"query"} else "solver-stats"
+    if kinds == {"query"}:
+        label = "query-stats"
+    elif kinds == {"service"}:
+        label = "service-stats"
+    else:
+        label = "solver-stats"
 
     problems: List[str] = []
     comparable = 0
