@@ -43,11 +43,18 @@ def pointer_heavy_module(seed: int, factor: int):
     return compile_source(generate_program(seed, params), f"heavy{seed}")
 
 
-def run_solver(module, use_reference: bool, schedule=None, jobs=None, tier=None):
+def run_solver(
+    module,
+    use_reference: bool,
+    schedule=None,
+    jobs=None,
+    tier=None,
+    storage=None,
+):
     started = time.perf_counter()
     result = analyze_pointers(
         module, use_reference=use_reference, schedule=schedule, jobs=jobs,
-        tier=tier,
+        tier=tier, storage=storage,
     )
     elapsed = time.perf_counter() - started
     return elapsed, result.solver_stats
@@ -260,6 +267,102 @@ class TestTieredSolving:
             assert results[tier].pts == full.pts
             assert results[tier].call_targets == full.call_targets
             assert results[tier].wrappers == full.wrappers
+
+
+class TestCompressedStorage:
+    """Dense int bitsets vs roaring containers at 100x scale.
+
+    The dense representation's cost is the *span* of each points-to
+    set: one Python-int limb vector stretching to the highest interned
+    location id, so a late sparse member costs as much as a dense
+    prefix.  The compressed containers
+    (:mod:`repro.analysis.bitsets`) pay per member (array), per run
+    (run-length), or a flat 8 KiB ceiling (bitmap), so representation
+    bytes track set *content*, not id range.  These rows record
+    ``bytes_pts`` for both storages at growing scale factors and gate
+    the growth shape: the compressed bytes must grow by a smaller
+    factor than the dense bytes, and win outright on the largest
+    generated instance.  Each (storage, factor) row lands in the log
+    keyed by its ``storage`` field, so the cross-run gate
+    (``tools/diff_solver_stats.py``) compares like against like and
+    fails on a >2x ``bytes_pts`` / ``peak_rss`` jump.
+    """
+
+    GENERATED_FACTORS = (16, 64)
+    HEAVY_FACTORS = (8, 32)
+
+    @staticmethod
+    def _generated(seed, factor):
+        params = GeneratorParams().scaled(factor)
+        module = compile_source(
+            generate_program(seed, params), f"gen{seed}x{factor}"
+        )
+        run_pipeline(module, "O0+IM")
+        return module
+
+    @staticmethod
+    def _heavy(seed, factor):
+        module = pointer_heavy_module(seed, factor)
+        run_pipeline(module, "O0+IM")
+        return module
+
+    def _bytes_by_storage(self, module_for, seed, factors, benchmark):
+        rows = {}
+        for factor in factors:
+            module = module_for(seed, factor)
+            for storage in ("int", "compressed"):
+                elapsed, stats = run_solver(
+                    module, use_reference=False, storage=storage
+                )
+                record_solver_stats(
+                    seed, factor, elapsed, stats, benchmark=benchmark
+                )
+                assert stats.bytes_pts > 0 and stats.peak_rss > 0
+                rows[(storage, factor)] = stats.bytes_pts
+        return rows
+
+    def test_generated_factor64_compressed_wins(self):
+        """The acceptance gate: the full generated workload at factor
+        64 completes under both storages, the compressed bytes grow by
+        a smaller factor across the 4x scale step, and at factor 64
+        the compressed representation is smaller in absolute terms
+        (the dense limb vectors' span cost has crossed over)."""
+        low, high = self.GENERATED_FACTORS
+        rows = self._bytes_by_storage(
+            self._generated, 11, self.GENERATED_FACTORS, "solver_storage_generated"
+        )
+        int_growth = rows[("int", high)] / rows[("int", low)]
+        compressed_growth = (
+            rows[("compressed", high)] / rows[("compressed", low)]
+        )
+        assert compressed_growth < int_growth
+        assert rows[("compressed", high)] < rows[("int", high)]
+
+    def test_pointer_heavy_factor32_grows_slower(self):
+        """Pointer-heavy instances keep their sets small and dense, so
+        the container headers cost more than the dense limbs in
+        absolute terms — but the *growth* must still favor the
+        compressed form as ids spread out with scale."""
+        low, high = self.HEAVY_FACTORS
+        rows = self._bytes_by_storage(
+            self._heavy, 11, self.HEAVY_FACTORS, "solver_storage_heavy"
+        )
+        int_growth = rows[("int", high)] / rows[("int", low)]
+        compressed_growth = (
+            rows[("compressed", high)] / rows[("compressed", low)]
+        )
+        assert compressed_growth < int_growth
+
+    def test_storages_agree_at_scale(self):
+        module = self._generated(11, self.GENERATED_FACTORS[0])
+        base = analyze_pointers(module, storage="int")
+        compressed = analyze_pointers(module, storage="compressed")
+        assert base.pts == compressed.pts
+        assert base.call_targets == compressed.call_targets
+        assert (
+            base.solver_stats.facts_propagated
+            == compressed.solver_stats.facts_propagated
+        )
 
 
 class TestParallelConstraintGeneration:

@@ -74,6 +74,13 @@ from repro.analysis.memobjects import (
     function_object,
     global_object,
 )
+from repro.analysis.bitsets import (
+    Bitset,
+    bitset_count,
+    bitset_packed_size,
+    pack_lids,
+    resolve_storage,
+)
 from repro.analysis.parallel import resolve_jobs
 from repro.analysis.solverstats import SolverStats
 from repro.analysis.tiers import resolve_tier
@@ -160,6 +167,7 @@ def analyze_pointers(
     schedule: Optional[str] = None,
     jobs: Optional[int] = None,
     tier: Optional[str] = None,
+    storage: Optional[str] = None,
 ) -> PointerResult:
     """Run Andersen's analysis on ``module``.
 
@@ -183,9 +191,16 @@ def analyze_pointers(
     session default / ``REPRO_TIER``): ``"full"`` solves eagerly,
     ``"unified"`` runs the :mod:`repro.analysis.unify` Steensgaard-style
     pre-collapse before each solve pass, ``"lazy"`` defers the fixpoint
-    so callers force only the slices they query.  None of these knobs
-    can change the result — all are pure wall-clock/scheduling choices
-    (the reference solver ignores ``tier``).
+    so callers force only the slices they query.  ``storage`` picks the
+    :class:`DeltaSolver` points-to representation (``None`` defers to
+    the session default / ``REPRO_STORAGE``): ``"int"`` keeps dense int
+    bitsets, ``"compressed"`` stores each set as roaring-style chunked
+    containers (:mod:`repro.analysis.bitsets`), ``"auto"`` switches to
+    compressed above
+    :data:`~repro.analysis.bitsets.COMPRESSED_MIN_OPS` instructions.
+    None of these knobs can change the result — all are pure
+    wall-clock/memory choices (the reference solver ignores ``tier``
+    and ``storage``).
     """
     tier = resolve_tier(tier)
     if schedule is None:
@@ -197,6 +212,7 @@ def analyze_pointers(
         for function in module.functions.values()
         for _ in function.instructions()
     )
+    storage = resolve_storage(storage, ops=module_ops)
     effective_jobs = resolve_jobs(jobs, ops=module_ops)
     serial_fallback = (
         jobs is None and effective_jobs == 1 and resolve_jobs(jobs) > 1
@@ -215,7 +231,12 @@ def analyze_pointers(
             )
 
     else:
-        stats = SolverStats(solver=DeltaSolver.kind, schedule=schedule, tier=tier)
+        stats = SolverStats(
+            solver=DeltaSolver.kind,
+            schedule=schedule,
+            tier=tier,
+            storage=storage,
+        )
         lazy = tier == "lazy"
 
         def make(wrappers: FrozenSet[str]) -> "_SolverBase":
@@ -228,6 +249,7 @@ def analyze_pointers(
                 jobs=effective_jobs,
                 schedule=schedule,
                 lazy=lazy,
+                storage=storage,
             )
             if tier == "unified":
                 from repro.analysis.unify import presolve_unify
@@ -388,29 +410,52 @@ class _SolverBase:
                         known.append(obj)
 
     def _replay_shard(self, shard) -> None:
-        """Replay a shard's op tape through the object-level hooks.
+        """Replay a shard's flat word arena through the object-level
+        hooks — index arithmetic over the ``int64`` buffer, no op
+        tuples materialized.
 
         :class:`DeltaSolver` overrides this with an id-level replay
         that crosses the interning boundary once per distinct symbol
         instead of once per op.
         """
+        from repro.analysis.shardgen import GEP_NONE
+
         syms = shard.syms
-        for op in shard.ops:
-            kind = op[0]
-            if kind == OP_COPY:
-                self._add_copy(syms[op[1]], syms[op[2]])
-            elif kind == OP_PTS:
-                self._add_pts(syms[op[1]], syms[op[2]])
-            elif kind == OP_LOAD:
-                self._add_load(syms[op[1]], syms[op[2]])
-            elif kind == OP_STORE:
-                self._add_store(syms[op[1]], syms[op[2]])
-            elif kind == OP_GEP:
-                self._add_gep(syms[op[1]], syms[op[2]], op[3])
+        words = shard.words
+        i = 0
+        n = len(words)
+        while i < n:
+            tag = words[i]
+            if tag == OP_COPY:
+                self._add_copy(syms[words[i + 1]], syms[words[i + 2]])
+                i += 3
+            elif tag == OP_PTS:
+                self._add_pts(syms[words[i + 1]], syms[words[i + 2]])
+                i += 3
+            elif tag == OP_LOAD:
+                self._add_load(syms[words[i + 1]], syms[words[i + 2]])
+                i += 3
+            elif tag == OP_STORE:
+                self._add_store(syms[words[i + 1]], syms[words[i + 2]])
+                i += 3
+            elif tag == OP_GEP:
+                offset = words[i + 3]
+                self._add_gep(
+                    syms[words[i + 1]],
+                    syms[words[i + 2]],
+                    None if offset == GEP_NONE else offset,
+                )
+                i += 4
             else:  # OP_ICALL
-                args = [syms[a] if a >= 0 else None for a in op[3]]
-                dst = syms[op[4]] if op[4] >= 0 else None
-                self._add_icall(syms[op[1]], op[2], args, dst)
+                nargs = words[i + 3]
+                args = [
+                    syms[a] if a >= 0 else None
+                    for a in words[i + 4 : i + 4 + nargs]
+                ]
+                dst_sid = words[i + 4 + nargs]
+                dst = syms[dst_sid] if dst_sid >= 0 else None
+                self._add_icall(syms[words[i + 1]], words[i + 2], args, dst)
+                i += 5 + nargs
 
     def _ret_node(self, ns: str) -> PVar:
         return PVar(ns, "<ret>")
@@ -570,8 +615,24 @@ class _SolverBase:
                     break
         return wrappers
 
+    def _record_memory_stats(self) -> None:
+        """Fold this solver pass's memory profile into the stats:
+        process peak RSS here, representation bytes in the
+        :class:`DeltaSolver` override."""
+        try:
+            import resource
+            import sys
+
+            ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is KB on Linux, bytes on macOS.
+            scale = 1 if sys.platform == "darwin" else 1024
+            self.stats.peak_rss = max(self.stats.peak_rss, ru_maxrss * scale)
+        except Exception:  # pragma: no cover - resource always on POSIX
+            pass
+
     def result(self) -> PointerResult:
         with self.stats.phase("finalize"):
+            self._record_memory_stats()
             result = PointerResult()
             result.global_objects = dict(self.global_objects)
             result.function_objects = dict(self.function_objects)
@@ -790,12 +851,20 @@ class DeltaSolver(_SolverBase):
 
     Representation
         Every :class:`MemLoc` is interned to an integer bit index, so a
-        points-to set is a Python int used as a bitset and set algebra
-        (union, difference, subset) is machine-word arithmetic.  Every
-        graph node (PVar or MemLoc) is likewise interned to a dense
-        integer id; all solver-core state (bitsets, deltas, union-find
-        parents, edge tables) lives in lists indexed by node id, so the
-        hot loops never hash a dataclass.
+        points-to set is a bitset over those ids and set algebra
+        (union, difference, subset) is machine-word arithmetic.  With
+        ``storage="int"`` (the default) each set is a plain Python int;
+        ``storage="compressed"`` swaps in
+        :class:`repro.analysis.bitsets.Bitset` — roaring-style chunked
+        containers with the same operator surface, so the solver core
+        below is storage-polymorphic and both modes run the identical
+        code path (the int ``0`` is the shared empty-set sentinel, and
+        compressed iteration is ascending like int low-bit-first, so
+        every deterministic counter is bit-identical across storages).
+        Every graph node (PVar or MemLoc) is likewise interned to a
+        dense integer id; all solver-core state (bitsets, deltas,
+        union-find parents, edge tables) lives in lists indexed by node
+        id, so the hot loops never hash a dataclass.
 
     Difference propagation
         ``_bits[n]`` is the full set, ``_delta[n]`` the subset not yet
@@ -841,10 +910,17 @@ class DeltaSolver(_SolverBase):
         recursive: Optional[Set[str]] = None,
         schedule: str = "wave",
         lazy: bool = False,
+        storage: str = "int",
     ) -> None:
         if schedule not in ("wave", "fifo"):
             raise ValueError(f"unknown solver schedule: {schedule!r}")
+        if storage not in ("int", "compressed"):
+            raise ValueError(f"unknown solver storage: {storage!r}")
         self.schedule = schedule
+        #: points-to representation: dense Python ints or roaring-style
+        #: compressed Bitsets (resolved — never "auto" here).
+        self.storage = storage
+        self._compressed = storage == "compressed"
         #: wave-mode bookkeeping: the ord-keyed heap of reps scheduled
         #: in the wave currently being processed (None outside a wave),
         #: the set of reps it holds, and the ord of the rep being popped
@@ -921,6 +997,7 @@ class DeltaSolver(_SolverBase):
         self.dirty: Set[int] = set()
         super().__init__(module, wrappers, stats, jobs=jobs, recursive=recursive)
         self.stats.schedule = schedule
+        self.stats.storage = storage
 
     # -- interning -----------------------------------------------------
     def _nid(self, node: Node) -> int:
@@ -945,6 +1022,17 @@ class DeltaSolver(_SolverBase):
             self._next_ord += 1
         return nid
 
+    def _single(self, lid: int):
+        """The singleton set ``{lid}`` in this solver's storage."""
+        if self._compressed:
+            return Bitset.single(lid)
+        return 1 << lid
+
+    def _pack_lids(self, lids: Iterable[int]):
+        """A set holding ``lids`` in this solver's storage (the int
+        ``0`` when empty, in both modes)."""
+        return pack_lids(lids, self._compressed)
+
     def _lid(self, loc: MemLoc) -> int:
         lid = self._loc_ids.get(loc)
         if lid is None:
@@ -953,7 +1041,7 @@ class DeltaSolver(_SolverBase):
             self._locs.append(loc)
             self._loc_nids.append(-1)
             if loc.obj.is_function:
-                self._func_mask |= 1 << lid
+                self._func_mask |= self._single(lid)
         return lid
 
     def _loc_node(self, lid: int) -> int:
@@ -964,25 +1052,32 @@ class DeltaSolver(_SolverBase):
             self._loc_nids[lid] = nid
         return nid
 
-    def _iter_lids(self, bits: int) -> Iterator[int]:
-        while bits:
-            low = bits & -bits
-            yield low.bit_length() - 1
-            bits ^= low
+    def _iter_lids(self, bits) -> Iterator[int]:
+        if type(bits) is int:
+            while bits:
+                low = bits & -bits
+                yield low.bit_length() - 1
+                bits ^= low
+        else:
+            yield from bits.iter_lids()
 
-    def _iter_locs(self, bits: int) -> Iterator[MemLoc]:
+    def _iter_locs(self, bits) -> Iterator[MemLoc]:
         locs = self._locs
-        while bits:
-            low = bits & -bits
-            yield locs[low.bit_length() - 1]
-            bits ^= low
+        if type(bits) is int:
+            while bits:
+                low = bits & -bits
+                yield locs[low.bit_length() - 1]
+                bits ^= low
+        else:
+            for lid in bits.iter_lids():
+                yield locs[lid]
 
-    def _shift_bits(self, bits: int, offset: Optional[int]) -> int:
-        shifted = 0
+    def _shift_bits(self, bits, offset: Optional[int]):
+        lids: List[int] = []
         for loc in self._iter_locs(bits):
             for target in loc.shifted(offset):
-                shifted |= 1 << self._lid(target)
-        return shifted
+                lids.append(self._lid(target))
+        return self._pack_lids(lids)
 
     # -- union-find ----------------------------------------------------
     def _find(self, nid: int) -> int:
@@ -1019,7 +1114,7 @@ class DeltaSolver(_SolverBase):
 
     def _pts_ids(self, nid: int, lid: int) -> None:
         rep = self._find(nid)
-        bit = 1 << lid
+        bit = self._single(lid)
         if not self._bits[rep] & bit:
             self._bits[rep] |= bit
             self._delta[rep] |= bit
@@ -1029,19 +1124,19 @@ class DeltaSolver(_SolverBase):
     def _add_pts(self, node: Node, loc: MemLoc) -> None:
         self._pts_ids(self._nid(node), self._lid(loc))
 
-    def _offer(self, dst: int, bits: int) -> bool:
+    def _offer(self, dst: int, bits) -> bool:
         """Push ``bits`` into ``dst``'s set; True if anything was new."""
         if not bits:
             return False
         rep = self._find(dst)
-        self.stats.facts_propagated += _popcount(bits)
+        self.stats.facts_propagated += bitset_count(bits)
         cur = self._bits[rep]
         new = bits & ~cur
         if not new:
             return False
         self._bits[rep] = cur | new
         self._delta[rep] |= new
-        self.stats.facts_added += _popcount(new)
+        self.stats.facts_added += bitset_count(new)
         if rep in self.dirty:
             # Already scheduled.  In wave mode, if the recipient sits
             # later in the current wave's topological order, these bits
@@ -1203,11 +1298,16 @@ class DeltaSolver(_SolverBase):
 
     # -- shard replay --------------------------------------------------
     def _replay_shard(self, shard) -> None:
-        """Id-level shard replay: remap each shard-local symbol to a
-        dense node id once (the merge is a table remap), then drive the
-        id-level constraint store directly — the hot path never hashes
-        a dataclass more than once per distinct symbol."""
+        """Id-level shard replay straight off the flat word arena:
+        remap each shard-local symbol to a dense node id once (the
+        merge is a table remap), then drive the id-level constraint
+        store with index arithmetic over the ``int64`` buffer — the
+        hot path materializes no op tuples and never hashes a
+        dataclass more than once per distinct symbol."""
+        from repro.analysis.shardgen import GEP_NONE
+
         syms = shard.syms
+        words = shard.words
         node_ids: List[int] = [-1] * len(syms)
 
         def nid(local: int) -> int:
@@ -1216,22 +1316,40 @@ class DeltaSolver(_SolverBase):
                 mapped = node_ids[local] = self._nid(syms[local])
             return mapped
 
-        for op in shard.ops:
-            kind = op[0]
-            if kind == OP_COPY:
-                self._copy_ids(nid(op[1]), nid(op[2]))
-            elif kind == OP_PTS:
-                self._pts_ids(nid(op[1]), self._lid(syms[op[2]]))
-            elif kind == OP_LOAD:
-                self._load_ids(nid(op[1]), nid(op[2]))
-            elif kind == OP_STORE:
-                self._store_ids(nid(op[1]), nid(op[2]))
-            elif kind == OP_GEP:
-                self._gep_ids(nid(op[1]), nid(op[2]), op[3])
+        i = 0
+        n = len(words)
+        while i < n:
+            tag = words[i]
+            if tag == OP_COPY:
+                self._copy_ids(nid(words[i + 1]), nid(words[i + 2]))
+                i += 3
+            elif tag == OP_PTS:
+                self._pts_ids(nid(words[i + 1]), self._lid(syms[words[i + 2]]))
+                i += 3
+            elif tag == OP_LOAD:
+                self._load_ids(nid(words[i + 1]), nid(words[i + 2]))
+                i += 3
+            elif tag == OP_STORE:
+                self._store_ids(nid(words[i + 1]), nid(words[i + 2]))
+                i += 3
+            elif tag == OP_GEP:
+                offset = words[i + 3]
+                self._gep_ids(
+                    nid(words[i + 1]),
+                    nid(words[i + 2]),
+                    None if offset == GEP_NONE else offset,
+                )
+                i += 4
             else:  # OP_ICALL
-                args = tuple(nid(a) if a >= 0 else -1 for a in op[3])
-                dst = nid(op[4]) if op[4] >= 0 else -1
-                self._icall_ids(nid(op[1]), op[2], args, dst)
+                nargs = words[i + 3]
+                args = tuple(
+                    nid(a) if a >= 0 else -1
+                    for a in words[i + 4 : i + 4 + nargs]
+                )
+                dst_sid = words[i + 4 + nargs]
+                dst = nid(dst_sid) if dst_sid >= 0 else -1
+                self._icall_ids(nid(words[i + 1]), words[i + 2], args, dst)
+                i += 5 + nargs
 
     # -- fixpoint ------------------------------------------------------
     def solve(self) -> None:
@@ -1849,6 +1967,28 @@ class DeltaSolver(_SolverBase):
         worklist.extend(deferred)
 
     # -- results -------------------------------------------------------
+    def _record_memory_stats(self) -> None:
+        """Points-to representation bytes of this solve, summed over
+        live union-find representatives: packed container bytes in
+        compressed mode, dense limb bytes (``ceil(bit_length/8)``) in
+        int mode — directly comparable, which is what the
+        ``bytes_pts`` regression gate compares.  ``bytes_pts`` keeps
+        the max across the base and heap-cloning-refined passes;
+        ``container_mix`` reflects the latest pass."""
+        super()._record_memory_stats()
+        parent = self._parent
+        total = 0
+        mix: Dict[str, int] = {}
+        for nid, bits in enumerate(self._bits):
+            if parent[nid] != nid or not bits:
+                continue
+            size, bits_mix = bitset_packed_size(bits)
+            total += size
+            for kind, count in bits_mix.items():
+                mix[kind] = mix.get(kind, 0) + count
+        self.stats.bytes_pts = max(self.stats.bytes_pts, total)
+        self.stats.container_mix = mix
+
     def _node_pts(self, node: Node) -> Set[MemLoc]:
         nid = self._node_ids.get(node)
         if nid is None:

@@ -1,0 +1,683 @@
+"""Compressed points-to storage: roaring-style bitsets and int64 arenas.
+
+The :class:`~repro.analysis.andersen.DeltaSolver` keeps every points-to
+set as a bitset over interned location ids.  The seed representation is
+a plain Python ``int``: set algebra is machine-word arithmetic, but the
+*storage* is dense — a set containing only bit 1,000,000 costs 125 KB,
+and every union reallocates the whole limb array.  At 100×-scale
+modules the bitset bytes, not the algorithmics, become the bottleneck.
+
+:class:`Bitset` is the compressed alternative, modeled on roaring
+bitmaps (Chambi et al.; the layout DFI-style value-flow systems use for
+their points-to archives): the id space is split into 2^16-bit
+*chunks*, and only non-empty chunks are stored.  While solving, each
+chunk is a plain int (fast machine-word algebra within the chunk);
+:meth:`Bitset.pack` serializes each chunk as the smallest of three
+container kinds for archival and the ``bytes_pts`` statistic:
+
+- ``array``  — sorted ``uint16`` members (2 bytes each; wins below
+  4096 members per chunk),
+- ``bitmap`` — the raw 8 KB chunk (wins for dense chunks),
+- ``run``    — ``(start, length)`` ``uint16`` pairs (wins for long
+  consecutive runs, e.g. freshly-interned contiguous id ranges).
+
+The class exposes exactly the algebra surface the solver uses, with
+the *same operator spelling* as the int representation so the solver
+core keeps one code path for both storages:
+
+- ``a | b`` — union (``0 | b`` and ``a | 0`` work: the int ``0`` stays
+  the empty-set sentinel in both modes; an empty result is returned
+  *as* ``0``, never as an empty :class:`Bitset`),
+- ``a & b`` — intersection (``a & 0 == 0``, ``a & -1 == a``:  ``-1``
+  is the int representation's universal set and appears via ``x & ~0``),
+- ``a & ~b`` — difference (``~b`` evaluates to a lazy :class:`_Inverted`
+  wrapper, so no complement is ever materialized),
+- ``a == b``, ``bool(a)``, :meth:`Bitset.count`,
+  :meth:`Bitset.iter_lids` (ascending, matching the int
+  representation's low-bit-first order exactly — so worklist order,
+  and therefore every deterministic solver counter, is bit-identical
+  across storages).
+
+Bitsets are **immutable**: every operator returns either an operand
+(safe to share) or a fresh object, so solver state can never alias by
+accident.
+
+The storage choice is one knob resolved like every other analysis knob
+(explicit ``storage=`` > session default > ``REPRO_STORAGE`` > built-in
+``"int"``); ``"auto"`` selects compressed above
+:data:`COMPRESSED_MIN_OPS` module instructions.  Results are
+bit-identical either way — enforced by
+``tests/property/test_storage_differential.py``.
+
+:class:`Int64Arena` is the companion flat-storage primitive: an
+append-only ``int64`` array with ``multiprocessing.shared_memory``
+export/attach, backing the struct-of-arrays VFG edge columns
+(:mod:`repro.vfg.graph`) and the streaming constraint tapes
+(:class:`repro.service.pool.FlatTape`), so worker processes attach
+zero-copy instead of unpickling op lists.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Bitset",
+    "Int64Arena",
+    "COMPRESSED_MIN_OPS",
+    "STORAGE_ENV",
+    "STORAGES",
+    "InvalidStorageError",
+    "bitset_count",
+    "bitset_iter_lids",
+    "bitset_packed_size",
+    "default_storage",
+    "pack_lids",
+    "parse_storage",
+    "resolve_storage",
+]
+
+#: Bits per chunk (roaring's 2^16 split: chunk index = lid >> 16).
+CHUNK_SHIFT = 16
+CHUNK_BITS = 1 << CHUNK_SHIFT
+#: Full-chunk bitmap container size in bytes (the break-even ceiling).
+_BITMAP_BYTES = CHUNK_BITS // 8
+
+#: Container kind tags used by :meth:`Bitset.pack`.
+_KIND_ARRAY = 0
+_KIND_BITMAP = 1
+_KIND_RUN = 2
+_KIND_NAMES = ("array", "bitmap", "run")
+
+try:  # int.bit_count is 3.10+; the fallback keeps 3.9 working.
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover
+
+    def _popcount(bits: int) -> int:
+        return bin(bits).count("1")
+
+
+# ----------------------------------------------------------------------
+# Storage knob (mirrors repro.analysis.tiers)
+# ----------------------------------------------------------------------
+#: The recognized points-to storage modes.
+STORAGES = ("int", "compressed", "auto")
+
+#: Environment variable consulted when no explicit ``storage=`` is
+#: given (the CI lane runs the tier-1 suite under
+#: ``REPRO_STORAGE=compressed``).
+STORAGE_ENV = "REPRO_STORAGE"
+
+#: Module size (instruction count) above which ``"auto"`` selects the
+#: compressed representation.  Below it, dense int bitsets are both
+#: smaller in absolute terms and faster per operation; above it the
+#: per-rep int limb arrays start to dominate resident memory.
+COMPRESSED_MIN_OPS = 50_000
+
+_default_storage: Optional[str] = None
+
+
+class InvalidStorageError(ValueError):
+    """A storage name outside :data:`STORAGES`."""
+
+
+def parse_storage(raw: str, origin: str = "--storage") -> str:
+    """Validate a user-supplied storage name (CLI flag or env var)."""
+    text = (raw or "").strip().lower() if isinstance(raw, str) else raw
+    if text not in STORAGES:
+        known = ", ".join(STORAGES)
+        raise InvalidStorageError(
+            f"{origin} must be one of {known}; got {raw!r}"
+        )
+    return text
+
+
+def resolve_storage(
+    storage: Optional[str] = None, *, ops: Optional[int] = None
+) -> str:
+    """The effective points-to storage for one analysis: ``"int"`` or
+    ``"compressed"`` (``"auto"`` is resolved here against ``ops``, the
+    module instruction count).
+
+    Resolution order matches every other knob: explicit argument >
+    session default (:func:`default_storage`) > ``REPRO_STORAGE`` >
+    built-in ``"int"``.  A *malformed* environment value raises
+    :class:`InvalidStorageError` rather than silently defaulting.
+    """
+    if storage is not None:
+        resolved = parse_storage(storage, origin="storage")
+    elif _default_storage is not None:
+        resolved = _default_storage
+    else:
+        raw = os.environ.get(STORAGE_ENV)
+        resolved = "int" if raw is None else parse_storage(raw, origin=STORAGE_ENV)
+    if resolved == "auto":
+        if ops is not None and ops >= COMPRESSED_MIN_OPS:
+            return "compressed"
+        return "int"
+    return resolved
+
+
+@contextmanager
+def default_storage(storage: Optional[str]) -> Iterator[None]:
+    """Install ``storage`` as the session default for the enclosed
+    block (``None`` is a no-op; nesting restores the previous default).
+    """
+    global _default_storage
+    if storage is None:
+        yield
+        return
+    previous = _default_storage
+    _default_storage = parse_storage(storage, origin="storage")
+    try:
+        yield
+    finally:
+        _default_storage = previous
+
+
+# ----------------------------------------------------------------------
+# The compressed bitset
+# ----------------------------------------------------------------------
+class _Inverted:
+    """Lazy complement: ``~b`` in ``a & ~b``.
+
+    Never materialized — the only legal use is as the right operand of
+    ``&``, where it turns the intersection into a set difference.
+    """
+
+    __slots__ = ("bitset",)
+
+    def __init__(self, bitset: "Bitset") -> None:
+        self.bitset = bitset
+
+    def __rand__(self, other):
+        if other == 0:
+            return 0
+        if isinstance(other, int):
+            raise TypeError(
+                "cannot intersect a plain int with an inverted Bitset "
+                "(mixed storage modes in one solver state)"
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"~{self.bitset!r}"
+
+
+class Bitset:
+    """An immutable compressed bitset over non-negative ids.
+
+    Internally ``{chunk_index: chunk_bits}`` where ``chunk_bits`` is a
+    plain int over ``[0, 2^16)`` — machine-word algebra within chunks,
+    sparse storage across them.  Invariants: no zero chunks, and never
+    empty overall (the empty set is represented by the int ``0``
+    everywhere, so the solver's ``if not bits:`` checks keep working
+    unchanged).
+    """
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self, chunks: Dict[int, int]) -> None:
+        self._chunks = chunks
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def single(cls, lid: int) -> "Bitset":
+        """The singleton ``{lid}`` (the compressed ``1 << lid``)."""
+        return cls({lid >> CHUNK_SHIFT: 1 << (lid & (CHUNK_BITS - 1))})
+
+    @classmethod
+    def from_lids(cls, lids: Iterable[int]):
+        """A bitset holding ``lids`` — or the int ``0`` when empty."""
+        chunks: Dict[int, int] = {}
+        for lid in lids:
+            key = lid >> CHUNK_SHIFT
+            chunks[key] = chunks.get(key, 0) | (1 << (lid & (CHUNK_BITS - 1)))
+        return cls(chunks) if chunks else 0
+
+    @classmethod
+    def from_int(cls, bits: int):
+        """Convert an int bitset; the empty set stays the int ``0``."""
+        if bits < 0:
+            raise ValueError("cannot build a Bitset from a negative int")
+        chunks: Dict[int, int] = {}
+        key = 0
+        mask = CHUNK_BITS - 1
+        while bits:
+            chunk = bits & ((1 << CHUNK_BITS) - 1)
+            if chunk:
+                chunks[key] = chunk
+            bits >>= CHUNK_BITS
+            key += 1
+        del mask
+        return cls(chunks) if chunks else 0
+
+    def to_int(self) -> int:
+        """The equivalent dense int bitset (tests / interop only)."""
+        bits = 0
+        for key, chunk in self._chunks.items():
+            bits |= chunk << (key << CHUNK_SHIFT)
+        return bits
+
+    # -- algebra --------------------------------------------------------
+    def __or__(self, other):
+        if isinstance(other, Bitset):
+            if not other._chunks:
+                return self
+            merged = dict(self._chunks)
+            for key, chunk in other._chunks.items():
+                mine = merged.get(key)
+                if mine is None:
+                    merged[key] = chunk
+                elif mine | chunk != mine:
+                    merged[key] = mine | chunk
+            return Bitset(merged)
+        if other == 0:
+            return self
+        if isinstance(other, int) and other > 0:
+            return self | Bitset.from_int(other)
+        return NotImplemented
+
+    __ror__ = __or__
+
+    def __and__(self, other):
+        if isinstance(other, Bitset):
+            small, large = self._chunks, other._chunks
+            if len(large) < len(small):
+                small, large = large, small
+            out: Dict[int, int] = {}
+            for key, chunk in small.items():
+                both = chunk & large.get(key, 0)
+                if both:
+                    out[key] = both
+            return Bitset(out) if out else 0
+        if isinstance(other, _Inverted):
+            drop = other.bitset._chunks
+            out = {}
+            for key, chunk in self._chunks.items():
+                kept = chunk & ~drop.get(key, 0)
+                if kept:
+                    out[key] = kept
+            return Bitset(out) if out else 0
+        if other == 0:
+            return 0
+        if other == -1:
+            return self
+        if isinstance(other, int) and other > 0:
+            return self & Bitset.from_int(other)
+        return NotImplemented
+
+    def __rand__(self, other):
+        if other == 0:
+            return 0
+        if other == -1:
+            return self
+        if isinstance(other, int) and other > 0:
+            return self & Bitset.from_int(other)
+        return NotImplemented
+
+    def __invert__(self) -> _Inverted:
+        return _Inverted(self)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Bitset):
+            return self._chunks == other._chunks
+        if isinstance(other, int):
+            # Never empty, so equal to an int only if that int holds
+            # exactly the same bits.
+            return other > 0 and self.to_int() == other
+        return NotImplemented
+
+    __hash__ = None  # mutable-adjacent value object; never a dict key
+
+    def __bool__(self) -> bool:
+        return bool(self._chunks)
+
+    def count(self) -> int:
+        return sum(_popcount(chunk) for chunk in self._chunks.values())
+
+    def iter_lids(self) -> Iterator[int]:
+        """Members in ascending order — exactly the int representation's
+        low-bit-first iteration, which keeps worklist order (and hence
+        every deterministic solver counter) identical across storages."""
+        for key in sorted(self._chunks):
+            base = key << CHUNK_SHIFT
+            chunk = self._chunks[key]
+            while chunk:
+                low = chunk & -chunk
+                yield base + low.bit_length() - 1
+                chunk ^= low
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bitset({self.count()} bits, {len(self._chunks)} chunks)"
+
+    # -- containers -----------------------------------------------------
+    def container_plan(self) -> List[Tuple[int, int, int]]:
+        """Per chunk (ascending): ``(chunk_index, kind, payload_bytes)``
+        for the smallest container that can hold it.
+
+        ``array`` costs 2 bytes per member, ``bitmap`` a flat 8 KB,
+        ``run`` 4 bytes per maximal run of consecutive members (run
+        starts are the bits of ``chunk & ~(chunk << 1)``).
+        """
+        plan: List[Tuple[int, int, int]] = []
+        for key in sorted(self._chunks):
+            chunk = self._chunks[key]
+            members = _popcount(chunk)
+            runs = _popcount(chunk & ~(chunk << 1))
+            costs = (
+                (2 * members, _KIND_ARRAY),
+                (_BITMAP_BYTES, _KIND_BITMAP),
+                (4 * runs, _KIND_RUN),
+            )
+            size, kind = min(costs)
+            plan.append((key, kind, size))
+        return plan
+
+    def packed_size(self) -> Tuple[int, Dict[str, int]]:
+        """Total packed bytes (including the 8-byte per-chunk header)
+        and a container-kind histogram — the ``bytes_pts`` /
+        ``container_mix`` inputs."""
+        total = 0
+        mix: Dict[str, int] = {}
+        for _key, kind, size in self.container_plan():
+            total += 8 + size  # u16 chunk index, u8 kind, u8 pad, u32 count
+            name = _KIND_NAMES[kind]
+            mix[name] = mix.get(name, 0) + 1
+        return total, mix
+
+    def pack(self) -> bytes:
+        """Serialize as roaring-style containers.
+
+        Layout per chunk, in ascending chunk order: ``u16 chunk_index,
+        u8 kind, u8 pad, u32 count``, then the payload (``array``:
+        ``count`` sorted u16 members; ``bitmap``: 8 KB raw;  ``run``:
+        ``count`` (start, length-1) u16 pairs).  Round-trips exactly
+        through :meth:`unpack`.
+        """
+        out = bytearray()
+        for key, kind, _size in self.container_plan():
+            chunk = self._chunks[key]
+            if kind == _KIND_ARRAY:
+                payload = array("H", _chunk_members(chunk))
+            elif kind == _KIND_BITMAP:
+                payload = array(
+                    "B", chunk.to_bytes(_BITMAP_BYTES, "little")
+                )
+            else:  # _KIND_RUN
+                pairs: List[int] = []
+                for start, length in _chunk_runs(chunk):
+                    pairs.append(start)
+                    pairs.append(length - 1)
+                payload = array("H", pairs)
+            count = (
+                len(payload) // 2 if kind == _KIND_RUN else len(payload)
+            )
+            out += key.to_bytes(2, "little")
+            out += bytes((kind, 0))
+            out += count.to_bytes(4, "little")
+            out += payload.tobytes()
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, data: bytes):
+        """Inverse of :meth:`pack`; returns ``0`` for empty input."""
+        chunks: Dict[int, int] = {}
+        view = memoryview(data)
+        offset = 0
+        while offset < len(view):
+            if offset + 8 > len(view):
+                raise ValueError("truncated Bitset container header")
+            key = int.from_bytes(view[offset : offset + 2], "little")
+            kind = view[offset + 2]
+            count = int.from_bytes(view[offset + 4 : offset + 8], "little")
+            offset += 8
+            if kind == _KIND_ARRAY:
+                end = offset + 2 * count
+                if end > len(view):
+                    raise ValueError("truncated array container")
+                members = array("H")
+                members.frombytes(bytes(view[offset:end]))
+                chunk = 0
+                for member in members:
+                    chunk |= 1 << member
+                offset = end
+            elif kind == _KIND_BITMAP:
+                end = offset + _BITMAP_BYTES
+                if end > len(view):
+                    raise ValueError("truncated bitmap container")
+                chunk = int.from_bytes(view[offset:end], "little")
+                offset = end
+            elif kind == _KIND_RUN:
+                end = offset + 4 * count
+                if end > len(view):
+                    raise ValueError("truncated run container")
+                pairs = array("H")
+                pairs.frombytes(bytes(view[offset:end]))
+                chunk = 0
+                for index in range(0, len(pairs), 2):
+                    start, length = pairs[index], pairs[index + 1] + 1
+                    chunk |= ((1 << length) - 1) << start
+                offset = end
+            else:
+                raise ValueError(f"unknown container kind {kind}")
+            if chunk:
+                chunks[key] = chunk
+        return cls(chunks) if chunks else 0
+
+
+def _chunk_members(chunk: int) -> Iterator[int]:
+    while chunk:
+        low = chunk & -chunk
+        yield low.bit_length() - 1
+        chunk ^= low
+
+
+def _chunk_runs(chunk: int) -> Iterator[Tuple[int, int]]:
+    """Maximal runs of consecutive set bits as ``(start, length)``."""
+    starts = chunk & ~(chunk << 1)
+    ends = chunk & ~(chunk >> 1)
+    while starts:
+        low_s = starts & -starts
+        low_e = ends & -ends
+        start = low_s.bit_length() - 1
+        end = low_e.bit_length() - 1
+        yield start, end - start + 1
+        starts ^= low_s
+        ends ^= low_e
+
+
+# ----------------------------------------------------------------------
+# Storage-polymorphic helpers (int bitset OR Bitset)
+# ----------------------------------------------------------------------
+def bitset_count(bits) -> int:
+    """Cardinality of either representation."""
+    return _popcount(bits) if type(bits) is int else bits.count()
+
+
+def bitset_iter_lids(bits) -> Iterator[int]:
+    """Ascending member ids of either representation."""
+    if type(bits) is int:
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+    else:
+        yield from bits.iter_lids()
+
+
+def pack_lids(lids: Iterable[int], compressed: bool):
+    """Build a set from ``lids`` in the requested storage (``0`` when
+    empty, in both modes)."""
+    if compressed:
+        return Bitset.from_lids(lids)
+    bits = 0
+    for lid in lids:
+        bits |= 1 << lid
+    return bits
+
+
+def bitset_packed_size(bits) -> Tuple[int, Dict[str, int]]:
+    """Representation bytes of either storage, for ``bytes_pts``.
+
+    For the compressed storage this is the packed container size; for
+    the int storage it is the dense limb footprint
+    (``ceil(bit_length / 8)``) — exactly the asymmetry the compressed
+    representation exists to fix, so the two are directly comparable.
+    """
+    if type(bits) is int:
+        if not bits:
+            return 0, {}
+        return (bits.bit_length() + 7) // 8, {"int": 1}
+    return bits.packed_size()
+
+
+# ----------------------------------------------------------------------
+# Flat int64 arenas
+# ----------------------------------------------------------------------
+class Int64Arena:
+    """An append-only flat ``int64`` array with zero-copy shared-memory
+    attach.
+
+    The struct-of-arrays storage primitive: constraint tapes
+    (:class:`repro.service.pool.FlatTape`) and the VFG edge columns
+    (:mod:`repro.vfg.graph`) are arenas, so a worker process can
+    publish one and the parent can attach the raw buffer without
+    pickling a single Python object.
+
+    Attach protocol: :meth:`to_shared_memory` publishes and returns
+    ``(name, length)``; :meth:`attach` maps the segment zero-copy (the
+    arena's words then *are* the shared buffer); :meth:`pin` copies an
+    attached arena into process-local memory with a single ``memcpy``
+    and closes + unlinks the segment — the receiving side's one copy.
+    """
+
+    __slots__ = ("words", "_shm")
+
+    def __init__(self, words=None) -> None:
+        if words is None:
+            self.words = array("q")
+        elif isinstance(words, array) and words.typecode == "q":
+            self.words = words
+        else:
+            self.words = array("q", words)
+        self._shm = None
+
+    # -- growth ---------------------------------------------------------
+    def append(self, word: int) -> None:
+        self.words.append(word)
+
+    def extend(self, words: Iterable[int]) -> None:
+        self.words.extend(words)
+
+    # -- container protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def __getitem__(self, index):
+        return self.words[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.words)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Int64Arena):
+            return self.words == other.words
+        return NotImplemented
+
+    __hash__ = None
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.words) * self.words.itemsize
+
+    # -- shared memory --------------------------------------------------
+    def to_shared_memory(self) -> Tuple[str, int]:
+        """Publish into a fresh segment; returns ``(name, length)``.
+
+        The segment is unregistered from this process's resource
+        tracker: ownership transfers to whoever attaches (see
+        :meth:`pin`) or scavenges it
+        (:func:`repro.service.pool.discard_ops_payload`).
+        """
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, self.nbytes)
+        )
+        shm.buf[: self.nbytes] = self.words.tobytes()
+        name = shm.name
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        shm.close()
+        return name, len(self.words)
+
+    @classmethod
+    def attach(cls, name: str, length: int) -> "Int64Arena":
+        """Map an existing segment zero-copy.
+
+        The returned arena's words alias the shared buffer; call
+        :meth:`pin` to localize (and release the segment), or
+        :meth:`close` to detach without consuming it.
+        """
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        itemsize = array("q").itemsize
+        arena = cls.__new__(cls)
+        arena.words = memoryview(shm.buf)[: length * itemsize].cast("q")
+        arena._shm = shm
+        return arena
+
+    def pin(self) -> "Int64Arena":
+        """Localize an attached arena: one bulk copy out of the shared
+        buffer, then close and unlink the segment.  Returns ``self``
+        (now backed by process-local memory).  A no-op for arenas that
+        were never attached."""
+        if self._shm is None:
+            return self
+        from multiprocessing import resource_tracker
+
+        local = array("q", self.words)
+        view = self.words
+        self.words = local
+        view.release()
+        self._shm.close()
+        # unlink() sends its own unregister to the resource tracker;
+        # re-register first so the two balance (attach() neutralized
+        # the attach-time registration already).
+        try:
+            resource_tracker.register(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        self._shm = None
+        return self
+
+    def close(self) -> None:
+        """Detach without unlinking (the segment stays published)."""
+        if self._shm is not None:
+            view = self.words
+            self.words = array("q", view)
+            view.release()
+            self._shm.close()
+            self._shm = None
+
+    def __del__(self):  # pragma: no cover - GC ordering dependent
+        try:
+            if self._shm is not None:
+                self.close()
+        except Exception:
+            pass

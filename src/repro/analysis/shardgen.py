@@ -12,46 +12,158 @@ solver's constraint store — so with ``jobs > 1`` it is sharded:
    generator (``_SolverBase._gen_function``, including nested wrapper
    clone instantiation) with the constraint hooks swapped for recorders
    — and returns a :class:`ShardResult`: a per-shard symbol table (its
-   own interning, local ids) plus a flat op tape over those ids.
-3. The parent replays the tapes **in shard order** through the solver's
-   id-level constraint hooks, remapping each shard-local symbol to a
-   dense solver id once (``DeltaSolver._replay_shard``).  Because the
-   chunks are contiguous and each tape is in generation order, the
-   replayed constraint stream is exactly the serial generator's stream,
-   so the post-merge solver state — and therefore every downstream
-   result — is bit-identical to ``jobs=1``.
+   own interning, local ids) plus a flat ``int64`` word arena over
+   those ids.  Generation *streams* into the arena: each hook appends
+   its op's words directly, so no per-function tuple lists are ever
+   materialized — the tape's peak memory is its final size, and the
+   same buffer ships verbatim through ``multiprocessing.shared_memory``
+   (:class:`repro.service.pool.FlatTape`) without an encode step.
+3. The parent replays the word streams **in shard order** through the
+   solver's id-level constraint hooks, remapping each shard-local
+   symbol to a dense solver id once (``DeltaSolver._replay_shard``).
+   Because the chunks are contiguous and each arena is in generation
+   order, the replayed constraint stream is exactly the serial
+   generator's stream, so the post-merge solver state — and therefore
+   every downstream result — is bit-identical to ``jobs=1``.
 
 Workers inherit the module / wrappers / recursive-set snapshot through
 ``fork`` copy-on-write (nothing is pickled on the way in); only the
-compact :class:`ShardResult` tuples are pickled on the way back, which
+compact :class:`ShardResult` arenas are pickled on the way back, which
 is what keeps the shard round-trip cheaper than the generation it
 replaces.  When ``fork`` is unavailable (or a pool cannot be created),
 :func:`generate_shards` returns ``None`` and the caller falls back to
 the serial loop.
+
+Word encoding (one op = one run of ``int64`` words, tags from
+:mod:`repro.analysis.andersen`):
+
+- ``PTS/COPY/LOAD/STORE`` → ``[tag, a, b]``
+- ``GEP`` → ``[tag, base, dst, offset]`` (``None`` offset encoded as
+  :data:`GEP_NONE`)
+- ``ICALL`` → ``[tag, callee, call_uid, nargs, arg..., dst]`` (``-1``
+  encodes a missing arg / dst)
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.memobjects import MemLoc, MemObject
 from repro.analysis.parallel import chunk_evenly, fork_available, fork_pool
 from repro.analysis.solverstats import SolverStats
 from repro.ir.module import Module
 
+#: ``None`` GEP-offset sentinel — far outside any field index.
+GEP_NONE = -(2**62)
+
+
+def encode_ops(ops: Sequence[tuple]) -> "array":
+    """Encode symbol-id op tuples as a flat ``int64`` word arena
+    (the inverse of :func:`decode_words`)."""
+    from repro.analysis.andersen import OP_GEP, OP_ICALL
+
+    words = array("q")
+    append = words.append
+    for op in ops:
+        tag = op[0]
+        if tag == OP_ICALL:
+            args = op[3]
+            append(tag)
+            append(op[1])
+            append(op[2])
+            append(len(args))
+            words.extend(args)
+            append(op[4])
+        elif tag == OP_GEP:
+            append(tag)
+            append(op[1])
+            append(op[2])
+            append(GEP_NONE if op[3] is None else op[3])
+        else:
+            append(tag)
+            append(op[1])
+            append(op[2])
+    return words
+
+
+def iter_ops(words: Sequence[int]) -> Iterator[tuple]:
+    """Decode a word arena op by op (no list materialized).
+
+    Raises :class:`ValueError` on a truncated buffer — an op whose
+    encoding runs past the end of ``words`` — or an unknown tag, so a
+    corrupt shared-memory transfer fails loudly instead of replaying a
+    prefix.
+    """
+    from repro.analysis.andersen import (
+        OP_COPY,
+        OP_GEP,
+        OP_ICALL,
+        OP_LOAD,
+        OP_PTS,
+        OP_STORE,
+    )
+
+    i = 0
+    n = len(words)
+    while i < n:
+        tag = words[i]
+        if tag == OP_ICALL:
+            if i + 4 > n:
+                raise ValueError("truncated op tape: ICALL header")
+            nargs = words[i + 3]
+            end = i + 5 + nargs
+            if nargs < 0 or end > n:
+                raise ValueError("truncated op tape: ICALL args")
+            args = tuple(words[i + 4 : i + 4 + nargs])
+            yield (tag, words[i + 1], words[i + 2], args, words[end - 1])
+            i = end
+        elif tag == OP_GEP:
+            if i + 4 > n:
+                raise ValueError("truncated op tape: GEP")
+            offset = words[i + 3]
+            yield (
+                tag,
+                words[i + 1],
+                words[i + 2],
+                None if offset == GEP_NONE else offset,
+            )
+            i += 4
+        elif tag in (OP_PTS, OP_COPY, OP_LOAD, OP_STORE):
+            if i + 3 > n:
+                raise ValueError("truncated op tape: binary op")
+            yield (tag, words[i + 1], words[i + 2])
+            i += 3
+        else:
+            raise ValueError(f"unknown op tag {tag} in tape")
+
+
+def decode_words(words: Sequence[int]) -> List[tuple]:
+    """The word arena as a list of op tuples (tests / comparisons)."""
+    return list(iter_ops(words))
+
 
 @dataclass
 class ShardResult:
-    """One worker's contribution: a symbol table, an op tape over it,
-    and the generation side-tables the parent must merge."""
+    """One worker's contribution: a symbol table, a flat word arena
+    over it, and the generation side-tables the parent must merge."""
 
     #: shard-local id -> symbol (PVar or MemLoc, in first-use order)
     syms: List[object] = field(default_factory=list)
-    #: flat op tape; first element is an ``OP_*`` tag from
-    #: :mod:`repro.analysis.andersen`, the rest are shard-local symbol
-    #: ids (``-1`` encodes ``None``) plus per-op immediates
-    ops: List[tuple] = field(default_factory=list)
+    #: the op tape as a flat ``int64`` word arena (see the module
+    #: docstring for the encoding); appended to directly during
+    #: generation and shipped verbatim over shared memory
+    words: "array" = field(default_factory=lambda: array("q"))
     #: call uid -> direct-call targets seen during generation
     call_targets: Dict[int, Set[str]] = field(default_factory=dict)
     #: clone namespace -> base function name
@@ -60,6 +172,13 @@ class ShardResult:
     instantiated: Set[Tuple[str, int]] = field(default_factory=set)
     #: alloc uid -> objects, in generation order
     alloc_objects: Dict[int, List[MemObject]] = field(default_factory=dict)
+
+    @property
+    def ops(self) -> List[tuple]:
+        """The tape decoded to op tuples — a compatibility view for
+        non-hot consumers (normalized-tape comparison, the reference
+        solver's object-level replay); the solvers walk ``words``."""
+        return decode_words(self.words)
 
 
 def _collector_class():
@@ -73,8 +192,9 @@ def _collector_class():
         Runs ``_gen_function`` (and everything it pulls in — wrapper
         clone instantiation, direct-call binding) for one contiguous
         chunk of functions, interning symbols shard-locally and
-        appending one tape entry per emitted constraint.  It never
-        solves; its only products are the tape and the side-tables.
+        streaming each emitted constraint's words straight into the
+        shard arena.  It never solves; its only products are the arena
+        and the side-tables.
         """
 
         kind = "shard"
@@ -88,6 +208,7 @@ def _collector_class():
         ) -> None:
             self._names = names
             self.result_shard = ShardResult()
+            self._words = self.result_shard.words
             self._sids: Dict[object, int] = {}
             super().__init__(
                 module,
@@ -121,39 +242,40 @@ def _collector_class():
                 self.result_shard.syms.append(sym)
             return sid
 
+        def _emit3(self, tag: int, a: int, b: int) -> None:
+            words = self._words
+            words.append(tag)
+            words.append(a)
+            words.append(b)
+
         def _add_pts(self, node, loc: MemLoc) -> None:
-            self.result_shard.ops.append(
-                (andersen.OP_PTS, self._sid(node), self._sid(loc))
-            )
+            self._emit3(andersen.OP_PTS, self._sid(node), self._sid(loc))
 
         def _add_copy(self, src, dst) -> None:
-            self.result_shard.ops.append(
-                (andersen.OP_COPY, self._sid(src), self._sid(dst))
-            )
+            self._emit3(andersen.OP_COPY, self._sid(src), self._sid(dst))
 
         def _add_load(self, ptr, dst) -> None:
-            self.result_shard.ops.append(
-                (andersen.OP_LOAD, self._sid(ptr), self._sid(dst))
-            )
+            self._emit3(andersen.OP_LOAD, self._sid(ptr), self._sid(dst))
 
         def _add_store(self, ptr, src) -> None:
-            self.result_shard.ops.append(
-                (andersen.OP_STORE, self._sid(ptr), self._sid(src))
-            )
+            self._emit3(andersen.OP_STORE, self._sid(ptr), self._sid(src))
 
         def _add_gep(self, base, dst, offset: Optional[int]) -> None:
-            self.result_shard.ops.append(
-                (andersen.OP_GEP, self._sid(base), self._sid(dst), offset)
-            )
+            words = self._words
+            words.append(andersen.OP_GEP)
+            words.append(self._sid(base))
+            words.append(self._sid(dst))
+            words.append(GEP_NONE if offset is None else offset)
 
         def _add_icall(self, callee_node, call_uid, arg_nodes, dst_node) -> None:
-            args = tuple(
-                -1 if a is None else self._sid(a) for a in arg_nodes
-            )
-            dst = -1 if dst_node is None else self._sid(dst_node)
-            self.result_shard.ops.append(
-                (andersen.OP_ICALL, self._sid(callee_node), call_uid, args, dst)
-            )
+            words = self._words
+            words.append(andersen.OP_ICALL)
+            words.append(self._sid(callee_node))
+            words.append(call_uid)
+            words.append(len(arg_nodes))
+            for a in arg_nodes:
+                words.append(-1 if a is None else self._sid(a))
+            words.append(-1 if dst_node is None else self._sid(dst_node))
 
     return _ShardCollector
 

@@ -43,6 +43,9 @@ class SolverStats:
             ``"fifo"`` (plain worklist pops).
         tier: Precision tier of the run — ``"full"``, ``"lazy"`` or
             ``"unified"`` (see :mod:`repro.analysis.tiers`).
+        storage: Points-to representation — ``"int"`` (dense Python-int
+            bitsets) or ``"compressed"`` (roaring-style chunked
+            containers; see :mod:`repro.analysis.bitsets`).
         solve_passes: Number of ``solve()`` fixpoints run (2 with heap
             cloning: the wrapper-detection pre-pass plus the re-run).
         pops: Worklist pops that did propagation work.
@@ -82,6 +85,17 @@ class SolverStats:
             the forced slice universe by demand queries (lazy tier
             only; a full ``force_all`` sets it to the node count).
         peak_worklist: High-water mark of the worklist.
+        bytes_pts: Bytes of the points-to representation at finalize,
+            summed over live union-find representatives — packed
+            container bytes in compressed storage, dense limb bytes in
+            int storage (max across solve passes).  The memory figure
+            the ``tools/diff_solver_stats.py`` gate regresses on.
+        peak_rss: Process peak resident set size in bytes
+            (``ru_maxrss``) observed at finalize.
+        container_mix: Histogram of packed container kinds across all
+            live points-to sets — ``{"array": n, "bitmap": n,
+            "run": n}`` for compressed storage, ``{"int": n}`` for int
+            storage.
         phase_seconds: Wall time per phase (``constraints``, ``unify``,
             ``solve``, ``wrappers``, ``finalize``), accumulated across
             passes.
@@ -90,6 +104,7 @@ class SolverStats:
     solver: str = "delta"
     schedule: str = "fifo"
     tier: str = "full"
+    storage: str = "int"
     solve_passes: int = 0
     pops: int = 0
     waves: int = 0
@@ -109,6 +124,9 @@ class SolverStats:
     pk_reorders: int = 0
     lazy_forced_nodes: int = 0
     peak_worklist: int = 0
+    bytes_pts: int = 0
+    peak_rss: int = 0
+    container_mix: Dict[str, int] = field(default_factory=dict)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @contextmanager
@@ -136,6 +154,7 @@ class SolverStats:
             "solver": self.solver,
             "schedule": self.schedule,
             "tier": self.tier,
+            "storage": self.storage,
             "solve_passes": self.solve_passes,
             "pops": self.pops,
             "waves": self.waves,
@@ -155,6 +174,9 @@ class SolverStats:
             "pk_reorders": self.pk_reorders,
             "lazy_forced_nodes": self.lazy_forced_nodes,
             "peak_worklist": self.peak_worklist,
+            "bytes_pts": self.bytes_pts,
+            "peak_rss": self.peak_rss,
+            "container_mix": dict(sorted(self.container_mix.items())),
             "phase_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in sorted(self.phase_seconds.items())
@@ -187,6 +209,12 @@ class SolverStats:
             self.lazy_forced_nodes, other.lazy_forced_nodes
         )
         self.peak_worklist = max(self.peak_worklist, other.peak_worklist)
+        self.bytes_pts = max(self.bytes_pts, other.bytes_pts)
+        self.peak_rss = max(self.peak_rss, other.peak_rss)
+        for kind, count in other.container_mix.items():
+            self.container_mix[kind] = (
+                self.container_mix.get(kind, 0) + count
+            )
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = (
                 self.phase_seconds.get(name, 0.0) + seconds
@@ -196,7 +224,8 @@ class SolverStats:
         """Multi-line human-readable profile (CLI / harness report)."""
         lines = [
             f"solver profile ({self.solver}, {self.schedule} schedule, "
-            f"{self.tier} tier, {self.solve_passes} solve pass(es)):",
+            f"{self.tier} tier, {self.storage} storage, "
+            f"{self.solve_passes} solve pass(es)):",
             f"  pops              {self.pops:>10d}",
         ]
         if self.waves:
@@ -247,6 +276,22 @@ class SolverStats:
                     f"  {name + ' time':<18s}{self.phase_seconds[name]:>9.4f}s"
                 )
         lines.append(f"  total time        {self.total_seconds:>9.4f}s")
+        return "\n".join(lines)
+
+    def format_memory_summary(self) -> str:
+        """Human-readable memory profile (``repro check --mem-stats``)."""
+        mix = ", ".join(
+            f"{count} {kind}"
+            for kind, count in sorted(self.container_mix.items())
+        )
+        lines = [
+            f"memory profile ({self.storage} storage):",
+            f"  points-to bytes   {self.bytes_pts:>12,d}",
+            f"  peak RSS          {self.peak_rss:>12,d}"
+            f"  ({self.peak_rss / (1024 * 1024):.1f} MiB)",
+        ]
+        if mix:
+            lines.append(f"  containers        {mix}")
         return "\n".join(lines)
 
 

@@ -53,7 +53,13 @@ from repro.analysis.memobjects import PVar
 def presolve_unify(solver) -> None:
     """Pre-collapse ``solver``'s copy graph (a freshly constructed
     :class:`~repro.analysis.andersen.DeltaSolver`: constraints
-    generated, fixpoint not yet run)."""
+    generated, fixpoint not yet run).
+
+    Storage-polymorphic by construction: the only points-to reads here
+    are truthiness tests (``bits[d] or has_loc[d]``), and both the int
+    and compressed representations share the int ``0`` empty sentinel,
+    so the pass never needs to know which storage the solver runs.
+    """
     with solver.stats.phase("unify"):
         solver._offline_collapse()
         protected = _protected_reps(solver)

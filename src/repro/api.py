@@ -316,6 +316,7 @@ def analyze(
     if (source is None) == (module is None):
         raise ValueError("pass exactly one of source= or module=")
     schedule: Optional[str] = None
+    storage: Optional[str] = None
     if options is not None:
         resolved = options.or_keywords(
             jobs=jobs,
@@ -330,6 +331,7 @@ def analyze(
         resolver = resolved["resolver"]
         context_depth = resolved["context_depth"]
         schedule = options.schedule
+        storage = options.storage
         if configs is None and options.config is not None:
             configs = [options.config]
     tier = resolve_tier(tier)
@@ -348,6 +350,7 @@ def analyze(
             jobs=jobs,
             tier=tier,
             schedule=schedule,
+            storage=storage,
         )
         wanted = list(configs) if configs else list(CONFIG_ORDER)
         plans: Dict[str, InstrumentationPlan] = {}

@@ -39,6 +39,7 @@ from repro.ir import module_to_str, verify_module
 from repro.opt import OPT_LEVELS, run_pipeline
 from repro.options import (
     InvalidJobsError,
+    InvalidStorageError,
     InvalidTierError,
     add_analysis_options,
     options_from_args,
@@ -126,6 +127,16 @@ def cmd_check(args: argparse.Namespace) -> int:
         else:
             print(
                 "no solver stats recorded for this run (the pointer-"
+                "analysis phase did not produce a profile)"
+            )
+        print()
+    if args.mem_stats:
+        stats = analysis.prepared.solver_stats
+        if stats is not None:
+            print(stats.format_memory_summary())
+        else:
+            print(
+                "no memory stats recorded for this run (the pointer-"
                 "analysis phase did not produce a profile)"
             )
         print()
@@ -415,6 +426,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the constraint-solver work profile "
                             "(pops, propagated facts, collapsed SCCs, "
                             "phase timings)")
+    check.add_argument("--mem-stats", action="store_true",
+                       help="print the solver memory profile (points-to "
+                            "representation bytes, container mix, peak "
+                            "RSS); see --storage for the representation "
+                            "knob")
     check.add_argument("--explain", action="store_true",
                        help="trace each warning's undefined value back "
                             "to its origin (demand-driven: only the "
@@ -556,8 +572,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (TinyCSyntaxError, LoweringError) as error:
         print(f"compile error: {error}", file=sys.stderr)
         return 2
-    except (UsageError, InvalidJobsError, InvalidTierError,
-            UnknownConfigError) as error:
+    except (UsageError, InvalidJobsError, InvalidStorageError,
+            InvalidTierError, UnknownConfigError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except (IRParseError, VerificationError) as error:

@@ -180,6 +180,7 @@ def prepare_module(
     jobs: Optional[int] = None,
     tier: Optional[str] = None,
     schedule: Optional[str] = None,
+    storage: Optional[str] = None,
     options: Optional["AnalysisOptions"] = None,
 ) -> PreparedModule:
     """Run pointer analysis, mod/ref and memory-SSA construction.
@@ -193,15 +194,21 @@ def prepare_module(
     ``"unified"`` (``None`` defers to the session default /
     ``REPRO_TIER``); results are bit-identical across tiers.
     ``schedule`` picks the solver worklist discipline (``"wave"`` /
-    ``"fifo"``).  ``options`` is the consolidated knob record
+    ``"fifo"``).  ``storage`` picks the points-to representation
+    (``"int"`` / ``"compressed"`` / ``"auto"``; ``None`` defers to the
+    session default / ``REPRO_STORAGE``); results are bit-identical
+    across storages.  ``options`` is the consolidated knob record
     (:class:`repro.options.AnalysisOptions`); a set field wins over the
     corresponding keyword.
     """
     if options is not None:
-        resolved = options.or_keywords(jobs=jobs, tier=tier, schedule=schedule)
+        resolved = options.or_keywords(
+            jobs=jobs, tier=tier, schedule=schedule, storage=storage
+        )
         jobs = resolved["jobs"]
         tier = resolved["tier"]
         schedule = resolved["schedule"]
+        storage = resolved["storage"]
     started = time.perf_counter()
     pointers = analyze_pointers(
         module,
@@ -210,6 +217,7 @@ def prepare_module(
         schedule=schedule,
         jobs=jobs,
         tier=tier,
+        storage=storage,
     )
     callgraph = CallGraph(module, pointers)
     modref = ModRefResult(module, pointers, callgraph)

@@ -31,6 +31,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, fields, replace
 from typing import Iterator, Optional
 
+from repro.analysis.bitsets import (
+    STORAGE_ENV,
+    STORAGES,
+    InvalidStorageError,
+    default_storage,
+    parse_storage,
+)
 from repro.analysis.parallel import (
     JOBS_ENV,
     InvalidJobsError,
@@ -72,6 +79,10 @@ class AnalysisOptions:
         resolver: ``"callstring"`` or ``"summary"``.
         schedule: :class:`~repro.analysis.andersen.DeltaSolver` worklist
             discipline, ``"wave"`` or ``"fifo"``.
+        storage: Points-to set representation (``int`` / ``compressed``
+            / ``auto``); ``None`` defers to
+            :func:`repro.analysis.bitsets.resolve_storage`.  Results
+            are bit-identical for any storage.
         config: A configuration name (``usher``, ``usher_tl``, ...) for
             entry points that analyze one configuration — ``repro
             serve`` sessions and ``analyze()`` when ``configs=`` is not
@@ -84,12 +95,17 @@ class AnalysisOptions:
     demand: Optional[bool] = None
     resolver: Optional[str] = None
     schedule: Optional[str] = None
+    storage: Optional[str] = None
     config: Optional[str] = None
     context_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.tier is not None:
             object.__setattr__(self, "tier", parse_tier(self.tier, origin="tier"))
+        if self.storage is not None:
+            object.__setattr__(
+                self, "storage", parse_storage(self.storage, origin="storage")
+            )
         if self.jobs is not None:
             object.__setattr__(
                 self, "jobs", parse_jobs(str(self.jobs), origin="jobs")
@@ -167,7 +183,8 @@ def session_options(options: Optional[AnalysisOptions]) -> Iterator[AnalysisOpti
     opts = options if options is not None else AnalysisOptions()
     with default_jobs(opts.jobs):
         with default_tier(opts.tier):
-            yield opts
+            with default_storage(opts.storage):
+                yield opts
 
 
 # ----------------------------------------------------------------------
@@ -199,6 +216,19 @@ def validate_tier_arg(raw: Optional[str]) -> Optional[str]:
     return parse_tier(raw, origin="--tier")
 
 
+def validate_storage_arg(raw: Optional[str]) -> Optional[str]:
+    """Validate a ``--storage`` value (same boundary discipline as
+    :func:`validate_tier_arg`: with no flag, a *malformed*
+    ``REPRO_STORAGE`` is rejected here with a one-line message, not
+    mid-analysis)."""
+    if raw is None:
+        env = os.environ.get(STORAGE_ENV)
+        if env is not None:
+            parse_storage(env, origin=STORAGE_ENV)
+        return None
+    return parse_storage(raw, origin="--storage")
+
+
 def add_analysis_options(parser, *, demand_flag: bool = False) -> None:
     """Add the shared ``--jobs`` / ``--tier`` (and optionally
     ``--demand``) analysis-options group to an argparse (sub)parser.
@@ -224,6 +254,15 @@ def add_analysis_options(parser, *, demand_flag: bool = False) -> None:
         "or unified (Steensgaard-style pre-collapse, then solve); "
         "default: $REPRO_TIER or full. Results are identical for any tier",
     )
+    group.add_argument(
+        "--storage",
+        default=None,
+        metavar="STORAGE",
+        help="points-to set representation: int (dense Python-int "
+        "bitsets), compressed (roaring-style array/bitmap/run "
+        "containers) or auto (compressed for large modules); default: "
+        "$REPRO_STORAGE or int. Results are identical for any storage",
+    )
     if demand_flag:
         group.add_argument(
             "--demand",
@@ -244,6 +283,7 @@ def options_from_args(args) -> AnalysisOptions:
     return AnalysisOptions(
         jobs=validate_jobs_arg(getattr(args, "jobs", None)),
         tier=validate_tier_arg(getattr(args, "tier", None)),
+        storage=validate_storage_arg(getattr(args, "storage", None)),
         demand=True if demand else None,
         config=getattr(args, "config", None),
     )
@@ -252,13 +292,16 @@ def options_from_args(args) -> AnalysisOptions:
 __all__ = [
     "RESOLVERS",
     "SCHEDULES",
+    "STORAGES",
     "AnalysisOptions",
     "InvalidJobsError",
+    "InvalidStorageError",
     "InvalidTierError",
     "TIERS",
     "add_analysis_options",
     "options_from_args",
     "session_options",
     "validate_jobs_arg",
+    "validate_storage_arg",
     "validate_tier_arg",
 ]

@@ -27,12 +27,10 @@ import pickle
 from array import array
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.andersen import OP_GEP, OP_ICALL
+from repro.analysis.bitsets import Int64Arena
+from repro.analysis.shardgen import decode_words, encode_ops
 
-__all__ = ["FlatTape", "ResidentPool"]
-
-#: ``None`` GEP-offset sentinel — far outside any field index.
-_GEP_NONE = -(2**62)
+__all__ = ["FlatTape", "ResidentPool", "discard_ops_payload"]
 
 #: Snapshot handed to workers through the fork (set only around
 #: ``Process.start``; never pickled).
@@ -40,113 +38,123 @@ _POOL_SNAPSHOT: Optional[tuple] = None
 
 
 class FlatTape:
-    """A shard op tape as one flat ``int64`` array.
+    """A shard op tape as one flat ``int64`` arena.
 
-    Encoding per op (all values shard-local symbol ids unless noted):
-    ``PTS/COPY/LOAD/STORE`` → ``[tag, a, b]``; ``GEP`` → ``[tag, dst,
-    base, offset]`` (``None`` offset as :data:`_GEP_NONE`); ``ICALL`` →
-    ``[tag, callee, call_uid, nargs, arg...,  dst]`` (``-1`` encodes a
-    missing arg/dst).  The format round-trips exactly — ``decode`` is
-    the inverse of ``encode`` — and backs the shared-memory transport.
+    The encoding is :mod:`repro.analysis.shardgen`'s word format
+    (``PTS/COPY/LOAD/STORE`` → ``[tag, a, b]``; ``GEP`` → ``[tag,
+    base, dst, offset]`` with ``None`` as ``GEP_NONE``; ``ICALL`` →
+    ``[tag, callee, call_uid, nargs, arg..., dst]``) — the *same*
+    buffer the streaming shard collector appends to, so shipping a
+    tape is a raw byte copy with no encode step.  ``decode`` validates
+    as it walks and raises :class:`ValueError` on a truncated buffer.
+
+    Instances wrap an :class:`~repro.analysis.bitsets.Int64Arena` and
+    add the zero-copy transport protocol: :meth:`to_shared_memory`
+    publishes, :meth:`attach` maps an existing segment without
+    copying, :meth:`pin` localizes with a single copy and releases the
+    segment.
     """
 
+    __slots__ = ("arena",)
+
+    def __init__(self, words=None) -> None:
+        if isinstance(words, Int64Arena):
+            self.arena = words
+        else:
+            self.arena = Int64Arena(words)
+
+    @property
+    def words(self):
+        return self.arena.words
+
+    def __len__(self) -> int:
+        return len(self.arena)
+
+    def iter_ops(self):
+        """Decode op by op (validating; no list materialized)."""
+        from repro.analysis.shardgen import iter_ops
+
+        return iter_ops(self.arena.words)
+
+    # -- encoding (compatibility staticmethods) -------------------------
     @staticmethod
     def encode(ops: Sequence[tuple]) -> "array":
-        words = array("q")
-        for op in ops:
-            tag = op[0]
-            if tag == OP_ICALL:
-                args = op[3]
-                words.append(tag)
-                words.append(op[1])
-                words.append(op[2])
-                words.append(len(args))
-                words.extend(args)
-                words.append(op[4])
-            elif tag == OP_GEP:
-                words.append(tag)
-                words.append(op[1])
-                words.append(op[2])
-                words.append(_GEP_NONE if op[3] is None else op[3])
-            else:
-                words.append(tag)
-                words.append(op[1])
-                words.append(op[2])
-        return words
+        return encode_ops(ops)
 
     @staticmethod
     def decode(words: Sequence[int]) -> List[tuple]:
-        ops: List[tuple] = []
-        i = 0
-        n = len(words)
-        while i < n:
-            tag = words[i]
-            if tag == OP_ICALL:
-                nargs = words[i + 3]
-                args = tuple(words[i + 4 : i + 4 + nargs])
-                ops.append(
-                    (tag, words[i + 1], words[i + 2], args, words[i + 4 + nargs])
-                )
-                i += 5 + nargs
-            elif tag == OP_GEP:
-                offset = words[i + 3]
-                ops.append(
-                    (
-                        tag,
-                        words[i + 1],
-                        words[i + 2],
-                        None if offset == _GEP_NONE else offset,
-                    )
-                )
-                i += 4
-            else:
-                ops.append((tag, words[i + 1], words[i + 2]))
-                i += 3
-        return ops
+        return decode_words(words)
+
+    # -- transport ------------------------------------------------------
+    @classmethod
+    def from_ops(cls, ops: Sequence[tuple]) -> "FlatTape":
+        return cls(encode_ops(ops))
+
+    def to_shared_memory(self) -> Tuple[str, int]:
+        """Publish the arena; returns ``(name, nwords)``.  Ownership of
+        the segment transfers to the receiver (see
+        :meth:`Int64Arena.to_shared_memory`)."""
+        return self.arena.to_shared_memory()
+
+    @classmethod
+    def attach(cls, name: str, nwords: int) -> "FlatTape":
+        """Map a published tape zero-copy; :meth:`pin` to localize."""
+        return cls(Int64Arena.attach(name, nwords))
+
+    def pin(self) -> "FlatTape":
+        self.arena.pin()
+        return self
+
+    def close(self) -> None:
+        self.arena.close()
 
 
-def _ship_ops(ops: Sequence[tuple]):
-    """Encode an op tape for the pipe: shared-memory when available
+def _ship_words(words) -> tuple:
+    """Ship a word arena over the pipe: shared-memory when available
     (``("shm", name, nwords)``), else inline (``("ops", words)``)."""
-    words = FlatTape.encode(ops)
     try:
-        from multiprocessing import resource_tracker, shared_memory
-
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, len(words) * words.itemsize)
-        )
-        shm.buf[: len(words) * words.itemsize] = words.tobytes()
-        name = shm.name
-        # The worker must not unlink the segment at exit — the parent
-        # owns its lifetime (attach, copy, close, unlink).
-        try:
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
-        shm.close()
-        return ("shm", name, len(words))
+        return ("shm",) + FlatTape(words).to_shared_memory()
     except Exception:
-        return ("ops", words)
+        return ("ops", array("q", words))
 
 
-def _receive_ops(payload) -> List[tuple]:
+def _receive_words(payload) -> "array":
+    """The parent-side inverse of :func:`_ship_words`: one bulk copy
+    out of the segment, then unlink."""
     kind = payload[0]
     if kind == "shm":
-        from multiprocessing import shared_memory
-
         _, name, nwords = payload
-        shm = shared_memory.SharedMemory(name=name)
-        try:
-            words = array("q")
-            words.frombytes(bytes(shm.buf[: nwords * words.itemsize]))
-        finally:
-            shm.close()
-            try:
-                shm.unlink()
-            except FileNotFoundError:
-                pass
-        return FlatTape.decode(words)
-    return FlatTape.decode(payload[1])
+        return FlatTape.attach(name, nwords).pin().arena.words
+    return payload[1]
+
+
+def discard_ops_payload(payload) -> None:
+    """Release a shipped-but-unconsumed tape payload.
+
+    Shipped segments are unregistered from the resource tracker
+    (ownership transfers to the consumer), so a payload that is
+    received but never passed to :func:`_receive_words` — a worker
+    died mid-batch, or the batch failed partway — would leak its
+    segment until reboot.  The degrade-to-serial path calls this on
+    everything it scavenges.
+    """
+    if not (isinstance(payload, tuple) and payload and payload[0] == "shm"):
+        return
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=payload[1])
+    except FileNotFoundError:
+        return
+    except Exception:
+        return
+    # The attach registered the segment with this process's resource
+    # tracker; unlink() unregisters it again, so the two balance.
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 def _worker_main(conn) -> None:
@@ -181,7 +189,7 @@ def _worker_main(conn) -> None:
                     out.append(
                         (
                             name,
-                            _ship_ops(shard.ops),
+                            _ship_words(shard.words),
                             pickle.dumps(
                                 (
                                     shard.syms,
@@ -280,31 +288,54 @@ class ResidentPool:
         from repro.analysis.shardgen import ShardResult
 
         stripes = [list(names[offset :: self.jobs]) for offset in range(self.jobs)]
+        pending: List = []  # payload lists received but not yet consumed
+        live: List = []  # pipes with an outstanding tape batch
         try:
-            live = []
             for pipe, stripe in zip(self._pipes, stripes):
                 if stripe:
                     pipe.send(("tape", (stripe, set(wrappers), set(recursive))))
                     live.append(pipe)
             shards: Dict[str, object] = {}
-            for pipe in live:
+            while live:
+                pipe = live.pop()
                 status, payload = pipe.recv()
                 if status != "ok":
                     raise RuntimeError(payload)
+                pending.append(payload)
                 for name, ops_payload, rest in payload:
                     syms, call_targets, clone_base, instantiated, allocs = (
                         pickle.loads(rest)
                     )
                     shards[name] = ShardResult(
                         syms=syms,
-                        ops=_receive_ops(ops_payload),
+                        words=_receive_words(ops_payload),
                         call_targets=call_targets,
                         clone_base=clone_base,
                         instantiated=instantiated,
                         alloc_objects=allocs,
                     )
+                pending.pop()
             return shards
         except Exception:
+            # Degrade to serial — but first scavenge every tape segment
+            # that was shipped and will now never be consumed, or the
+            # shm files outlive the process (workers unregistered them
+            # from the resource tracker when shipping).  Three places a
+            # payload can be stranded: the batch that failed partway
+            # (``pending``), replies still queued on live pipes, and
+            # replies a dead worker flushed before exiting.
+            for payload in pending:
+                for _name, ops_payload, _rest in payload:
+                    discard_ops_payload(ops_payload)
+            for pipe in live:
+                try:
+                    while pipe.poll(0.2):
+                        status, payload = pipe.recv()
+                        if status == "ok":
+                            for _name, ops_payload, _rest in payload:
+                                discard_ops_payload(ops_payload)
+                except (EOFError, OSError):
+                    continue
             self.shutdown()
             return None
 

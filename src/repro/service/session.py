@@ -416,6 +416,7 @@ class _TapeSolver(DeltaSolver):
         recursive: Set[str],
         schedule: str,
         lazy: bool,
+        storage: str = "int",
     ) -> None:
         self._session_tapes = list(tapes)
         super().__init__(
@@ -426,6 +427,7 @@ class _TapeSolver(DeltaSolver):
             recursive=recursive,
             schedule=schedule,
             lazy=lazy,
+            storage=storage,
         )
 
     def _seed(self) -> None:
@@ -505,6 +507,8 @@ class AnalysisSession:
         self._options = opts
         self._tier = resolve_tier(opts.tier)
         self._schedule = opts.schedule or "wave"
+        # Deferred: "auto" resolves against each rebuild's module size.
+        self._storage = opts.storage
         self._jobs = opts.jobs
         self._config = self._resolve_config(opts, usher_config)
 
@@ -754,6 +758,9 @@ class AnalysisSession:
             "generation": self.generation,
             "config": self._config.name,
             "tier": self._tier,
+            "storage": (
+                solver_stats.storage if solver_stats is not None else "int"
+            ),
             "resolver": self._config.resolver,
             "demand": self._config.demand,
             "functions": len(self._fn_texts),
@@ -967,8 +974,19 @@ class AnalysisSession:
                 self._warm_solve(prev_solver, module, recursive, dirty, tapes),
                 "warm",
             )
+        from repro.analysis.bitsets import resolve_storage
+
+        module_ops = sum(
+            1
+            for function in module.functions.values()
+            for _ in function.instructions()
+        )
+        storage = resolve_storage(self._storage, ops=module_ops)
         stats = SolverStats(
-            solver=DeltaSolver.kind, schedule=self._schedule, tier=self._tier
+            solver=DeltaSolver.kind,
+            schedule=self._schedule,
+            tier=self._tier,
+            storage=storage,
         )
         solver = _TapeSolver(
             module,
@@ -978,6 +996,7 @@ class AnalysisSession:
             set(recursive),
             self._schedule,
             self._tier == "lazy",
+            storage,
         )
         if self._tier == "unified":
             from repro.analysis.unify import presolve_unify

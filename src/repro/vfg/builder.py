@@ -157,12 +157,10 @@ class _Builder:
         )
         for loop in loops:
             phi_node = MemNode(loop.function, loop.loc, loop.phi_version)
-            for edge in list(self.vfg.deps_of(phi_node)):
-                if edge.src == MemNode(
-                    loop.function, loop.loc, loop.pre_version
-                ):
-                    self.vfg.remove_edge(edge)
-                    self.vfg.stats.array_init_cuts += 1
+            pre_node = MemNode(loop.function, loop.loc, loop.pre_version)
+            self.vfg.stats.array_init_cuts += self.vfg.remove_edges_between(
+                pre_node, phi_node
+            )
 
     # ------------------------------------------------------------------
     # Node helpers

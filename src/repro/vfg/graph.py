@@ -123,18 +123,82 @@ class VFGStats:
         return dict(self.__dict__)
 
 
+#: Edge-kind codes in the flat edge columns.
+_KIND_CODES = {INTRA: 0, CALL: 1, RET: 2}
+_KIND_FROM_CODE = (INTRA, CALL, RET)
+#: ``callsite`` column value for intraprocedural edges.
+_NO_CALLSITE = -1
+#: ``kind`` column value of a tombstoned (removed) edge row.
+_DEAD = -1
+#: Words per edge row: ``[src nid, dst nid, kind code, callsite]``.
+_ROW = 4
+
+
 class VFG:
-    """The whole-program value-flow graph."""
+    """The whole-program value-flow graph, stored struct-of-arrays.
+
+    Nodes are interned to dense integer ids; edges live as fixed-width
+    rows ``[src nid, dst nid, kind code, callsite]`` in one flat
+    ``int64`` arena (:class:`repro.analysis.bitsets.Int64Arena`), with
+    per-node adjacency as lists of row indices.  :class:`Edge` objects
+    are materialized lazily (and cached per row) only when a traversal
+    asks for them, so a million-edge graph costs four machine words per
+    edge plus its interned node objects — not a million Python tuples —
+    and the edge columns can be published through
+    ``multiprocessing.shared_memory`` verbatim (:meth:`edge_columns` /
+    :meth:`from_columns`).
+
+    ``remove_edge`` tombstones the row (kind code ``-1``) and unlinks
+    it from the adjacency lists; the arena is append-only.  All public
+    iteration orders match the previous object-graph representation:
+    ``deps_of`` / ``flows_of`` are in per-node insertion order and
+    ``edges()`` groups by destination in first-seen order.
+    """
 
     def __init__(self, address_taken: bool = True) -> None:
+        from repro.analysis.bitsets import Int64Arena
+
         self.address_taken = address_taken
-        self._deps: Dict[Node, List[Edge]] = {}
-        self._flows: Dict[Node, List[Edge]] = {}
-        self._edge_set: Set[Tuple[Node, Node, str, Optional[int]]] = set()
+        #: node interning: object -> dense id, id -> object
+        self._node_ids: Dict[Node, int] = {}
+        self._node_list: List[Node] = []
+        #: edge rows, _ROW words each, append-only
+        self._columns = Int64Arena()
+        #: (src, dst, kind, callsite) -> row index (dedupe + removal)
+        self._edge_ids: Dict[Tuple[Node, Node, str, Optional[int]], int] = {}
+        #: row index -> materialized Edge (lazy)
+        self._edge_cache: Dict[int, Edge] = {}
+        #: node id -> in-/out-edge row indices, insertion order
+        self._deps: Dict[int, List[int]] = {}
+        self._flows: Dict[int, List[int]] = {}
         self.check_sites: List[CheckSite] = []
         #: node -> (defining instruction uid, def kind tag)
         self.def_site: Dict[Node, Tuple[Optional[int], str]] = {}
         self.stats = VFGStats()
+
+    # ------------------------------------------------------------------
+    def _nid(self, node: Node) -> int:
+        nid = self._node_ids.get(node)
+        if nid is None:
+            nid = len(self._node_list)
+            self._node_ids[node] = nid
+            self._node_list.append(node)
+        return nid
+
+    def _edge(self, eid: int) -> Edge:
+        edge = self._edge_cache.get(eid)
+        if edge is None:
+            words = self._columns.words
+            base = eid * _ROW
+            callsite = words[base + 3]
+            edge = Edge(
+                self._node_list[words[base]],
+                self._node_list[words[base + 1]],
+                _KIND_FROM_CODE[words[base + 2]],
+                None if callsite == _NO_CALLSITE else callsite,
+            )
+            self._edge_cache[eid] = edge
+        return edge
 
     # ------------------------------------------------------------------
     def add_edge(
@@ -145,56 +209,146 @@ class VFG:
         callsite: Optional[int] = None,
     ) -> None:
         key = (src, dst, kind, callsite)
-        if key in self._edge_set:
+        if key in self._edge_ids:
             return
-        self._edge_set.add(key)
-        edge = Edge(src, dst, kind, callsite)
-        self._deps.setdefault(dst, []).append(edge)
-        self._flows.setdefault(src, []).append(edge)
-        self._deps.setdefault(src, self._deps.get(src, []))
-        self._flows.setdefault(dst, self._flows.get(dst, []))
+        sid = self._nid(src)
+        did = self._nid(dst)
+        eid = len(self._columns) // _ROW
+        self._columns.extend(
+            (
+                sid,
+                did,
+                _KIND_CODES[kind],
+                _NO_CALLSITE if callsite is None else callsite,
+            )
+        )
+        self._edge_ids[key] = eid
+        self._deps.setdefault(did, []).append(eid)
+        self._flows.setdefault(sid, []).append(eid)
+        self._deps.setdefault(sid, [])
+        self._flows.setdefault(did, [])
 
     def remove_edge(self, edge: Edge) -> None:
         key = (edge.src, edge.dst, edge.kind, edge.callsite)
-        if key not in self._edge_set:
+        eid = self._edge_ids.pop(key, None)
+        if eid is None:
             return
-        self._edge_set.discard(key)
-        self._deps[edge.dst].remove(edge)
-        self._flows[edge.src].remove(edge)
+        self._columns.words[eid * _ROW + 2] = _DEAD
+        self._deps[self._node_ids[edge.dst]].remove(eid)
+        self._flows[self._node_ids[edge.src]].remove(eid)
+        self._edge_cache.pop(eid, None)
+
+    def remove_edges_between(self, src: Node, dst: Node) -> int:
+        """Remove every ``src → dst`` edge (any kind / callsite).
+
+        Works directly on the edge rows — no :class:`Edge` objects are
+        materialized — and returns the number removed.
+        """
+        sid = self._node_ids.get(src)
+        did = self._node_ids.get(dst)
+        if sid is None or did is None:
+            return 0
+        words = self._columns.words
+        matches = [
+            eid for eid in self._deps.get(did, ()) if words[eid * _ROW] == sid
+        ]
+        for eid in matches:
+            base = eid * _ROW
+            callsite = words[base + 3]
+            key = (
+                src,
+                dst,
+                _KIND_FROM_CODE[words[base + 2]],
+                None if callsite == _NO_CALLSITE else callsite,
+            )
+            del self._edge_ids[key]
+            words[base + 2] = _DEAD
+            self._deps[did].remove(eid)
+            self._flows[sid].remove(eid)
+            self._edge_cache.pop(eid, None)
+        return len(matches)
 
     def deps_of(self, node: Node) -> List[Edge]:
         """Edges into ``node`` (the values it depends on)."""
-        return self._deps.get(node, [])
+        nid = self._node_ids.get(node)
+        if nid is None:
+            return []
+        return [self._edge(eid) for eid in self._deps.get(nid, ())]
 
     def flows_of(self, node: Node) -> List[Edge]:
         """Edges out of ``node`` (the nodes its value flows into)."""
-        return self._flows.get(node, [])
+        nid = self._node_ids.get(node)
+        if nid is None:
+            return []
+        return [self._edge(eid) for eid in self._flows.get(nid, ())]
 
     def nodes(self) -> Iterable[Node]:
-        seen: Set[Node] = set(self._deps) | set(self._flows)
-        return seen
+        return list(self._node_list)
 
     def edges(self) -> Iterable[Edge]:
-        for edges in self._deps.values():
-            yield from edges
+        for eids in self._deps.values():
+            for eid in eids:
+                yield self._edge(eid)
 
     @property
     def num_nodes(self) -> int:
-        return sum(1 for _ in self.nodes())
+        return len(self._node_list)
 
     @property
     def num_edges(self) -> int:
-        return len(self._edge_set)
+        return len(self._edge_ids)
 
     def record_def(self, node: Node, instr_uid: Optional[int], kind: str) -> None:
         self.def_site[node] = (instr_uid, kind)
 
+    # ------------------------------------------------------------------
+    def edge_columns(self):
+        """The node table and raw edge arena ``(nodes, columns)``.
+
+        ``columns`` is the append-only row arena (including tombstoned
+        rows, kind code ``-1``); publish it with
+        ``Int64Arena.to_shared_memory`` and rebuild on the other side
+        with :meth:`from_columns`.  The node table is small (interned
+        objects) and travels by pickle.
+        """
+        return list(self._node_list), self._columns
+
+    @classmethod
+    def from_columns(cls, address_taken: bool, nodes, columns) -> "VFG":
+        """Rebuild a graph from :meth:`edge_columns` output (for
+        example an arena attached from shared memory); tombstoned rows
+        are skipped."""
+        vfg = cls(address_taken)
+        for base in range(0, len(columns), _ROW):
+            code = columns[base + 2]
+            if code == _DEAD:
+                continue
+            callsite = columns[base + 3]
+            vfg.add_edge(
+                nodes[columns[base]],
+                nodes[columns[base + 1]],
+                _KIND_FROM_CODE[code],
+                None if callsite == _NO_CALLSITE else callsite,
+            )
+        return vfg
+
     def copy(self) -> "VFG":
         """A structural copy sharing node objects (for Opt II, which
-        rewires edges on a scratch copy before re-resolving Γ)."""
+        rewires edges on a scratch copy before re-resolving Γ).
+
+        Struct-of-arrays makes this four bulk copies — node table,
+        edge arena, two adjacency maps — instead of re-adding every
+        edge through the interning path.
+        """
+        from array import array
+
         clone = VFG(self.address_taken)
-        for edge in self.edges():
-            clone.add_edge(edge.src, edge.dst, edge.kind, edge.callsite)
+        clone._node_ids = dict(self._node_ids)
+        clone._node_list = list(self._node_list)
+        clone._columns.words = array("q", self._columns.words)
+        clone._edge_ids = dict(self._edge_ids)
+        clone._deps = {nid: list(eids) for nid, eids in self._deps.items()}
+        clone._flows = {nid: list(eids) for nid, eids in self._flows.items()}
         clone.check_sites = list(self.check_sites)
         clone.def_site = dict(self.def_site)
         clone.stats = self.stats

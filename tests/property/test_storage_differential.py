@@ -1,0 +1,159 @@
+"""Differential suite: the points-to storage is invisible in results.
+
+The compressed, arena-backed representation
+(:mod:`repro.analysis.bitsets`) promises that ``storage=`` changes how
+many bytes the solver's points-to sets occupy — never what comes out,
+and not even how the solver gets there.  Checked here over generated
+programs (plain and pointer-heavy), every tier, and the end-to-end API:
+
+* ``analyze_pointers`` under ``storage="compressed"`` is bit-identical
+  to ``storage="int"``: points-to sets, call targets, wrappers,
+  allocation objects;
+* the *work counters* match too (pops, facts propagated, solve
+  passes) — both storages enumerate set members in the same ascending
+  order, so the two runs take the exact same worklist trajectory, not
+  merely reach the same fixpoint;
+* ``analyze(options=...)`` produces identical warned uids, Γ verdicts
+  and instrumentation plans;
+* the solver actually records a memory profile (``bytes_pts`` > 0 and
+  a container mix) so the scalability benchmarks have something to
+  gate.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import analyze_pointers
+from repro.analysis.bitsets import default_storage
+from repro.api import analyze
+from repro.opt import run_pipeline
+from repro.options import AnalysisOptions
+from repro.tinyc import compile_source
+from repro.workloads import GeneratorParams, generate_program
+
+from tests.helpers import CORPUS_PARAMS as _PARAMS
+
+_SETTINGS = dict(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TIERS_UNDER_TEST = ("full", "lazy", "unified")
+
+
+def _module_for(seed, params=_PARAMS, name=None):
+    module = compile_source(
+        generate_program(seed, params), name or f"seed{seed}"
+    )
+    run_pipeline(module, "O0+IM")
+    return module
+
+
+def _normalize(result):
+    return (
+        {node: frozenset(locs) for node, locs in result.pts.items()},
+        {uid: frozenset(t) for uid, t in result.call_targets.items()},
+        frozenset(result.wrappers),
+        {
+            uid: [obj.name for obj in objs]
+            for uid, objs in result.alloc_objects.items()
+        },
+    )
+
+
+def _work_profile(stats):
+    return (
+        stats.pops,
+        stats.facts_propagated,
+        stats.facts_added,
+        stats.solve_passes,
+    )
+
+
+def assert_storages_agree(module):
+    for tier in TIERS_UNDER_TEST:
+        base = analyze_pointers(module, tier=tier, storage="int")
+        compressed = analyze_pointers(module, tier=tier, storage="compressed")
+        assert _normalize(base) == _normalize(compressed), (
+            f"storage diverged under tier {tier}"
+        )
+        assert _work_profile(base.solver_stats) == _work_profile(
+            compressed.solver_stats
+        ), f"worklist trajectory diverged under tier {tier}"
+        assert base.solver_stats.storage == "int"
+        assert compressed.solver_stats.storage == "compressed"
+
+
+class TestPointerStoragesAgree:
+    @settings(**_SETTINGS)
+    @given(st.integers(0, 500))
+    def test_generated(self, seed):
+        assert_storages_agree(_module_for(seed))
+
+    @settings(**_SETTINGS)
+    @given(st.integers(0, 500))
+    def test_generated_pointer_heavy(self, seed):
+        assert_storages_agree(
+            _module_for(seed, GeneratorParams().pointer_heavy(), f"heavy{seed}")
+        )
+
+    def test_memory_profile_is_recorded(self):
+        module = _module_for(42)
+        for storage, kinds in (
+            ("int", {"int"}),
+            ("compressed", {"array", "bitmap", "run"}),
+        ):
+            stats = analyze_pointers(
+                module, storage=storage
+            ).solver_stats
+            assert stats.bytes_pts > 0
+            assert stats.peak_rss > 0
+            assert set(stats.container_mix) <= kinds
+            assert stats.container_mix
+
+
+class TestEndToEndStoragesAgree:
+    @staticmethod
+    def _plan_key(plan):
+        return (
+            {
+                uid: (
+                    [repr(op) for op in slot.pre],
+                    [repr(op) for op in slot.post],
+                )
+                for uid, slot in plan.ops.items()
+            },
+            {
+                func: [repr(op) for op in ops]
+                for func, ops in plan.entry_ops.items()
+            },
+        )
+
+    @settings(**_SETTINGS)
+    @given(st.integers(0, 300))
+    def test_plans_and_verdicts_identical(self, seed):
+        source = generate_program(seed, _PARAMS)
+        outcomes = []
+        for storage in ("int", "compressed"):
+            analysis = analyze(
+                source=source,
+                name=f"seed{seed}",
+                configs=["usher"],
+                options=AnalysisOptions(storage=storage),
+            )
+            plan = analysis.plans["usher"]
+            result = analysis.results["usher"]
+            verdicts = sorted(
+                (site.instr_uid, result.gamma.is_defined(site.node))
+                for site in result.vfg.check_sites
+                if site.node is not None
+            )
+            outcomes.append((self._plan_key(plan), verdicts))
+        assert outcomes[0] == outcomes[1]
+
+    def test_session_default_reaches_solver(self):
+        module = _module_for(7)
+        with default_storage("compressed"):
+            stats = analyze_pointers(module).solver_stats
+        assert stats.storage == "compressed"

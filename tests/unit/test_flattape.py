@@ -1,0 +1,208 @@
+"""Flat constraint-tape encode/decode and shared-memory lifecycle.
+
+The word tape (:mod:`repro.analysis.shardgen` encoding, wrapped for
+transport by :class:`repro.service.pool.FlatTape`) is the only thing
+that crosses the worker/parent boundary for constraint generation, so
+its round-trip must be exact on every edge case — empty tapes, extreme
+ids, truncated buffers — and the shared-memory segments backing it must
+never outlive a failed batch (the degrade-to-serial leak regression).
+"""
+
+from array import array
+
+import pytest
+
+from repro.analysis.andersen import (
+    OP_COPY,
+    OP_GEP,
+    OP_ICALL,
+    OP_LOAD,
+    OP_PTS,
+    OP_STORE,
+)
+from repro.analysis.parallel import fork_available
+from repro.analysis.shardgen import (
+    GEP_NONE,
+    ShardResult,
+    decode_words,
+    encode_ops,
+    iter_ops,
+)
+from repro.service.pool import (
+    FlatTape,
+    ResidentPool,
+    discard_ops_payload,
+)
+from tests.helpers import random_module
+
+#: Largest shard-local id the tape must carry losslessly (int64 max).
+MAX_ID = 2**63 - 1
+
+
+def _attachable(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+class TestEncodeDecodeRoundTrip:
+    def test_empty_tape(self):
+        words = encode_ops([])
+        assert len(words) == 0
+        assert decode_words(words) == []
+
+    def test_single_op(self):
+        ops = [(OP_COPY, 3, 4)]
+        assert decode_words(encode_ops(ops)) == ops
+
+    def test_every_op_shape(self):
+        ops = [
+            (OP_PTS, 0, 1),
+            (OP_COPY, 1, 2),
+            (OP_LOAD, 2, 3),
+            (OP_STORE, 3, 4),
+            (OP_GEP, 4, 5, 7),
+            (OP_GEP, 5, 6, None),
+            (OP_ICALL, 6, 99, (7, -1, 8), 9),
+            (OP_ICALL, 7, 100, (), -1),
+        ]
+        assert decode_words(encode_ops(ops)) == ops
+
+    def test_max_int64_ids(self):
+        ops = [
+            (OP_COPY, MAX_ID, MAX_ID),
+            (OP_GEP, MAX_ID, 0, MAX_ID),
+            (OP_ICALL, MAX_ID, MAX_ID, (MAX_ID,), MAX_ID),
+        ]
+        assert decode_words(encode_ops(ops)) == ops
+
+    def test_gep_none_sentinel_is_distinct(self):
+        # GEP_NONE only ever encodes a None offset; a real offset of
+        # the same magnitude cannot arise (field indices are small
+        # non-negative ints), and None round-trips exactly.
+        ops = [(OP_GEP, 1, 2, None)]
+        words = encode_ops(ops)
+        assert words[3] == GEP_NONE
+        assert decode_words(words) == ops
+
+    def test_iter_ops_is_lazy_and_equivalent(self):
+        ops = [(OP_PTS, 1, 2), (OP_ICALL, 3, 4, (5,), 6)]
+        words = encode_ops(ops)
+        iterator = iter_ops(words)
+        assert next(iterator) == ops[0]
+        assert list(iterator) == ops[1:]
+
+    def test_shard_result_ops_property_decodes_words(self):
+        ops = [(OP_PTS, 0, 1), (OP_GEP, 1, 2, None)]
+        shard = ShardResult(words=encode_ops(ops))
+        assert shard.ops == ops
+
+
+class TestTruncationRejection:
+    def test_truncated_binary_op(self):
+        words = encode_ops([(OP_COPY, 1, 2)])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_words(words[:-1])
+
+    def test_truncated_gep(self):
+        words = encode_ops([(OP_GEP, 1, 2, 3)])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_words(words[:-1])
+
+    def test_truncated_icall_header(self):
+        words = encode_ops([(OP_ICALL, 1, 2, (3,), 4)])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_words(words[:3])
+
+    def test_truncated_icall_args(self):
+        words = encode_ops([(OP_ICALL, 1, 2, (3, 4), 5)])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_words(words[:-2])
+
+    def test_negative_icall_arg_count_rejected(self):
+        words = array("q", [OP_ICALL, 1, 2, -3, 0, 0])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_words(words)
+
+    def test_unknown_tag_rejected(self):
+        words = array("q", [424242, 0, 0])
+        with pytest.raises(ValueError, match="unknown op tag"):
+            decode_words(words)
+
+
+class TestSharedMemoryTransport:
+    def test_publish_attach_pin_round_trip(self):
+        ops = [(OP_PTS, 1, 2), (OP_GEP, MAX_ID, 3, None)]
+        tape = FlatTape.from_ops(ops)
+        name, nwords = tape.to_shared_memory()
+        received = FlatTape.attach(name, nwords).pin()
+        assert decode_words(received.words) == ops
+        assert not _attachable(name)  # pin consumed the segment
+
+    def test_discard_unlinks_unconsumed_payload(self):
+        name, nwords = FlatTape.from_ops([(OP_COPY, 1, 2)]).to_shared_memory()
+        assert _attachable(name)
+        discard_ops_payload(("shm", name, nwords))
+        assert not _attachable(name)
+
+    def test_discard_tolerates_gone_segment_and_inline_payload(self):
+        discard_ops_payload(("shm", "psm_definitely_not_there", 3))
+        discard_ops_payload(("ops", array("q", [OP_COPY, 1, 2])))
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestPoolTapeLifecycle:
+    def test_collect_tapes_matches_serial_generation(self):
+        module = random_module(11)
+        names = list(module.functions)
+        with ResidentPool(2, module=module) as pool:
+            shards = pool.collect_tapes(names, frozenset(), set())
+        assert shards is not None and set(shards) == set(names)
+        from repro.analysis.shardgen import _collector_class
+
+        for name in names:
+            serial = _collector_class()(
+                module, frozenset(), set(), [name]
+            ).result_shard
+            assert list(shards[name].words) == list(serial.words)
+            assert shards[name].syms == serial.syms
+
+    def test_failed_batch_scavenges_segments(self, monkeypatch):
+        # Regression: a mid-batch failure used to strand the published
+        # tape segments (workers unregister them from their resource
+        # tracker, so nothing ever reclaimed the files).  The scavenge
+        # path must unlink everything the failed batch shipped.
+        import repro.service.pool as pool_mod
+
+        module = random_module(12)
+        names = list(module.functions)
+        discarded = []
+        real_discard = pool_mod.discard_ops_payload
+
+        def spying_discard(payload):
+            discarded.append(payload)
+            real_discard(payload)
+
+        def exploding_loads(blob):
+            raise RuntimeError("injected mid-batch failure")
+
+        monkeypatch.setattr(pool_mod, "discard_ops_payload", spying_discard)
+        pool = ResidentPool(2, module=module)
+        pool.start()
+        try:
+            monkeypatch.setattr(pool_mod.pickle, "loads", exploding_loads)
+            result = pool.collect_tapes(names, frozenset(), set())
+        finally:
+            monkeypatch.undo()
+            pool.shutdown()
+        assert result is None  # degraded to serial
+        assert not pool.started  # pool shut itself down
+        shipped = [p for p in discarded if p[0] == "shm"]
+        assert shipped, "expected at least one shared-memory payload"
+        for payload in shipped:
+            assert not _attachable(payload[1])

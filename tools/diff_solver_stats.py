@@ -5,8 +5,8 @@
 to ``benchmarks/results/solver_stats.jsonl``, and
 ``benchmarks/test_demand_queries.py`` does the same per demand-query
 batch to ``benchmarks/results/query_stats.jsonl``.  This tool groups a
-log by workload key — ``(benchmark, seed, factor, solver, tier)`` for
-solver records, ``(benchmark, seed, factor, resolver)`` for query
+log by workload key — ``(benchmark, seed, factor, solver, tier,
+storage)`` for solver records, ``(benchmark, seed, factor, resolver)`` for query
 records (auto-detected per line: query records carry a ``resolver``
 field; solver records written before the tiered solving stack default
 to tier ``full``) — and compares the most recent entry of each group
@@ -17,7 +17,10 @@ the gate fails.
 Gated counters (deterministic by construction; wall-clock fields are
 deliberately ignored because CI machines are noisy):
 
-- solver records: worklist ``pops`` and ``facts_propagated``;
+- solver records: worklist ``pops`` and ``facts_propagated``, plus the
+  memory profile when recorded — points-to representation bytes
+  (``bytes_pts``) and ``peak_rss`` (rows written before the memory
+  counters existed simply lack the fields and are skipped);
 - ``solver_tier_*`` benchmark rows additionally gate ``unified_nodes``
   in the *inverted* direction — the Steensgaard pre-collapse merging
   ``--max-ratio`` times *fewer* nodes than last run means the unified
@@ -54,6 +57,11 @@ from typing import Dict, List, Tuple
 #: Deterministic work counters gated for regressions, per record kind.
 SOLVER_METRICS = ("pops", "facts_propagated")
 QUERY_METRICS = ("peak_visited_fraction", "states_per_query")
+
+#: Solver memory counters, gated with the same ratio (``bytes_pts`` is
+#: deterministic; ``peak_rss`` is close enough — a >2x RSS jump on the
+#: same workload is a leak or a representation regression, not noise).
+MEM_METRICS = ("bytes_pts", "peak_rss")
 
 #: Counters where *shrinking* is the regression (gated only on
 #: ``solver_tier_*`` benchmark rows, where the pre-collapse runs).
@@ -127,6 +135,7 @@ def load_groups(path: Path, kind: str = "auto") -> Dict[GroupKey, List[dict]]:
                     record.get("factor"),
                     record.get("solver"),
                     record.get("tier", "full"),
+                    record.get("storage", "int"),
                 )
             groups.setdefault(key, []).append(record)
     return groups
@@ -156,7 +165,11 @@ def check_group(
     if len(history) < 2:
         return []
     previous, latest = history[-2], history[-1]
-    metrics = QUERY_METRICS if key[0] == "query" else SOLVER_METRICS
+    metrics = (
+        QUERY_METRICS
+        if key[0] == "query"
+        else SOLVER_METRICS + MEM_METRICS
+    )
     label = "/".join(str(part) for part in key[1:])
     problems = []
     for metric in metrics:
