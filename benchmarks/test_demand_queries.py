@@ -11,13 +11,13 @@ the query-cost trajectory is recorded across sessions, mirroring the
 solver-stats log.
 """
 
-import json
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.core import UsherConfig, prepare_module, run_usher
+from repro.obs.registry import write_stats_row
 from repro.opt import run_pipeline
 from repro.tinyc import compile_source
 from repro.vfg.definedness import resolve_definedness
@@ -39,12 +39,9 @@ def build_vfg(seed: int, factor: int):
 def record_query_stats(
     benchmark: str, seed: int, factor: int, stats, **extra
 ) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {"benchmark": benchmark, "seed": seed, "factor": factor}
-    payload.update(extra)
-    payload.update(stats.as_dict())
-    with QUERY_STATS_LOG.open("a") as handle:
-        handle.write(json.dumps(payload) + "\n")
+    write_stats_row(
+        QUERY_STATS_LOG, benchmark, seed, factor, stats=stats, **extra
+    )
 
 
 class TestDemandQueryLocality:

@@ -14,7 +14,6 @@ as a JSON line to ``benchmarks/results/solver_stats.jsonl`` so the
 speedup trajectory is recorded across sessions.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -22,6 +21,7 @@ import pytest
 
 from repro.analysis import analyze_pointers
 from repro.core import UsherConfig, prepare_module, run_usher
+from repro.obs.registry import write_stats_row
 from repro.opt import run_pipeline
 from repro.tinyc import compile_source
 from repro.workloads import GeneratorParams, generate_program
@@ -68,17 +68,16 @@ def record_solver_stats(
     benchmark: str = "solver_scalability",
     **extra,
 ) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "benchmark": benchmark,
-        "seed": seed,
-        "factor": factor,
-        "analyze_seconds": round(elapsed, 6),
-    }
-    payload.update(extra)
-    payload.update(stats.as_dict())
-    with SOLVER_STATS_LOG.open("a") as handle:
-        handle.write(json.dumps(payload) + "\n")
+    write_stats_row(
+        SOLVER_STATS_LOG,
+        benchmark,
+        seed,
+        factor,
+        elapsed=elapsed,
+        stats=stats,
+        analyze_seconds=round(elapsed, 6),
+        **extra,
+    )
 
 
 class TestScalability:

@@ -19,7 +19,6 @@ observes.  Each run appends one JSON line to
 ``tools/diff_solver_stats.py`` in CI (kind ``service``).
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -27,6 +26,7 @@ import pytest
 
 from repro.analysis.parallel import fork_available
 from repro.core import UsherConfig, prepare_module, run_usher
+from repro.obs.registry import write_stats_row
 from repro.opt import run_pipeline
 from repro.service.pool import ResidentPool
 from repro.tinyc import compile_source
@@ -51,12 +51,9 @@ def build_vfg(seed: int, factor: int):
 
 
 def record_service_stats(benchmark: str, seed: int, factor: int, **extra):
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {"benchmark": benchmark, "seed": seed, "factor": factor}
-    payload.update(extra)
-    with SERVICE_STATS_LOG.open("a") as handle:
-        handle.write(json.dumps(payload) + "\n")
-    return payload
+    return write_stats_row(
+        SERVICE_STATS_LOG, benchmark, seed, factor, **extra
+    )
 
 
 class TestResidentPoolBeatsSerial:

@@ -84,6 +84,8 @@ from repro.analysis.bitsets import (
 from repro.analysis.parallel import resolve_jobs
 from repro.analysis.solverstats import SolverStats
 from repro.analysis.tiers import resolve_tier
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TRACE
 
 Node = Union[PVar, MemLoc]
 
@@ -262,23 +264,34 @@ def analyze_pointers(
         # phase so solve time is attributed to "solve", not "finalize".
         if isinstance(solver, DeltaSolver):
             solver.force_all()
-        return solver.result()
+        result = solver.result()
+        REGISTRY.record_solver(
+            stats, schedule=stats.schedule, jobs=effective_jobs
+        )
+        return result
 
-    base = make(frozenset())
-    base.solve()
-    if not heap_cloning:
-        return finish(base)
-    if isinstance(base, DeltaSolver):
-        base.force_wrapper_candidates()
-    with stats.phase("wrappers"):
-        wrappers = base.detect_wrappers()
-    if not wrappers:
-        return finish(base)
-    refined = make(frozenset(wrappers))
-    refined.solve()
-    result = finish(refined)
-    result.wrappers = set(wrappers)
-    return result
+    with TRACE.span(
+        "pointer_analysis",
+        tier=stats.tier,
+        storage=stats.storage,
+        schedule=stats.schedule,
+        jobs=effective_jobs,
+    ):
+        base = make(frozenset())
+        base.solve()
+        if not heap_cloning:
+            return finish(base)
+        if isinstance(base, DeltaSolver):
+            base.force_wrapper_candidates()
+        with stats.phase("wrappers"):
+            wrappers = base.detect_wrappers()
+        if not wrappers:
+            return finish(base)
+        refined = make(frozenset(wrappers))
+        refined.solve()
+        result = finish(refined)
+        result.wrappers = set(wrappers)
+        return result
 
 
 class _SolverBase:
@@ -398,6 +411,8 @@ class _SolverBase:
         """
         for shard in shards:
             self.stats.gen_shards += 1
+            if TRACE.enabled and getattr(shard, "spans", None):
+                TRACE.adopt(shard.spans)
             self._replay_shard(shard)
             for uid, targets in shard.call_targets.items():
                 self.call_targets.setdefault(uid, set()).update(targets)
@@ -1435,6 +1450,15 @@ class DeltaSolver(_SolverBase):
                 continue
             heapq.heapify(entries)
             stats.waves += 1
+            # Per-wave span — guarded so the hot loop pays only one
+            # attribute check per wave when tracing is off.
+            wave_span = (
+                TRACE.span("wave", index=stats.waves)
+                if TRACE.enabled
+                else None
+            )
+            if wave_span is not None:
+                wave_span.__enter__()
             self._wave_heap = entries
             self._wave_members = members
             width = 0
@@ -1458,6 +1482,9 @@ class DeltaSolver(_SolverBase):
                 self._wave_heap = None
                 self._wave_members = set()
                 self._wave_cursor_ord = -1
+                if wave_span is not None:
+                    wave_span.tag(width=width)
+                    wave_span.__exit__(None, None, None)
             if width > stats.peak_wave_width:
                 stats.peak_wave_width = width
 

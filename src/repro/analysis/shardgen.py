@@ -63,6 +63,7 @@ from repro.analysis.memobjects import MemLoc, MemObject
 from repro.analysis.parallel import chunk_evenly, fork_available, fork_pool
 from repro.analysis.solverstats import SolverStats
 from repro.ir.module import Module
+from repro.obs.trace import TRACE
 
 #: ``None`` GEP-offset sentinel — far outside any field index.
 GEP_NONE = -(2**62)
@@ -172,6 +173,10 @@ class ShardResult:
     instantiated: Set[Tuple[str, int]] = field(default_factory=set)
     #: alloc uid -> objects, in generation order
     alloc_objects: Dict[int, List[MemObject]] = field(default_factory=dict)
+    #: finished worker spans (``Tracer.export_spans`` tuples) when the
+    #: parent had tracing on at fork time; stitched back with
+    #: ``TRACE.adopt`` so the trace shows one track per worker pid
+    spans: List[tuple] = field(default_factory=list)
 
     @property
     def ops(self) -> List[tuple]:
@@ -290,6 +295,14 @@ def _collect_chunk(names: List[str]) -> ShardResult:
     """Worker entry point: generate one chunk's constraint tape."""
     assert _WORK is not None, "shard worker started without fork context"
     module, wrappers, recursive = _WORK
+    if TRACE.enabled:
+        # The fork copied the parent's event list; drop it so the
+        # worker exports only its own spans for the parent to adopt.
+        TRACE.clear()
+        with TRACE.span("shard.collect", functions=len(names)):
+            collector = _collector_class()(module, wrappers, recursive, names)
+        collector.result_shard.spans = TRACE.export_spans()
+        return collector.result_shard
     collector = _collector_class()(module, wrappers, recursive, names)
     return collector.result_shard
 

@@ -31,6 +31,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from repro.obs.trace import TRACE
+
 
 @dataclass
 class SolverStats:
@@ -131,7 +133,19 @@ class SolverStats:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Accumulate wall time of the enclosed block under ``name``."""
+        """Accumulate wall time of the enclosed block under ``name``.
+
+        When tracing is enabled the block also becomes a span, so
+        every ``stats.phase(...)`` site (constraint generation, unify,
+        solve, wrappers, finalize) shows up in the trace tree for free.
+        """
+        span = (
+            TRACE.span(name, tier=self.tier, storage=self.storage)
+            if TRACE.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         started = time.perf_counter()
         try:
             yield
@@ -139,6 +153,8 @@ class SolverStats:
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + (
                 time.perf_counter() - started
             )
+            if span is not None:
+                span.__exit__(None, None, None)
 
     def note_worklist(self, size: int) -> None:
         if size > self.peak_worklist:

@@ -39,6 +39,7 @@ from repro.core import (
     run_msan,
     run_usher,
 )
+from repro.obs.trace import TRACE
 from repro.opt import run_pipeline
 from repro.options import AnalysisOptions
 from repro.runtime import (
@@ -338,45 +339,51 @@ def analyze(
     if tier == "lazy":
         demand = True
     if module is None:
-        module = compile_source(source, name)
+        with TRACE.span("parse", module=name):
+            module = compile_source(source, name)
 
     def build() -> Analysis:
-        run_pipeline(module, level)
-        verify_module(module)
-        prepared = prepare_module(
-            module,
-            heap_cloning=heap_cloning,
-            use_reference_solver=use_reference_solver,
-            jobs=jobs,
-            tier=tier,
-            schedule=schedule,
-            storage=storage,
-        )
-        wanted = list(configs) if configs else list(CONFIG_ORDER)
-        plans: Dict[str, InstrumentationPlan] = {}
-        results: Dict[str, UsherResult] = {}
-        base_configs = {
-            "usher_tl": UsherConfig.tl(),
-            "usher_tl_at": UsherConfig.tl_at(),
-            "usher_opt1": UsherConfig.opt_i(),
-            "usher": UsherConfig.full(),
-            "usher_ext": UsherConfig.extended(),
-        }
-        for config_name in wanted:
-            if config_name == "msan":
-                plans[config_name] = run_msan(prepared)
-                continue
-            config = replace(
-                base_configs[config_name],
-                semi_strong=semi_strong,
-                context_depth=context_depth,
-                resolver=resolver,
-                demand=demand,
+        with TRACE.span("analyze", level=level, tier=tier):
+            with TRACE.span("opt_pipeline", level=level):
+                run_pipeline(module, level)
+            with TRACE.span("verify"):
+                verify_module(module)
+            prepared = prepare_module(
+                module,
+                heap_cloning=heap_cloning,
+                use_reference_solver=use_reference_solver,
                 jobs=jobs,
+                tier=tier,
+                schedule=schedule,
+                storage=storage,
             )
-            result = run_usher(prepared, config)
-            results[config_name] = result
-            plans[config_name] = result.plan
+            wanted = list(configs) if configs else list(CONFIG_ORDER)
+            plans: Dict[str, InstrumentationPlan] = {}
+            results: Dict[str, UsherResult] = {}
+            base_configs = {
+                "usher_tl": UsherConfig.tl(),
+                "usher_tl_at": UsherConfig.tl_at(),
+                "usher_opt1": UsherConfig.opt_i(),
+                "usher": UsherConfig.full(),
+                "usher_ext": UsherConfig.extended(),
+            }
+            for config_name in wanted:
+                if config_name == "msan":
+                    with TRACE.span("config", config="msan"):
+                        plans[config_name] = run_msan(prepared)
+                    continue
+                config = replace(
+                    base_configs[config_name],
+                    semi_strong=semi_strong,
+                    context_depth=context_depth,
+                    resolver=resolver,
+                    demand=demand,
+                    jobs=jobs,
+                )
+                with TRACE.span("config", config=config_name):
+                    result = run_usher(prepared, config)
+                results[config_name] = result
+                plans[config_name] = result.plan
         return Analysis(
             module,
             prepared,

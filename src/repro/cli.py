@@ -112,13 +112,25 @@ def _format_warning(analysis, uid: int) -> str:
 
 def cmd_check(args: argparse.Namespace) -> int:
     source = _read(args.file)
-    analysis = analyze(
-        source=source,
-        name=args.file,
-        level=args.level,
-        configs=[args.config],
-        options=options_from_args(args),
-    )
+    tracing = getattr(args, "trace", None)
+    if tracing:
+        from repro.obs import TRACE
+
+        TRACE.clear()
+        TRACE.enable()
+    try:
+        analysis = analyze(
+            source=source,
+            name=args.file,
+            level=args.level,
+            configs=[args.config],
+            options=options_from_args(args),
+        )
+    finally:
+        if tracing:
+            TRACE.disable()
+            spans = TRACE.write_chrome_trace(tracing)
+            print(f"trace: wrote {spans} span(s) to {tracing}")
     plan = analysis.plans[args.config]
     if args.solver_stats:
         stats = analysis.prepared.solver_stats
@@ -441,6 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "requires a demand engine to have run "
                             "(--demand or --explain), otherwise explains "
                             "that nothing was profiled")
+    check.add_argument("--trace", default=None, metavar="PATH",
+                       help="capture a span trace of the whole static "
+                            "pipeline (parse, constraint gen, per-wave "
+                            "solve, VFG build, Opt I/II, demand queries) "
+                            "and write it as Chrome trace-event JSON "
+                            "(load in chrome://tracing or Perfetto)")
     add_analysis_options(check, demand_flag=True)
     check.set_defaults(func=cmd_check)
 
@@ -494,7 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sections",
         nargs="*",
         choices=["table1", "figure10", "figure11", "opt_levels",
-                 "ablation", "warner", "extension", "solver"],
+                 "ablation", "warner", "extension", "solver", "trace"],
         default=None,
     )
     report.set_defaults(func=cmd_report)

@@ -62,6 +62,7 @@ from repro.vfg.graph import (
     TopNode,
     VFG,
 )
+from repro.obs.trace import TRACE
 from repro.vfg.mfc import compute_mfc
 
 _EXPANDABLE = frozenset({"copy", "unop", "binop", "gep"})
@@ -90,6 +91,11 @@ def build_guided_plan(
 ) -> Tuple[InstrumentationPlan, GuidedStats]:
     """Run the Figure 7 rules; return the plan and statistics."""
     generator = _Generator(module, vfg, gamma, callgraph, opt1, name)
+    if opt1:
+        # Opt I (value-flow simplification) is applied node-by-node
+        # during emission, so the whole guided pass is its span.
+        with TRACE.span("opt1", config=name):
+            return generator.run()
     return generator.run()
 
 

@@ -39,6 +39,14 @@ class Opt2Stats:
     sites_processed: int = 0
     interprocedural_redirects: int = 0
 
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (the unified stats-registry schema)."""
+        return {
+            "redirected_nodes": self.redirected_nodes,
+            "sites_processed": self.sites_processed,
+            "interprocedural_redirects": self.interprocedural_redirects,
+        }
+
 
 def redundant_check_elimination(
     module: Module,

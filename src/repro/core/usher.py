@@ -28,6 +28,8 @@ from repro.core.msan import build_msan_plan
 from repro.core.opt2 import Opt2Stats, redundant_check_elimination
 from repro.core.plan import InstrumentationPlan
 from repro.memssa import build_memory_ssa
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TRACE
 from repro.vfg.builder import build_vfg
 from repro.vfg.definedness import Definedness, resolve_definedness
 from repro.vfg.demand import LazyDefinedness, resolve_definedness_demand
@@ -210,18 +212,22 @@ def prepare_module(
         schedule = resolved["schedule"]
         storage = resolved["storage"]
     started = time.perf_counter()
-    pointers = analyze_pointers(
-        module,
-        heap_cloning=heap_cloning,
-        use_reference=use_reference_solver,
-        schedule=schedule,
-        jobs=jobs,
-        tier=tier,
-        storage=storage,
-    )
-    callgraph = CallGraph(module, pointers)
-    modref = ModRefResult(module, pointers, callgraph)
-    build_memory_ssa(module, pointers, modref)
+    with TRACE.span("prepare"):
+        pointers = analyze_pointers(
+            module,
+            heap_cloning=heap_cloning,
+            use_reference=use_reference_solver,
+            schedule=schedule,
+            jobs=jobs,
+            tier=tier,
+            storage=storage,
+        )
+        with TRACE.span("callgraph"):
+            callgraph = CallGraph(module, pointers)
+        with TRACE.span("modref"):
+            modref = ModRefResult(module, pointers, callgraph)
+        with TRACE.span("memssa"):
+            build_memory_ssa(module, pointers, modref)
     return PreparedModule(
         module, pointers, callgraph, modref, time.perf_counter() - started
     )
@@ -230,41 +236,54 @@ def prepare_module(
 def run_usher(prepared: PreparedModule, config: UsherConfig) -> UsherResult:
     """Phases 3-5 of Figure 3 under ``config``."""
     started = time.perf_counter()
-    vfg = build_vfg(
-        prepared.module,
-        prepared.pointers,
-        prepared.callgraph,
-        prepared.modref,
-        address_taken=config.address_taken,
-        semi_strong=config.semi_strong,
-        array_init=config.array_init,
-    )
+    with TRACE.span("vfg.build", config=config.name):
+        vfg = build_vfg(
+            prepared.module,
+            prepared.pointers,
+            prepared.callgraph,
+            prepared.modref,
+            address_taken=config.address_taken,
+            semi_strong=config.semi_strong,
+            array_init=config.array_init,
+        )
+    if vfg.stats is not None:
+        REGISTRY.record_vfg(vfg.stats, config=config.name)
     if config.resolver not in ("callstring", "summary"):
         raise ValueError(f"unknown resolver {config.resolver!r}")
     opt2_stats: Optional[Opt2Stats] = None
     if config.opt2:
         # Opt II re-resolves Γ on its rewired scratch graph; resolving
         # the pristine VFG first would be pure waste.
-        gamma, opt2_stats = redundant_check_elimination(
+        with TRACE.span("opt2", config=config.name):
+            gamma, opt2_stats = redundant_check_elimination(
+                prepared.module,
+                vfg,
+                prepared.callgraph,
+                config.context_depth,
+                resolver=config.resolver,
+                interprocedural=config.opt2_interproc,
+                demand=config.demand,
+                jobs=config.jobs,
+            )
+        REGISTRY.record_opt2(opt2_stats, config=config.name)
+    else:
+        with TRACE.span("gamma.resolve", config=config.name,
+                        resolver=config.resolver, demand=config.demand):
+            gamma = resolve_for_config(vfg, config)
+    with TRACE.span("instrument", config=config.name, opt1=config.opt1):
+        plan, guided_stats = build_guided_plan(
             prepared.module,
             vfg,
+            gamma,
             prepared.callgraph,
-            config.context_depth,
-            resolver=config.resolver,
-            interprocedural=config.opt2_interproc,
-            demand=config.demand,
-            jobs=config.jobs,
+            opt1=config.opt1,
+            name=config.name,
         )
-    else:
-        gamma = resolve_for_config(vfg, config)
-    plan, guided_stats = build_guided_plan(
-        prepared.module,
-        vfg,
-        gamma,
-        prepared.callgraph,
-        opt1=config.opt1,
-        name=config.name,
+    query_stats = (
+        gamma.engine.stats if isinstance(gamma, LazyDefinedness) else None
     )
+    if query_stats is not None:
+        REGISTRY.record_query(query_stats, config=config.name)
     return UsherResult(
         config=config,
         plan=plan,

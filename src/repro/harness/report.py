@@ -39,7 +39,8 @@ def build_report(
 
     ``sections`` may restrict to a subset of
     ``{"table1", "figure10", "figure11", "opt_levels", "ablation",
-    "warner", "extension", "solver"}``.  ``options`` (or the legacy
+    "warner", "extension", "solver", "trace"}`` ("trace" is opt-in
+    only — it never appears in the default set).  ``options`` (or the legacy
     ``jobs`` keyword) installs session-default knobs — worker count,
     solving tier — so every analysis the report runs picks them up;
     the report content is identical for any value.
@@ -68,6 +69,8 @@ def _build_report_body(
             "solver",
         )
     )
+    # "trace" is opt-in: it re-runs an analysis with tracing enabled,
+    # so it only appears when asked for via --sections.
     started = time.perf_counter()
     parts: List[str] = [
         "# Usher reproduction — experiment report",
@@ -140,6 +143,13 @@ def _build_report_body(
             _extension_table(scale),
             "",
         ]
+    if "trace" in wanted:
+        parts += [
+            "## Phase trace (one traced run of the first workload)",
+            "",
+            _trace_tree(scale),
+            "",
+        ]
 
     parts.append(
         f"_Generated in {time.perf_counter() - started:.1f}s by "
@@ -186,6 +196,23 @@ def _solver_table(scale: float) -> str:
                 f"{stats.phase_seconds.get('solve', 0.0):>10.4f}"
             )
     return _block("\n".join(lines))
+
+
+def _trace_tree(scale: float) -> str:
+    """Span tree of one traced end-to-end analysis.
+
+    Captures every phase span — parse, constraint solving (per wave),
+    VFG construction, Opt I/II, instrumentation — for the first
+    workload at a small scale, and renders the hierarchy with wall
+    times.  Spans under 1% of the root are folded away.
+    """
+    from repro.obs.trace import TRACE
+
+    w = WORKLOADS[0]
+    with TRACE.capture():
+        analyze(source=w.source(min(scale, 0.3)), name=w.name)
+        tree = TRACE.render_tree(min_fraction=0.01)
+    return _block(tree or "(no spans recorded)")
 
 
 def _extension_table(scale: float) -> str:

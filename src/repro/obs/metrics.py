@@ -1,0 +1,384 @@
+"""Prometheus-style metrics: counters, gauges, latency histograms.
+
+Zero-dependency instruments rendered in the Prometheus *text
+exposition format* (the ``# HELP`` / ``# TYPE`` + sample-line shape
+any Prometheus-compatible scraper parses).  ``repro serve`` owns one
+:class:`MetricsRegistry` and serves its :meth:`~MetricsRegistry.render`
+output at ``GET /metrics``.
+
+Instruments support label sets the Prometheus way — one time series
+per label combination::
+
+    registry = MetricsRegistry()
+    requests = registry.counter(
+        "repro_requests_total", "Requests served.", labels=("route", "status")
+    )
+    requests.inc(route="/stats", status="200")
+
+    latency = registry.histogram(
+        "repro_request_seconds", "Request latency.", labels=("route",)
+    )
+    latency.observe(0.004, route="/stats")
+
+:func:`parse_prometheus_text` is the shared consumer: it parses the
+exposition text back into ``{name: {labels_tuple: value}}`` and is
+what the test suite (and any report tooling) uses to assert on
+scraped values.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "parse_prometheus_text",
+]
+
+#: Default latency buckets (seconds) — the Prometheus client defaults.
+DEFAULT_BUCKETS = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Instrument:
+    """Shared label handling for all instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labels: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labels = tuple(labels)
+        self._lock = threading.Lock()
+
+    def _key(self, label_values: Dict[str, object]) -> Tuple[str, ...]:
+        if set(label_values) != set(self.labels):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labels}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        return tuple(str(label_values[k]) for k in self.labels)
+
+    def _labels_text(
+        self, key: Tuple[str, ...], extra: Sequence[Tuple[str, str]] = ()
+    ) -> str:
+        pairs = [
+            f'{name}="{_escape(value)}"'
+            for name, value in list(zip(self.labels, key)) + list(extra)
+        ]
+        return "{" + ",".join(pairs) + "}" if pairs else ""
+
+    def header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, labels=()):
+        super().__init__(name, help_text, labels)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **label_values) -> None:
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **label_values) -> float:
+        return self._values.get(self._key(label_values), 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.append(
+                f"{self.name}{self._labels_text(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down; optionally computed at scrape
+    time via a callback (``set_function``)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, labels=()):
+        super().__init__(name, help_text, labels)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float, **label_values) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **label_values) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **label_values) -> None:
+        self.inc(-amount, **label_values)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Compute the (label-less) value lazily at scrape time."""
+        if self.labels:
+            raise ValueError(f"{self.name}: scrape callbacks need no labels")
+        self._fn = fn
+
+    def value(self, **label_values) -> float:
+        if self._fn is not None and not label_values:
+            return float(self._fn())
+        return self._values.get(self._key(label_values), 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        if self._fn is not None:
+            lines.append(f"{self.name} {_format_value(float(self._fn()))}")
+            return lines
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.append(
+                f"{self.name}{self._labels_text(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket latency histogram (``_bucket{le=}``, ``_sum``,
+    ``_count`` samples per label set, the Prometheus shape)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labels=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labels)
+        self.buckets = tuple(sorted(buckets))
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+        self._totals: Dict[Tuple[str, ...], int] = {}
+
+    def observe(self, value: float, **label_values) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **label_values) -> int:
+        return self._totals.get(self._key(label_values), 0)
+
+    def sum(self, **label_values) -> float:
+        return self._sums.get(self._key(label_values), 0.0)
+
+    def render(self) -> List[str]:
+        lines = self.header()
+        with self._lock:
+            keys = sorted(self._totals)
+            snapshot = {
+                key: (list(self._counts[key]), self._sums[key], self._totals[key])
+                for key in keys
+            }
+        for key in keys:
+            counts, total_sum, total = snapshot[key]
+            for bound, count in zip(self.buckets, counts):
+                le = _format_value(float(bound))
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{self._labels_text(key, [('le', le)])} {count}"
+                )
+            lines.append(
+                f"{self.name}_bucket"
+                f"{self._labels_text(key, [('le', '+Inf')])} {total}"
+            )
+            lines.append(
+                f"{self.name}_sum{self._labels_text(key)} "
+                f"{_format_value(total_sum)}"
+            )
+            lines.append(f"{self.name}_count{self._labels_text(key)} {total}")
+        return lines
+
+
+class MetricsRegistry:
+    """The instrument collection one server exposes at ``/metrics``."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is not None:
+                if type(existing) is not type(instrument) or (
+                    existing.labels != instrument.labels
+                ):
+                    raise ValueError(
+                        f"{instrument.name}: re-registered with a "
+                        "different kind or label set"
+                    )
+                return existing
+            self._instruments[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name, help_text, labels=()) -> Counter:
+        return self._register(Counter(name, help_text, labels))
+
+    def gauge(self, name, help_text, labels=()) -> Gauge:
+        return self._register(Gauge(name, help_text, labels))
+
+    def histogram(
+        self, name, help_text, labels=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._register(Histogram(name, help_text, labels, buckets))
+
+    def render(self) -> str:
+        """The full text exposition payload (trailing newline included,
+        as scrapers expect)."""
+        with self._lock:
+            instruments = [
+                self._instruments[name] for name in sorted(self._instruments)
+            ]
+        lines: List[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[Tuple, float]]:
+    """Parse exposition text into ``{metric: {labels: value}}``.
+
+    ``labels`` is a tuple of ``(name, value)`` pairs in source order
+    (``()`` for label-less samples).  ``# HELP`` / ``# TYPE`` comments
+    are validated for shape and skipped.  Raises :class:`ValueError`
+    on the first malformed line — this doubles as the test suite's
+    format check.
+    """
+    samples: Dict[str, Dict[Tuple, float]] = {}
+    for number, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {number}: malformed comment {raw!r}")
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_text, _, value_text = rest.rpartition("}")
+            labels: List[Tuple[str, str]] = []
+            for item in _split_labels(labels_text):
+                if "=" not in item:
+                    raise ValueError(f"line {number}: bad label {item!r}")
+                label_name, label_value = item.split("=", 1)
+                if not (
+                    label_value.startswith('"') and label_value.endswith('"')
+                ):
+                    raise ValueError(
+                        f"line {number}: unquoted label value {item!r}"
+                    )
+                labels.append(
+                    (
+                        label_name.strip(),
+                        label_value[1:-1]
+                        .replace('\\"', '"')
+                        .replace("\\n", "\n")
+                        .replace("\\\\", "\\"),
+                    )
+                )
+            key = tuple(labels)
+        else:
+            name, _, value_text = line.partition(" ")
+            key = ()
+        name = name.strip()
+        value_text = value_text.strip()
+        if not name or not value_text:
+            raise ValueError(f"line {number}: malformed sample {raw!r}")
+        try:
+            value = (
+                math.inf if value_text == "+Inf" else float(value_text)
+            )
+        except ValueError:
+            raise ValueError(
+                f"line {number}: non-numeric value {value_text!r}"
+            )
+        samples.setdefault(name, {})[key] = value
+    return samples
+
+
+def _split_labels(text: str) -> List[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quotes."""
+    items: List[str] = []
+    depth_quote = False
+    current = []
+    escaped = False
+    for char in text:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            depth_quote = not depth_quote
+            current.append(char)
+            continue
+        if char == "," and not depth_quote:
+            if current:
+                items.append("".join(current))
+                current = []
+            continue
+        current.append(char)
+    if current:
+        items.append("".join(current))
+    return items

@@ -12,7 +12,6 @@ exact bucket still diverges" and written out as a self-contained
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -286,6 +285,8 @@ def run_campaign(
     for seed in seed_list:
         work.append((f"seed{seed}", seed, ""))
 
+    from repro.obs.trace import TRACE
+
     for name, seed, text in work:
         left = time_left()
         if left is not None and left <= 0:
@@ -295,6 +296,13 @@ def run_campaign(
         if seed is not None:
             text = seed_text(seed, params)
         case = CaseResult(name=name, seed=seed, status="ok")
+        span = (
+            TRACE.span("fuzz.case", case=name, seed=seed)
+            if TRACE.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         try:
             case.status, case.divergences = examine_text(
                 text, name, matrix, plan_hook, tier,
@@ -341,6 +349,9 @@ def run_campaign(
                         )
         elif case.status == "skipped":
             say(f"{name}: skipped (step limit / fault in native run)")
+        if span is not None:
+            span.tag(status=case.status)
+            span.__exit__(None, None, None)
         result.cases.append(case)
         records.append(
             {
@@ -381,11 +392,13 @@ def run_campaign(
         }
     )
     if out_path is not None:
+        from repro.obs.registry import append_jsonl
+
         path = Path(out_path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w") as handle:
-            for record in records:
-                handle.write(json.dumps(record) + "\n")
+        if path.exists():
+            path.unlink()  # each campaign replaces the file wholesale
+        for record in records:
+            append_jsonl(path, record)
         result.out_path = str(path)
     return result
 

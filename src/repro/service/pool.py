@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.bitsets import Int64Arena
 from repro.analysis.shardgen import decode_words, encode_ops
+from repro.obs.trace import TRACE
 
 __all__ = ["FlatTape", "ResidentPool", "discard_ops_payload"]
 
@@ -159,6 +160,10 @@ def discard_ops_payload(payload) -> None:
 
 def _worker_main(conn) -> None:
     engine, module = _POOL_SNAPSHOT
+    if TRACE.enabled:
+        # Drop the fork-copied parent events; every reply ships only
+        # the spans this worker recorded for its own batch.
+        TRACE.clear()
     while True:
         try:
             command, payload = conn.recv()
@@ -168,46 +173,50 @@ def _worker_main(conn) -> None:
             if command == "stop":
                 break
             if command == "query":
-                sites = engine.vfg.check_sites
                 verdicts: Dict[int, bool] = {}
-                for index in payload:
-                    site = sites[index]
-                    ok = engine.is_defined(site.node)
-                    verdicts[site.instr_uid] = (
-                        verdicts.get(site.instr_uid, True) and ok
-                    )
-                conn.send(("ok", verdicts))
+                with TRACE.span("pool.query", sites=len(payload)):
+                    sites = engine.vfg.check_sites
+                    for index in payload:
+                        site = sites[index]
+                        ok = engine.is_defined(site.node)
+                        verdicts[site.instr_uid] = (
+                            verdicts.get(site.instr_uid, True) and ok
+                        )
+                spans = TRACE.export_spans() if TRACE.enabled else []
+                conn.send(("ok", verdicts, spans))
             elif command == "tape":
                 from repro.analysis import shardgen
 
                 names, wrappers, recursive = payload
                 out = []
-                for name in names:
-                    shard = shardgen._collector_class()(
-                        module, frozenset(wrappers), set(recursive), [name]
-                    ).result_shard
-                    out.append(
-                        (
-                            name,
-                            _ship_words(shard.words),
-                            pickle.dumps(
-                                (
-                                    shard.syms,
-                                    shard.call_targets,
-                                    shard.clone_base,
-                                    shard.instantiated,
-                                    shard.alloc_objects,
+                with TRACE.span("pool.tapes", functions=len(names)):
+                    for name in names:
+                        shard = shardgen._collector_class()(
+                            module, frozenset(wrappers), set(recursive), [name]
+                        ).result_shard
+                        out.append(
+                            (
+                                name,
+                                _ship_words(shard.words),
+                                pickle.dumps(
+                                    (
+                                        shard.syms,
+                                        shard.call_targets,
+                                        shard.clone_base,
+                                        shard.instantiated,
+                                        shard.alloc_objects,
+                                    ),
+                                    protocol=pickle.HIGHEST_PROTOCOL,
                                 ),
-                                protocol=pickle.HIGHEST_PROTOCOL,
-                            ),
+                            )
                         )
-                    )
-                conn.send(("ok", out))
+                spans = TRACE.export_spans() if TRACE.enabled else []
+                conn.send(("ok", out, spans))
             else:
-                conn.send(("err", f"unknown command {command!r}"))
+                conn.send(("err", f"unknown command {command!r}", []))
         except Exception as exc:  # ship the failure, keep serving
             try:
-                conn.send(("err", repr(exc)))
+                conn.send(("err", repr(exc), []))
             except (OSError, BrokenPipeError):
                 break
     conn.close()
@@ -267,9 +276,11 @@ class ResidentPool:
                     live.append(pipe)
             verdicts: Dict[int, bool] = {}
             for pipe in live:
-                status, payload = pipe.recv()
+                status, payload, spans = pipe.recv()
                 if status != "ok":
                     raise RuntimeError(payload)
+                if TRACE.enabled and spans:
+                    TRACE.adopt(spans)
                 for uid, ok in payload.items():
                     verdicts[uid] = verdicts.get(uid, True) and ok
             return verdicts
@@ -298,9 +309,11 @@ class ResidentPool:
             shards: Dict[str, object] = {}
             while live:
                 pipe = live.pop()
-                status, payload = pipe.recv()
+                status, payload, spans = pipe.recv()
                 if status != "ok":
                     raise RuntimeError(payload)
+                if TRACE.enabled and spans:
+                    TRACE.adopt(spans)
                 pending.append(payload)
                 for name, ops_payload, rest in payload:
                     syms, call_targets, clone_base, instantiated, allocs = (
@@ -330,7 +343,7 @@ class ResidentPool:
             for pipe in live:
                 try:
                     while pipe.poll(0.2):
-                        status, payload = pipe.recv()
+                        status, payload, _spans = pipe.recv()
                         if status == "ok":
                             for _name, ops_payload, _rest in payload:
                                 discard_ops_payload(ops_payload)
@@ -338,6 +351,12 @@ class ResidentPool:
                     continue
             self.shutdown()
             return None
+
+    def worker_health(self) -> Tuple[int, int]:
+        """``(alive, started)`` worker process counts — the
+        ``/metrics`` resident-pool health figures."""
+        alive = sum(1 for proc in self._procs if proc.is_alive())
+        return alive, len(self._procs)
 
     # -- lifecycle -------------------------------------------------------
     def shutdown(self) -> None:

@@ -16,24 +16,46 @@ Routes (all POST bodies and responses are JSON):
 * ``POST /query_sites`` — ``{"digest", "uids"?, "jobs"?}`` → verdicts.
 * ``POST /explain`` — ``{"digest", "uid"}`` → rendered flow steps.
 * ``POST /stats`` / ``GET /ping`` — introspection.
+* ``GET /metrics`` — Prometheus text exposition (request counts and
+  latency histograms per route, session count, last-update dirty
+  fraction and memo-carryover counters per session, resident-pool
+  worker health).
 
 Client errors answer ``400`` (malformed input) or ``404`` (unknown
-digest) with ``{"error": "<one line>"}``.
+digest — :class:`UnknownDigestError` — or unknown route) with
+``{"error": "<one line>"}``.  The 404 contract is uniform: *every*
+digest-taking route (``/update``, ``/query_sites``, ``/explain``,
+``/stats``) answers the same one-line 404 on an unknown digest, and
+nothing else maps to 404; a known digest with bad arguments (an
+unknown function name, a missing field) is always a 400.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import time
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Dict, Optional
 from urllib.error import HTTPError
 from urllib.request import Request, urlopen
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TRACE
 from repro.options import AnalysisOptions
 from repro.service.session import AnalysisSession
 
-__all__ = ["ReproServer", "ServiceClient", "ServiceError", "serve"]
+__all__ = [
+    "ReproServer",
+    "ServiceClient",
+    "ServiceError",
+    "UnknownDigestError",
+    "serve",
+]
+
+
+class UnknownDigestError(LookupError):
+    """The only condition (besides an unknown route) that answers 404."""
 
 
 class ServiceError(RuntimeError):
@@ -61,6 +83,73 @@ class ReproServer(HTTPServer):
         self.default_options = (
             options if options is not None else AnalysisOptions()
         )
+        self.metrics = MetricsRegistry()
+        self.requests_total = self.metrics.counter(
+            "repro_requests_total",
+            "Requests served, by route and HTTP status.",
+            labels=("route", "status"),
+        )
+        self.request_seconds = self.metrics.histogram(
+            "repro_request_seconds",
+            "Request handling latency in seconds, by route.",
+            labels=("route",),
+        )
+        self.metrics.gauge(
+            "repro_sessions", "Resident analysis sessions."
+        ).set_function(lambda: len(self.sessions))
+        self._dirty_fraction = self.metrics.gauge(
+            "repro_session_dirty_fraction",
+            "Dirty VFG-node fraction of each session's last update.",
+            labels=("digest",),
+        )
+        self._memos_carried = self.metrics.counter(
+            "repro_session_memos_carried_total",
+            "Demand-engine memo entries carried across updates.",
+            labels=("digest",),
+        )
+        self._memos_dropped = self.metrics.counter(
+            "repro_session_memos_dropped_total",
+            "Demand-engine memo entries dropped across updates.",
+            labels=("digest",),
+        )
+        self._pool_workers = self.metrics.gauge(
+            "repro_pool_workers",
+            "Resident-pool worker processes, by session and liveness.",
+            labels=("digest", "state"),
+        )
+
+    def observe_request(
+        self, route: str, status: int, started: float
+    ) -> None:
+        self.requests_total.inc(route=route, status=str(status))
+        self.request_seconds.observe(
+            time.perf_counter() - started, route=route
+        )
+
+    def note_update(self, digest: str, stats) -> None:
+        """Fold one update's figures into the per-session gauges."""
+        self._dirty_fraction.set(stats.dirty_fraction, digest=digest)
+        self._memos_carried.inc(stats.memos_carried, digest=digest)
+        self._memos_dropped.inc(stats.memos_dropped, digest=digest)
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` payload: refresh scrape-time gauges from
+        the live sessions, then render the exposition text."""
+        for digest, session in self.sessions.items():
+            update = session.last_update
+            if update is not None:
+                self._dirty_fraction.set(
+                    update.dirty_fraction, digest=digest
+                )
+            pool = getattr(session, "_query_pool", None)
+            alive, started = (
+                pool.worker_health() if pool is not None else (0, 0)
+            )
+            self._pool_workers.set(alive, digest=digest, state="alive")
+            self._pool_workers.set(
+                started - alive, digest=digest, state="dead"
+            )
+        return self.metrics.render()
 
     def close_sessions(self) -> None:
         for session in self.sessions.values():
@@ -88,23 +177,40 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _session(self, data: Dict) -> AnalysisSession:
         digest = data.get("digest")
         session = self.server.sessions.get(digest)
         if session is None:
-            raise LookupError(f"unknown session digest {digest!r}")
+            raise UnknownDigestError(f"unknown session digest {digest!r}")
         return session
 
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:
+        started = time.perf_counter()
         if self.path == "/ping":
             self._reply(
                 200, {"ok": True, "sessions": sorted(self.server.sessions)}
             )
+            status = 200
+        elif self.path == "/metrics":
+            self._reply_text(200, self.server.render_metrics())
+            status = 200
         else:
             self._reply(404, {"error": f"unknown route {self.path}"})
+            status = 404
+        self.server.observe_request(self.path, status, started)
 
     def do_POST(self) -> None:
+        started = time.perf_counter()
+        status = 200
         try:
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b"{}"
@@ -113,13 +219,20 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ValueError("request body must be a JSON object")
             route = getattr(self, "_route" + self.path.replace("/", "_"), None)
             if route is None:
+                status = 404
                 self._reply(404, {"error": f"unknown route {self.path}"})
                 return
-            self._reply(200, route(data))
-        except LookupError as exc:
-            self._reply(404, {"error": str(exc)})
+            with TRACE.span("serve.request", route=self.path):
+                payload = route(data)
+            self._reply(200, payload)
+        except UnknownDigestError as exc:
+            status = 404
+            self._reply(404, {"error": _one_line(exc)})
         except Exception as exc:
+            status = 400
             self._reply(400, {"error": _one_line(exc)})
+        finally:
+            self.server.observe_request(self.path, status, started)
 
     def _route_open(self, data: Dict) -> Dict:
         source = data.get("source")
@@ -159,7 +272,14 @@ class _Handler(BaseHTTPRequestHandler):
         body = data.get("body")
         if not function or body is None:
             raise ValueError("update needs 'function' and 'body'")
-        return session.update(function, body).as_dict()
+        try:
+            stats = session.update(function, body)
+        except KeyError as exc:
+            # An unknown *function* on a known digest is malformed
+            # input (400), not a missing resource (404).
+            raise ValueError(_one_line(exc)) from None
+        self.server.note_update(data.get("digest"), stats)
+        return stats.as_dict()
 
     def _route_query_sites(self, data: Dict) -> Dict:
         session = self._session(data)
@@ -230,6 +350,16 @@ class ServiceClient:
 
     def ping(self) -> Dict:
         return self._call("/ping")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text from ``GET /metrics`` (parse with
+        :func:`repro.obs.metrics.parse_prometheus_text`)."""
+        request = Request(self.base_url + "/metrics")
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except HTTPError as exc:
+            raise ServiceError(exc.code, exc.reason) from None
 
     def open(
         self,

@@ -73,6 +73,8 @@ from repro.analysis.modref import ModRefResult
 from repro.analysis.parallel import fork_available, resolve_jobs
 from repro.analysis.solverstats import SolverStats
 from repro.analysis.tiers import resolve_tier
+from repro.obs.registry import REGISTRY
+from repro.obs.trace import TRACE
 from repro.core.usher import (
     PreparedModule,
     UsherConfig,
@@ -794,6 +796,17 @@ class AnalysisSession:
     def _rebuild(
         self, pre_module: Module, edited: Optional[str]
     ) -> UpdateStats:
+        with TRACE.span(
+            "session.update",
+            session=self.name,
+            function=edited or "",
+            tier=self._tier,
+        ):
+            return self._rebuild_traced(pre_module, edited)
+
+    def _rebuild_traced(
+        self, pre_module: Module, edited: Optional[str]
+    ) -> UpdateStats:
         started = time.perf_counter()
         module = pre_module
         run_pipeline(module, self._level)
@@ -849,6 +862,9 @@ class AnalysisSession:
             update_seconds=time.perf_counter() - started,
         )
         self.last_update = stats
+        REGISTRY.record_update(
+            stats, session=self.name, tier=self._tier
+        )
         return stats
 
     def _tape_pool_for(self, module: Module):

@@ -78,6 +78,7 @@ from typing import (
 
 from repro.analysis.parallel import fork_available, fork_pool, resolve_jobs
 from repro.analysis.solverstats import QueryStats
+from repro.obs.trace import TRACE
 from repro.vfg.definedness import Definedness, step_context
 from repro.vfg.graph import BOT, CALL, INTRA, RET, CheckSite, Edge, Node, Root, VFG
 
@@ -190,9 +191,16 @@ class DemandEngine:
         if node is None or isinstance(node, Root):
             return False
         started = time.perf_counter()
-        verdict, states, nodes, memo_hit, cutoff = self._search(
-            self._start_states(node)
-        )
+        if TRACE.enabled:
+            with TRACE.span("demand.query") as span:
+                verdict, states, nodes, memo_hit, cutoff = self._search(
+                    self._start_states(node)
+                )
+                span.tag(bottom=verdict, states=states, memo_hit=memo_hit)
+        else:
+            verdict, states, nodes, memo_hit, cutoff = self._search(
+                self._start_states(node)
+            )
         self.stats.note_query(
             bottom=verdict,
             states=states,
@@ -235,15 +243,18 @@ class DemandEngine:
         """
         sites = list(sites)
         jobs = min(resolve_jobs(jobs), len(sites))
-        if jobs > 1 and fork_available():
-            parallel = self._query_sites_parallel(sites, jobs)
-            if parallel is not None:
-                return parallel
-        verdicts: Dict[int, bool] = {}
-        for site in sites:
-            ok = self.is_defined(site.node)
-            verdicts[site.instr_uid] = verdicts.get(site.instr_uid, True) and ok
-        return verdicts
+        with TRACE.span("demand.query_sites", sites=len(sites), jobs=jobs):
+            if jobs > 1 and fork_available():
+                parallel = self._query_sites_parallel(sites, jobs)
+                if parallel is not None:
+                    return parallel
+            verdicts: Dict[int, bool] = {}
+            for site in sites:
+                ok = self.is_defined(site.node)
+                verdicts[site.instr_uid] = (
+                    verdicts.get(site.instr_uid, True) and ok
+                )
+            return verdicts
 
     def _query_sites_parallel(
         self, sites: List[CheckSite], jobs: int
@@ -271,11 +282,13 @@ class DemandEngine:
         finally:
             _FORK_ENGINE = None
         verdicts: Dict[int, bool] = {}
-        for chunk_verdicts, memo, stats in replies:
+        for chunk_verdicts, memo, stats, spans in replies:
             # Union is the whole merge: verdicts are order-independent
             # graph properties, so overlapping entries always agree.
             self._memo.update(memo)
             self.stats.merge(stats)
+            if TRACE.enabled and spans:
+                TRACE.adopt(spans)
             for uid, ok in chunk_verdicts.items():
                 verdicts[uid] = verdicts.get(uid, True) and ok
         self.stats.memo_entries = len(self._memo)
@@ -483,13 +496,15 @@ _FORK_ENGINE: Optional[DemandEngine] = None
 
 def _answer_chunk(
     chunk: List[CheckSite],
-) -> Tuple[Dict[int, bool], Dict[State, bool], QueryStats]:
+) -> Tuple[Dict[int, bool], Dict[State, bool], QueryStats, List[tuple]]:
     """Worker entry point: answer one stripe of check sites.
 
     Returns the stripe's verdicts, the memo entries this worker *added*
-    on top of the inherited snapshot, and a fresh stats object covering
+    on top of the inherited snapshot, a fresh stats object covering
     only this worker's queries (the parent merges it; reusing the
-    inherited stats would double-count the pre-fork history).
+    inherited stats would double-count the pre-fork history), and the
+    worker's finished trace spans (empty when tracing is off) for the
+    parent to :meth:`~repro.obs.trace.Tracer.adopt`.
     """
     engine = _FORK_ENGINE
     assert engine is not None, "query worker started without fork context"
@@ -499,16 +514,24 @@ def _answer_chunk(
         context_depth=engine.context_depth,
         graph_nodes=engine.vfg.num_nodes,
     )
+    if TRACE.enabled:
+        # Drop the fork-copied parent events; export only this
+        # worker's spans for the parent to stitch back in.
+        TRACE.clear()
     verdicts: Dict[int, bool] = {}
-    for site in chunk:
-        ok = engine.is_defined(site.node)
-        verdicts[site.instr_uid] = verdicts.get(site.instr_uid, True) and ok
+    with TRACE.span("demand.worker", sites=len(chunk)):
+        for site in chunk:
+            ok = engine.is_defined(site.node)
+            verdicts[site.instr_uid] = (
+                verdicts.get(site.instr_uid, True) and ok
+            )
     fresh = {
         state: verdict
         for state, verdict in engine._memo.items()
         if state not in inherited
     }
-    return verdicts, fresh, engine.stats
+    spans = TRACE.export_spans() if TRACE.enabled else []
+    return verdicts, fresh, engine.stats, spans
 
 
 class LazyDefinedness(Definedness):

@@ -70,6 +70,36 @@ class TestCheck:
         assert "unified tier" in out
         assert "unified nodes" in out
 
+    def test_trace_writes_valid_chrome_trace(
+        self, buggy_file, tmp_path, capsys
+    ):
+        from repro.obs.trace import TRACE, validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        assert main(["check", buggy_file, "--trace", str(out)]) == 1
+        printed = capsys.readouterr().out
+        assert "trace: wrote" in printed and str(out) in printed
+        assert not TRACE.enabled  # tracing switched back off afterwards
+        spans = validate_chrome_trace(out.read_text())
+        assert spans > 0
+        import json as _json
+
+        names = {
+            e["name"]
+            for e in _json.loads(out.read_text())["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert {"parse", "analyze", "pointer_analysis"} <= names
+
+    def test_trace_still_written_on_compile_error(self, tmp_path, capsys):
+        from repro.obs.trace import TRACE
+
+        bad = tmp_path / "bad.tc"
+        bad.write_text("def main( {")
+        out = tmp_path / "trace.json"
+        assert main(["check", str(bad), "--trace", str(out)]) == 2
+        assert not TRACE.enabled
+
     def test_missing_file_exits_2(self, capsys):
         assert main(["check", "/nonexistent.tc"]) == 2
 
@@ -117,6 +147,13 @@ class TestReportAndSweep:
         assert main(["report", "--scale", "0.05",
                      "--sections", "figure11", "-o", str(target)]) == 0
         assert "Figure 11" in target.read_text()
+
+    def test_report_trace_section(self, capsys):
+        assert main(["report", "--scale", "0.05",
+                     "--sections", "trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Phase trace" in out
+        assert "pointer_analysis" in out
 
     def test_sweep_prints_both_figures(self, capsys):
         assert main(["sweep", "--scale", "0.05"]) == 0

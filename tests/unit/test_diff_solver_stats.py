@@ -265,3 +265,78 @@ def test_kind_flag_filters_records(tmp_path):
     ]
     assert _run_gate(tmp_path, records, "--kind", "solver").returncode == 0
     assert _run_gate(tmp_path, records, "--kind", "query").returncode == 1
+
+# -- per-phase wall-clock gate (schema-stamped rows only) ---------------
+
+
+def _stamped(solve_s, pops=100, **overrides):
+    return _record(
+        pops,
+        200,
+        schema="repro.stats/1",
+        phase_seconds={"solve": solve_s, "constraints": 0.01},
+        **overrides,
+    )
+
+
+def test_wall_gate_fails_on_phase_regression(tmp_path):
+    result = _run_gate(tmp_path, [_stamped(0.3), _stamped(0.9)])
+    assert result.returncode == 1
+    assert "phase 'solve'" in result.stdout
+
+
+def test_wall_gate_ignores_unstamped_rows(tmp_path):
+    # Same 3x wall regression, but legacy rows carry no schema marker.
+    result = _run_gate(
+        tmp_path,
+        [
+            _record(100, 200, phase_seconds={"solve": 0.3}),
+            _record(100, 200, phase_seconds={"solve": 0.9}),
+        ],
+    )
+    assert result.returncode == 0
+
+
+def test_wall_gate_respects_absolute_floor(tmp_path):
+    # A 10x swing entirely below the floor is noise, not a regression.
+    result = _run_gate(tmp_path, [_stamped(0.01), _stamped(0.1)])
+    assert result.returncode == 0
+    # Raising the floor above the regression silences it too.
+    result = _run_gate(
+        tmp_path, [_stamped(0.3), _stamped(0.9)], "--wall-floor", "1.0"
+    )
+    assert result.returncode == 0
+
+
+def test_wall_gate_opt_out_flag(tmp_path):
+    records = [_stamped(0.3), _stamped(0.9)]
+    assert _run_gate(tmp_path, records, "--no-wall-gate").returncode == 0
+
+
+def test_wall_gate_max_ratio_flag(tmp_path):
+    records = [_stamped(0.3), _stamped(0.5)]
+    assert _run_gate(tmp_path, records).returncode == 0
+    assert (
+        _run_gate(
+            tmp_path, records, "--max-wall-ratio", "1.5"
+        ).returncode
+        == 1
+    )
+
+
+def test_wall_gate_elapsed_fallback(tmp_path):
+    # Rows without phase_seconds still gate on the flat elapsed field.
+    rows = [
+        _record(100, 200, schema="repro.stats/1", elapsed=0.3),
+        _record(100, 200, schema="repro.stats/1", elapsed=0.9),
+    ]
+    result = _run_gate(tmp_path, rows)
+    assert result.returncode == 1
+    assert "phase 'total'" in result.stdout
+
+
+def test_wall_gate_counters_still_gated_when_opted_out(tmp_path):
+    records = [_stamped(0.3), _stamped(0.9, pops=900)]
+    result = _run_gate(tmp_path, records, "--no-wall-gate")
+    assert result.returncode == 1
+    assert "pops" in result.stdout

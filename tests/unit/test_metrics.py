@@ -1,0 +1,164 @@
+"""Unit tests for the Prometheus-style metrics instruments."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        c = Counter("repro_requests_total", "Requests.", ("route", "status"))
+        c.inc(route="/stats", status="200")
+        c.inc(2, route="/stats", status="200")
+        c.inc(route="/stats", status="404")
+        assert c.value(route="/stats", status="200") == 3
+        assert c.value(route="/stats", status="404") == 1
+        assert c.value(route="/ping", status="200") == 0
+
+    def test_counters_only_go_up(self):
+        c = Counter("c_total", "C.")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_label_set_is_validated(self):
+        c = Counter("c_total", "C.", ("route",))
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc(status="200")
+        with pytest.raises(ValueError, match="expected labels"):
+            c.inc()
+
+    def test_render_shape(self):
+        c = Counter("c_total", "How many.", ("route",))
+        c.inc(route="/x")
+        assert c.render() == [
+            "# HELP c_total How many.",
+            "# TYPE c_total counter",
+            'c_total{route="/x"} 1',
+        ]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g", "G.")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+    def test_scrape_time_callback(self):
+        sessions = ["a", "b"]
+        g = Gauge("repro_sessions", "Open sessions.")
+        g.set_function(lambda: len(sessions))
+        assert g.value() == 2
+        sessions.append("c")
+        assert "repro_sessions 3" in g.render()
+
+    def test_callback_requires_no_labels(self):
+        g = Gauge("g", "G.", ("digest",))
+        with pytest.raises(ValueError, match="no labels"):
+            g.set_function(lambda: 1)
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_totals(self):
+        h = Histogram("lat", "Latency.", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            h.observe(value)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.55)
+        parsed = parse_prometheus_text("\n".join(h.render()) + "\n")
+        buckets = parsed["lat_bucket"]
+        assert buckets[(("le", "0.1"),)] == 1
+        assert buckets[(("le", "1"),)] == 2
+        assert buckets[(("le", "+Inf"),)] == 3
+        assert parsed["lat_count"][()] == 3
+
+    def test_labelled_series_are_independent(self):
+        h = Histogram("lat", "Latency.", ("route",), buckets=(1.0,))
+        h.observe(0.5, route="/a")
+        h.observe(2.0, route="/b")
+        assert h.count(route="/a") == 1
+        assert h.count(route="/b") == 1
+        assert h.sum(route="/b") == 2.0
+
+
+class TestRegistry:
+    def test_render_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_requests_total", "Requests.", ("route", "status")
+        )
+        latency = registry.histogram(
+            "repro_request_seconds", "Latency.", ("route",), buckets=(0.1,)
+        )
+        sessions = registry.gauge("repro_sessions", "Sessions.")
+        requests.inc(route="/stats", status="200")
+        latency.observe(0.01, route="/stats")
+        sessions.set(1)
+
+        parsed = parse_prometheus_text(registry.render())
+        assert parsed["repro_requests_total"][
+            (("route", "/stats"), ("status", "200"))
+        ] == 1
+        assert parsed["repro_request_seconds_bucket"][
+            (("route", "/stats"), ("le", "0.1"))
+        ] == 1
+        assert parsed["repro_sessions"][()] == 1
+
+    def test_reregistration_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", "C.", ("route",))
+        b = registry.counter("c_total", "C.", ("route",))
+        assert a is b
+
+    def test_reregistration_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "C.", ("route",))
+        with pytest.raises(ValueError, match="re-registered"):
+            registry.gauge("c_total", "C.", ("route",))
+        with pytest.raises(ValueError, match="re-registered"):
+            registry.counter("c_total", "C.", ("other",))
+
+    def test_render_sorted_with_trailing_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "Z.").inc()
+        registry.counter("a_total", "A.").inc()
+        text = registry.render()
+        assert text.endswith("\n")
+        assert text.index("a_total") < text.index("z_total")
+
+
+class TestLabelEscaping:
+    def test_quotes_backslashes_newlines_round_trip(self):
+        c = Counter("c_total", "C.", ("path",))
+        tricky = 'a"b\\c\nd,e'
+        c.inc(path=tricky)
+        parsed = parse_prometheus_text("\n".join(c.render()) + "\n")
+        assert parsed["c_total"][(("path", tricky),)] == 1
+
+
+class TestParser:
+    def test_rejects_malformed_comment(self):
+        with pytest.raises(ValueError, match="malformed comment"):
+            parse_prometheus_text("# NONSENSE\n")
+
+    def test_rejects_unquoted_label_value(self):
+        with pytest.raises(ValueError, match="unquoted"):
+            parse_prometheus_text("m{route=/x} 1\n")
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("m nope\n")
+
+    def test_accepts_inf(self):
+        parsed = parse_prometheus_text('m_bucket{le="+Inf"} 4\n')
+        assert parsed["m_bucket"][(("le", "+Inf"),)] == 4
+        assert not math.isinf(parsed["m_bucket"][(("le", "+Inf"),)])

@@ -14,8 +14,18 @@ against the one before it: if the same workload suddenly does more than
 ``--max-ratio`` times the work, a performance regression slipped in and
 the gate fails.
 
-Gated counters (deterministic by construction; wall-clock fields are
-deliberately ignored because CI machines are noisy):
+Rows stamped ``"schema": "repro.stats/1"`` (everything the unified
+writer :func:`repro.obs.registry.write_stats_row` emits) additionally
+get a per-phase wall-clock gate: when the same workload's
+``phase_seconds`` entry more than doubles between consecutive runs
+(``--max-wall-ratio``) *and* both sides exceed an absolute floor
+(``--wall-floor``, default 0.2s — sub-floor phases are all noise), the
+gate fails.  ``--no-wall-gate`` opts out on known-noisy machines.
+Legacy rows without the marker are never wall-gated.
+
+Gated counters (deterministic by construction; wall-clock fields on
+*unstamped* rows are deliberately ignored because CI machines are
+noisy):
 
 - solver records: worklist ``pops`` and ``facts_propagated``, plus the
   memory profile when recorded — points-to representation bytes
@@ -52,7 +62,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 #: Deterministic work counters gated for regressions, per record kind.
 SOLVER_METRICS = ("pops", "facts_propagated")
@@ -70,7 +80,64 @@ TIER_INVERTED_METRICS = ("unified_nodes",)
 #: Backwards-compatible alias (the original solver-only gate).
 GATED_METRICS = SOLVER_METRICS
 
+#: Schema marker rows must carry to opt into the wall-clock gate
+#: (matches :data:`repro.obs.registry.SCHEMA`).
+WALL_GATE_SCHEMA = "repro.stats/1"
+
+#: Phases faster than this (seconds) are never wall-gated — at that
+#: scale a 2x swing is scheduler noise, not a regression.
+WALL_FLOOR_SECONDS = 0.2
+
 GroupKey = Tuple[object, ...]
+
+
+def check_wall(
+    previous: dict,
+    latest: dict,
+    label: str,
+    max_ratio: float,
+    floor: float,
+) -> List[str]:
+    """Per-phase wall-clock gate for schema-stamped rows.
+
+    Applies only when *both* rows carry the unified-writer schema
+    marker; compares each phase present in both ``phase_seconds``
+    maps (falling back to the flat ``elapsed`` field as phase
+    ``"total"``) and flags any phase that got ``max_ratio`` times
+    slower while both sides sit above the absolute ``floor``.
+    """
+    if (
+        previous.get("schema") != WALL_GATE_SCHEMA
+        or latest.get("schema") != WALL_GATE_SCHEMA
+    ):
+        return []
+
+    def walls(record: dict) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        phases = record.get("phase_seconds")
+        if isinstance(phases, dict):
+            for phase, seconds in phases.items():
+                if isinstance(seconds, (int, float)):
+                    out[str(phase)] = float(seconds)
+        elapsed = record.get("elapsed")
+        if isinstance(elapsed, (int, float)):
+            out.setdefault("total", float(elapsed))
+        return out
+
+    before_walls, after_walls = walls(previous), walls(latest)
+    problems = []
+    for phase in sorted(set(before_walls) & set(after_walls)):
+        before, after = before_walls[phase], after_walls[phase]
+        if before < floor or after < floor:
+            continue
+        ratio = after / before
+        if ratio > max_ratio:
+            problems.append(
+                f"{label}: phase '{phase}' wall time regressed "
+                f"{before:.3f}s -> {after:.3f}s "
+                f"({ratio:.2f}x > {max_ratio:.2f}x allowed)"
+            )
+    return problems
 
 
 def record_kind(record: dict) -> str:
@@ -142,11 +209,17 @@ def load_groups(path: Path, kind: str = "auto") -> Dict[GroupKey, List[dict]]:
 
 
 def check_group(
-    key: GroupKey, history: List[dict], max_ratio: float
+    key: GroupKey,
+    history: List[dict],
+    max_ratio: float,
+    wall_ratio: "Optional[float]" = None,
+    wall_floor: float = WALL_FLOOR_SECONDS,
 ) -> List[str]:
     """Compare the newest entry against its predecessor (service
     records instead gate *within* their newest entry: the resident
-    pool must beat the serial path, or the pool lost its point)."""
+    pool must beat the serial path, or the pool lost its point).
+    ``wall_ratio``, when given, additionally wall-gates schema-stamped
+    rows via :func:`check_wall`."""
     if key[0] == "service":
         latest = history[-1]
         label = "/".join(str(part) for part in key[1:])
@@ -172,6 +245,10 @@ def check_group(
     )
     label = "/".join(str(part) for part in key[1:])
     problems = []
+    if wall_ratio is not None:
+        problems.extend(
+            check_wall(previous, latest, label, wall_ratio, wall_floor)
+        )
     for metric in metrics:
         before = previous.get(metric)
         after = latest.get(metric)
@@ -233,6 +310,26 @@ def main(argv=None) -> int:
         help="restrict to one record kind (default: auto-detect per "
         "line and gate all)",
     )
+    parser.add_argument(
+        "--max-wall-ratio",
+        type=float,
+        default=2.0,
+        help="fail when a schema-stamped row's per-phase wall time "
+        "exceeds this factor of the previous run (default: 2.0)",
+    )
+    parser.add_argument(
+        "--wall-floor",
+        type=float,
+        default=WALL_FLOOR_SECONDS,
+        help="absolute seconds below which phase wall times are never "
+        f"gated (default: {WALL_FLOOR_SECONDS})",
+    )
+    parser.add_argument(
+        "--no-wall-gate",
+        action="store_true",
+        help="disable the per-phase wall-clock gate entirely "
+        "(counters are still gated)",
+    )
     args = parser.parse_args(argv)
 
     if not args.log.exists():
@@ -252,13 +349,22 @@ def main(argv=None) -> int:
     else:
         label = "solver-stats"
 
+    wall_ratio = None if args.no_wall_gate else args.max_wall_ratio
     problems: List[str] = []
     comparable = 0
     for key in sorted(groups, key=str):
         history = groups[key]
         if len(history) >= 2:
             comparable += 1
-        problems.extend(check_group(key, history, args.max_ratio))
+        problems.extend(
+            check_group(
+                key,
+                history,
+                args.max_ratio,
+                wall_ratio=wall_ratio,
+                wall_floor=args.wall_floor,
+            )
+        )
 
     if problems:
         print(f"{label} regression gate FAILED:")
