@@ -1,0 +1,99 @@
+"""Baseline gating: this sweep's rows against a committed JSONL log.
+
+The contract mirrors the paper's determinism claims.  Per matching
+cell (keyed by the cell name):
+
+- **exact**: ``status``, ``warned_uids``, ``checks``, ``propagations``
+  — detection results and static instrumentation are bit-identical
+  run to run and machine to machine, so *any* drift is a finding;
+- **ratio** (default 2.0x): ``pops``, ``facts_propagated`` — solver
+  work counters are deterministic too, but legitimately move with
+  algorithmic changes, so only a large regression gates;
+- **never**: wall-clock — baselines are committed, diffs run on
+  other machines.
+
+A cell present in the baseline but missing from the current run is a
+failure (silently shrinking coverage must not pass CI); new cells are
+fine — that's how the matrix grows.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+#: Cell fields compared for exact equality.
+EXACT_FIELDS = ("status", "warned_uids", "checks", "propagations")
+
+#: Cell fields gated by growth ratio.
+RATIO_FIELDS = ("pops", "facts_propagated")
+
+#: Default tolerated growth for ratio-gated counters.
+MAX_RATIO = 2.0
+
+
+def load_rows(path: str) -> List[Dict]:
+    """The bench rows of a JSONL log (other record kinds are ignored,
+    so bench rows can share a log with solver/fuzz rows)."""
+    rows = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("kind") == "bench":
+                rows.append(row)
+    return rows
+
+
+def diff_rows(
+    current: List[Dict],
+    baseline: List[Dict],
+    max_ratio: float = MAX_RATIO,
+) -> Tuple[List[str], int]:
+    """Compare a sweep against its baseline.
+
+    Returns ``(problems, compared)``: human-readable problem lines
+    (empty means the gate passes) and the number of cells compared.
+    """
+    problems: List[str] = []
+    current_by = {row["cell"]: row for row in current}
+    baseline_by = {row["cell"]: row for row in baseline}
+    compared = 0
+    for cell, base in sorted(baseline_by.items()):
+        row = current_by.get(cell)
+        if row is None:
+            problems.append(
+                f"{cell}: in baseline but missing from this run "
+                "(matrix coverage shrank)"
+            )
+            continue
+        compared += 1
+        for field in EXACT_FIELDS:
+            if row.get(field) != base.get(field):
+                problems.append(
+                    f"{cell}: {field} changed "
+                    f"{base.get(field)!r} -> {row.get(field)!r}"
+                )
+        for field in RATIO_FIELDS:
+            was, now = base.get(field), row.get(field)
+            if not isinstance(was, (int, float)) or not isinstance(
+                now, (int, float)
+            ):
+                continue
+            if now > max(was, 1) * max_ratio:
+                problems.append(
+                    f"{cell}: {field} grew {was} -> {now} "
+                    f"(> {max_ratio:g}x)"
+                )
+    return problems, compared
+
+
+__all__ = [
+    "EXACT_FIELDS",
+    "MAX_RATIO",
+    "RATIO_FIELDS",
+    "diff_rows",
+    "load_rows",
+]

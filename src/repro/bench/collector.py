@@ -1,0 +1,45 @@
+"""Row emission: bench cells into the unified stats stream.
+
+Every cell row goes through :func:`repro.obs.registry.write_stats_row`
+— the single benchmark-log writer — stamped ``kind: "bench"`` so
+``tools/diff_solver_stats.py`` groups it by cell and applies the bench
+gates (exact warned sets / checks / propagations, ratio-gated solver
+work).  The same rows land in the in-process
+:class:`~repro.obs.registry.StatsRegistry` via its ``record_bench``
+adapter, so a resident service or report section can read the latest
+sweep without re-parsing JSONL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.registry import REGISTRY, write_stats_row
+
+#: The ``kind`` marker distinguishing bench rows in shared JSONL logs.
+BENCH_KIND = "bench"
+
+
+def write_rows(path: str, rows: List[Dict]) -> List[Dict]:
+    """Append every cell row to ``path`` in the gated log shape.
+
+    Returns the rows as written (schema-stamped, tags normalized).
+    """
+    written = []
+    for row in rows:
+        payload = {k: v for k, v in row.items() if k != "elapsed"}
+        out = write_stats_row(
+            path,
+            benchmark=row["workload"],
+            seed=0,
+            factor=1,
+            elapsed=row.get("elapsed"),
+            kind=BENCH_KIND,
+            **payload,
+        )
+        REGISTRY.record_bench(out)
+        written.append(out)
+    return written
+
+
+__all__ = ["BENCH_KIND", "write_rows"]

@@ -1,0 +1,114 @@
+"""``repro bench --promote``: reproducers graduate into the corpus.
+
+A minimized ``.ir`` reproducer from a fuzz campaign is worth keeping
+exactly when the divergence it reproduced is *fixed*: it then pins
+the distilled program shape forever.  Promotion therefore re-derives
+everything from scratch via :func:`repro.workloads.corpus.pin_text` —
+parse, verify, oracle contract diff under all four base configs,
+native ground truth, per-config warned sets — and refuses reproducers
+that still diverge.  What passes is copied into the corpus directory
+and added to ``manifest.json`` with its freshly pinned sets; the seed
+is a first-class bench workload from the next run on.
+
+``dry_run=True`` performs the full validation and reports what would
+be written without touching the corpus — the nightly fuzz lane runs
+this over its own reproducers as a self-test.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.corpus import (
+    CorpusError,
+    default_corpus_dir,
+    load_corpus,
+    pin_text,
+    write_manifest,
+)
+
+
+def _existing_entries(corpus_dir) -> List[Dict]:
+    return [
+        {
+            "name": seed.name,
+            "file": Path(seed.path).name,
+            "origin": seed.origin,
+            "true_bugs": list(seed.true_bugs),
+            "pinned": {
+                spec: list(uids) for spec, uids in seed.pinned
+            },
+        }
+        for seed in load_corpus(corpus_dir)
+    ]
+
+
+def promote(
+    paths: List[str],
+    corpus_dir=None,
+    origin: Optional[str] = None,
+    dry_run: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> List[str]:
+    """Validate and promote reproducers into the permanent corpus.
+
+    Returns the promoted seed names.  Raises :class:`CorpusError` on a
+    reproducer that fails validation (still-divergent, unparsable,
+    natively faulting) or a name collision with a committed seed —
+    promotion is all-or-nothing, so a batch with one bad file changes
+    nothing.
+    """
+    say = log if log is not None else (lambda message: None)
+    base = Path(corpus_dir) if corpus_dir is not None else default_corpus_dir()
+    if base is None:
+        raise CorpusError(
+            "no corpus directory (pass --corpus-dir or run from a checkout)"
+        )
+    entries = _existing_entries(base)
+    taken = {entry["name"] for entry in entries}
+    promoted: List[str] = []
+    staged: List[Dict] = []
+    for path in paths:
+        source = Path(path)
+        name = source.stem
+        if name in taken:
+            raise CorpusError(
+                f"{name}: a corpus seed of that name already exists "
+                f"(rename the reproducer to promote it)"
+            )
+        text = source.read_text()
+        say(f"validating {name} ({source})...")
+        payload = pin_text(text, name)
+        say(
+            f"  ok: true bugs {payload['true_bugs']}, pinned "
+            + ", ".join(
+                f"{spec}={uids}" for spec, uids in payload["pinned"].items()
+            )
+        )
+        staged.append(
+            {
+                "name": name,
+                "file": source.name,
+                "origin": origin
+                or f"promoted by `repro bench --promote` from {source}",
+                **payload,
+            }
+        )
+        taken.add(name)
+        promoted.append(name)
+    if dry_run:
+        say(
+            f"dry run: would promote {len(promoted)} seed(s) into {base} "
+            "(corpus unchanged)"
+        )
+        return promoted
+    for entry, path in zip(staged, paths):
+        shutil.copyfile(path, base / entry["file"])
+    write_manifest(base, entries + staged)
+    say(f"promoted {len(promoted)} seed(s) into {base}")
+    return promoted
+
+
+__all__ = ["promote"]

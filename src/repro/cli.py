@@ -20,6 +20,12 @@ Commands:
 - ``serve``        — resident analysis service: a localhost HTTP/JSON
   endpoint over long-lived :class:`repro.service.AnalysisSession`
   objects with incremental re-analysis (see :mod:`repro.service`).
+- ``bench``        — the scenario-factory matrix orchestrator: run a
+  declarative workload × config × tier × storage × schedule × jobs
+  matrix across a crash-isolated process pool, write schema-stamped
+  rows to a JSONL log, diff against a committed baseline, and promote
+  oracle-minimized reproducers into the permanent corpus (see
+  :mod:`repro.bench`).
 
 ``check``, ``report``, ``fuzz`` and ``serve`` share one analysis-options
 flag group (``--jobs`` / ``--tier`` / ``--demand``), resolved through
@@ -405,6 +411,108 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _bench_workload_names(spec: str, corpus_dir) -> List[str]:
+    """Resolve the ``--workloads`` argument: ``all`` (registry +
+    corpus), ``spec`` (the 19 generated programs), ``corpus`` (bred
+    seeds only), or an explicit comma list of names."""
+    from repro.workloads import ALL_WORKLOADS
+    from repro.workloads.corpus import corpus_names
+
+    named = {
+        "all": [w.name for w in ALL_WORKLOADS] + corpus_names(corpus_dir),
+        "spec": [w.name for w in ALL_WORKLOADS],
+        "corpus": corpus_names(corpus_dir),
+    }
+    if spec in named:
+        return named[spec]
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        MatrixSpec,
+        diff_rows,
+        format_bench_report,
+        load_rows,
+        promote,
+        run_matrix,
+        write_rows,
+    )
+
+    say = (lambda message: None) if args.quiet else print
+    if args.promote:
+        promoted = promote(
+            args.promote,
+            corpus_dir=args.corpus_dir,
+            dry_run=args.dry_run,
+            log=say,
+        )
+        verb = "validated" if args.dry_run else "promoted"
+        print(f"bench: {verb} {len(promoted)} reproducer(s)")
+        return 0
+    workloads = _bench_workload_names(args.workloads, args.corpus_dir)
+    spec = MatrixSpec.from_args(
+        workloads=workloads,
+        configs=args.configs,
+        tiers=args.tiers,
+        storages=args.storages,
+        schedules=args.schedules,
+        jobs=args.jobs_axis,
+        scale=args.scale,
+    )
+    cells = spec.expand()
+    pool = args.pool
+    if pool == 0:
+        import os as _os
+
+        pool = max(1, min(4, (_os.cpu_count() or 2) - 1))
+    say(
+        f"bench: {len(cells)} cell(s) "
+        f"({len(spec.workloads)} workloads x {len(spec.configs)} configs "
+        f"x {len(spec.tiers)} tiers x {len(spec.storages)} storages "
+        f"x {len(spec.schedules)} schedules x {len(spec.jobs)} job "
+        f"levels), pool={pool}, scale={spec.scale:g}"
+    )
+    if args.dry_run:
+        for cell in cells:
+            print(f"  {cell.name}")
+        return 0
+    rows = run_matrix(
+        cells,
+        pool=pool,
+        timeout=args.timeout,
+        corpus_dir=args.corpus_dir,
+        log=say,
+    )
+    written = write_rows(args.out, rows)
+    errors = [row for row in written if row.get("status") != "ok"]
+    print(
+        f"bench: {len(written)} row(s) -> {args.out} "
+        f"({len(written) - len(errors)} ok, {len(errors)} error)"
+    )
+    if args.report:
+        text = format_bench_report(written)
+        with open(args.report, "w") as handle:
+            handle.write(text)
+        print(f"report: wrote {args.report}")
+    status = 1 if errors else 0
+    if args.baseline:
+        problems, compared = diff_rows(written, load_rows(args.baseline))
+        if problems:
+            print(
+                f"baseline: {len(problems)} regression(s) against "
+                f"{args.baseline}:"
+            )
+            for problem in problems:
+                print(f"  {problem}")
+            status = 1
+        else:
+            print(
+                f"baseline: {compared} cell(s) match {args.baseline}"
+            )
+    return status
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
@@ -561,6 +669,71 @@ def build_parser() -> argparse.ArgumentParser:
     add_analysis_options(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
 
+    bench = sub.add_parser(
+        "bench",
+        help="matrix benchmark orchestrator with baselines and corpus "
+             "promotion",
+    )
+    bench.add_argument("--workloads", default="all", metavar="LIST",
+                       help="comma list of workload / corpus-seed names, "
+                            "or: all (registry + corpus, the default), "
+                            "spec (the 19 generated programs), corpus "
+                            "(bred seeds only)")
+    bench.add_argument("--configs", default="tl,tl_at,opt_i,full",
+                       metavar="LIST",
+                       help="comma list of configurations "
+                            "(msan,tl,tl_at,opt_i,full,ext); default "
+                            "tl,tl_at,opt_i,full")
+    bench.add_argument("--tiers", default="full,unified", metavar="LIST",
+                       help="comma list of solving tiers "
+                            "(full,lazy,unified); default full,unified")
+    bench.add_argument("--storages", default="int", metavar="LIST",
+                       help="comma list of points-to storages "
+                            "(int,compressed,auto); default int")
+    bench.add_argument("--schedules", default="wave", metavar="LIST",
+                       help="comma list of worklist schedules (wave,fifo); "
+                            "default wave")
+    bench.add_argument("--jobs-axis", default="1", metavar="LIST",
+                       help="comma list of analysis worker counts; "
+                            "default 1")
+    bench.add_argument("--scale", type=float, default=0.1,
+                       help="workload scale factor (default 0.1; corpus "
+                            "seeds are fixed-size and ignore it)")
+    bench.add_argument("--pool", type=int, default=0, metavar="N",
+                       help="concurrent cell worker processes; 0 = auto "
+                            "(default), 1 = in-process serial")
+    bench.add_argument("--timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock budget in process mode "
+                            "(default 300); an overrunning cell becomes "
+                            "an error row and the run continues")
+    bench.add_argument("--out", default="benchmarks/results/bench_stats.jsonl",
+                       metavar="PATH",
+                       help="JSONL row log (appended; default "
+                            "benchmarks/results/bench_stats.jsonl)")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="diff this run against a committed baseline "
+                            "JSONL; exact gates on status/warned_uids/"
+                            "checks/propagations, 2x ratio gates on "
+                            "solver work; any regression exits 1")
+    bench.add_argument("--report", default=None, metavar="PATH",
+                       help="also write the markdown report "
+                            "(Table-1/Figure-10-style aggregation)")
+    bench.add_argument("--promote", action="append", metavar="FILE",
+                       help="promote an oracle-minimized .ir reproducer "
+                            "into the permanent corpus (repeatable; "
+                            "validates, pins its warned sets, updates "
+                            "the manifest; no matrix runs)")
+    bench.add_argument("--corpus-dir", default=None, metavar="DIR",
+                       help="corpus directory override (default: "
+                            "tests/data/corpus of the checkout)")
+    bench.add_argument("--dry-run", action="store_true",
+                       help="with --promote: validate only; otherwise: "
+                            "list the expanded cells without running")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines")
+    bench.set_defaults(func=cmd_bench)
+
     serve_p = sub.add_parser(
         "serve", help="resident analysis service (localhost HTTP/JSON)"
     )
@@ -576,9 +749,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.bench.matrix import BenchSpecError
     from repro.ir.parser import IRParseError
     from repro.ir.verifier import VerificationError
     from repro.oracle.differ import UnknownConfigError
+    from repro.workloads.corpus import CorpusError
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -591,7 +766,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"compile error: {error}", file=sys.stderr)
         return 2
     except (UsageError, InvalidJobsError, InvalidStorageError,
-            InvalidTierError, UnknownConfigError) as error:
+            InvalidTierError, UnknownConfigError, BenchSpecError,
+            CorpusError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except (IRParseError, VerificationError) as error:

@@ -145,6 +145,23 @@ class StatsRegistry:
         counters = stats if isinstance(stats, dict) else stats.as_dict()
         return self.record("vfg", "vfg.build", counters, **tags)
 
+    def record_bench(self, row: Dict[str, object], **tags) -> StatRecord:
+        """One ``repro bench`` cell row (the flat shape
+        :func:`write_stats_row` emits with ``kind="bench"``)."""
+        counters = {
+            k: v
+            for k, v in row.items()
+            if k not in ("schema", "tags", "kind")
+        }
+        merged = dict(row.get("tags") or {})
+        merged.update(tags)
+        wall = (
+            {"cell": row["elapsed"]} if "elapsed" in row else None
+        )
+        return self.record(
+            "bench", "bench.cell", counters, wall_s=wall, **merged
+        )
+
     # -- consumption ---------------------------------------------------
     def rows(
         self, stat: Optional[str] = None, limit: Optional[int] = None

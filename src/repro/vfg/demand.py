@@ -262,6 +262,12 @@ class DemandEngine:
         """Fan ``sites`` across ``jobs`` forked workers; ``None`` means
         a pool could not be created and the caller should run serially.
         """
+        # Force a deferred VFG (the lazy tier's thunk) in the *parent*
+        # before the pool forks: the workers then inherit the built
+        # graph copy-on-write instead of each forcing a private copy
+        # whose construction the parent never observes — the thunk must
+        # run exactly once, in this process, regardless of jobs.
+        self.vfg
         if self.resolver == "summary":
             # Build the reverse summaries once in the parent so every
             # worker inherits them instead of recomputing per process.

@@ -1,0 +1,133 @@
+"""The permanent-corpus loader contract: every committed ``.ir`` seed
+parses, verifies, honors the soundness oracle under all four base
+configurations, and reproduces its manifest-pinned warning set.
+
+This is the satellite guarantee of the corpus: a pipeline change that
+shifts behavior on any oracle-bred shape — the distilled programs
+where real bugs hid — fails here the moment it lands, not on the next
+nightly fuzz campaign.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import run_usher
+from repro.ir.parser import parse_ir
+from repro.ir.verifier import verify_module
+from repro.oracle.differ import build_config_matrix
+from repro.oracle.harness import FUZZ_PIPELINE, _prepare_text, examine_text
+from repro.runtime import run_instrumented, run_native
+from repro.workloads.corpus import (
+    BASE_CONFIG_SPECS,
+    CorpusError,
+    CorpusSeed,
+    default_corpus_dir,
+    load_corpus,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "data" / "corpus"
+
+SEEDS = load_corpus(CORPUS_DIR)
+
+
+class TestCorpusShape:
+    def test_corpus_has_at_least_two_bred_seeds_plus_seed185(self):
+        names = {seed.name for seed in SEEDS}
+        assert "seed185" in names
+        assert len(names - {"seed185"}) >= 2
+
+    def test_default_dir_resolves_to_the_checkout(self):
+        assert default_corpus_dir() == CORPUS_DIR
+
+    def test_manifest_covers_every_committed_ir_file(self):
+        files = {path.name for path in CORPUS_DIR.glob("*.ir")}
+        listed = {Path(seed.path).name for seed in SEEDS}
+        assert files == listed
+
+    def test_every_seed_pins_all_four_base_configs(self):
+        for seed in SEEDS:
+            assert set(dict(seed.pinned)) == set(BASE_CONFIG_SPECS)
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=lambda s: s.name)
+class TestEverySeed:
+    def test_parses_and_verifies(self, seed):
+        module = parse_ir(seed.text())
+        verify_module(module)
+
+    def test_oracle_contract_holds(self, seed):
+        matrix = build_config_matrix(list(BASE_CONFIG_SPECS))
+        status, divergences = examine_text(seed.text(), seed.name, matrix)
+        assert status == "ok", [d.describe() for d in divergences]
+
+    def test_native_ground_truth_matches_manifest(self, seed):
+        prepared = _prepare_text(seed.text(), seed.name)
+        native = run_native(prepared.module)
+        assert tuple(sorted(native.true_bug_set())) == seed.true_bugs
+
+    def test_pinned_warning_sets_reproduce(self, seed):
+        matrix = build_config_matrix(list(BASE_CONFIG_SPECS))
+        prepared = _prepare_text(seed.text(), seed.name)
+        for spec, config in matrix:
+            plan = run_usher(prepared, config).plan
+            report = run_instrumented(prepared.module, plan)
+            assert (
+                tuple(sorted(report.warning_set()))
+                == seed.pinned_warnings(spec)
+            ), f"{seed.name} under {spec}"
+
+
+class TestLoaderErrors:
+    def test_absent_directory_is_an_empty_corpus(self, tmp_path):
+        assert load_corpus(tmp_path / "nowhere") == []
+
+    def test_bad_json_raises(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(CorpusError, match="bad JSON"):
+            load_corpus(tmp_path)
+
+    def test_unknown_schema_raises(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"schema": "nope/9"}')
+        with pytest.raises(CorpusError, match="unknown schema"):
+            load_corpus(tmp_path)
+
+    def test_missing_file_raises(self, tmp_path):
+        import json
+
+        (tmp_path / "manifest.json").write_text(json.dumps({
+            "schema": "repro.corpus/1",
+            "seeds": [{
+                "name": "ghost", "file": "ghost.ir", "true_bugs": [],
+                "pinned": {s: [] for s in BASE_CONFIG_SPECS},
+            }],
+        }))
+        with pytest.raises(CorpusError, match="missing"):
+            load_corpus(tmp_path)
+
+    def test_missing_pinned_config_raises(self, tmp_path):
+        import json
+
+        (tmp_path / "partial.ir").write_text("; empty\n")
+        (tmp_path / "manifest.json").write_text(json.dumps({
+            "schema": "repro.corpus/1",
+            "seeds": [{
+                "name": "partial", "file": "partial.ir", "true_bugs": [],
+                "pinned": {"tl": []},
+            }],
+        }))
+        with pytest.raises(CorpusError, match="lacks pinned"):
+            load_corpus(tmp_path)
+
+    def test_seed_accessors(self):
+        seed = next(s for s in SEEDS if s.name == "seed185")
+        assert isinstance(seed, CorpusSeed)
+        assert seed.description == seed.origin
+        assert seed.text().startswith(";")
+        assert seed.pinned_warnings("tl") == seed.pinned_warnings("full")
+
+
+def test_corpus_pipeline_level_matches_the_oracle():
+    """Bench corpus cells and the loader both replay seeds at the
+    oracle's pipeline level; a drift here would un-pin everything."""
+    assert FUZZ_PIPELINE == "O0+IM"

@@ -7,7 +7,7 @@ conjunction of a mask-preserving copy chain feeding a bitwise ``|``
 and warned on a defined value (uid 407), and the naive Opt II
 redirect then also dropped true bug 525.  These tests pin the fixed
 behavior on both the full corpus program and the oracle-minimized
-76-instruction reproducer committed under ``tests/data``.
+76-instruction reproducer committed under ``tests/data/corpus``.
 """
 
 from pathlib import Path
@@ -21,7 +21,7 @@ from repro.runtime import run_instrumented, run_native
 from tests.helpers import prepared_random
 
 DATA = Path(__file__).resolve().parents[1] / "data"
-REPRODUCER = DATA / "seed185_opt1_grouping.ir"
+REPRODUCER = DATA / "corpus" / "seed185_opt1_grouping.ir"
 
 CONFIGS = {
     "tl": UsherConfig.tl,

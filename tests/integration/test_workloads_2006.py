@@ -1,0 +1,126 @@
+"""Integration tests for the CPU2006-style workload extensions.
+
+The four programs of :mod:`repro.workloads.spec2006` each stress one
+shape the SPEC2000 set underweights — nested indirect dispatch,
+mutually recursive search, deep copy chains, recursion over heap
+records — so beyond the standard semantic-preservation and ordering
+contracts, each gets a test pinning the *shape property* it exists
+for.
+"""
+
+import pytest
+
+from repro.api import CONFIG_ORDER, analyze
+from repro.workloads import (
+    ALL_WORKLOADS,
+    BY_NAME,
+    CPU2006_WORKLOADS,
+    WORKLOADS,
+    workload,
+)
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    return {
+        w.name: analyze(source=w.source(SCALE), name=w.name)
+        for w in CPU2006_WORKLOADS
+    }
+
+
+class TestRegistry:
+    def test_nineteen_workloads_total(self):
+        # The paper's 15 (untouched — figures iterate exactly those)
+        # plus the four CPU2006-style extensions.
+        assert len(WORKLOADS) == 15
+        assert len(CPU2006_WORKLOADS) == 4
+        assert len(ALL_WORKLOADS) >= 19
+        assert len({w.name for w in ALL_WORKLOADS}) == len(ALL_WORKLOADS)
+
+    def test_lookup_covers_both_sets(self):
+        assert workload("400.perlbench").description
+        assert workload("181.mcf").description
+        assert set(BY_NAME) == {w.name for w in ALL_WORKLOADS}
+
+    def test_spec2000_subset_unchanged(self):
+        # The SPEC2000 module keeps its own 15-name mapping.
+        from repro.workloads.spec import BY_NAME as SPEC2000_BY_NAME
+
+        assert len(SPEC2000_BY_NAME) == 15
+        assert "400.perlbench" not in SPEC2000_BY_NAME
+
+
+class TestContracts:
+    @pytest.mark.parametrize("name", [w.name for w in CPU2006_WORKLOADS])
+    def test_semantics_preserved_under_every_plan(self, analyses, name):
+        analysis = analyses[name]
+        native = analysis.run_native()
+        for config in CONFIG_ORDER:
+            report = analysis.run(config)
+            assert report.outputs == native.outputs, config
+            assert report.exit_value == native.exit_value, config
+
+    @pytest.mark.parametrize("name", [w.name for w in CPU2006_WORKLOADS])
+    def test_warning_free(self, analyses, name):
+        analysis = analyses[name]
+        assert not analysis.run_native().true_undefined_uses
+        for config in CONFIG_ORDER:
+            assert not analysis.run(config).warnings, config
+
+    @pytest.mark.parametrize("name", [w.name for w in CPU2006_WORKLOADS])
+    def test_overhead_ordering(self, analyses, name):
+        analysis = analyses[name]
+        slow = {c: analysis.slowdown(c) for c in CONFIG_ORDER}
+        assert slow["msan"] >= slow["usher_tl"] >= slow["usher_tl_at"]
+        assert slow["usher_tl_at"] >= slow["usher_opt1"] >= slow["usher"]
+
+
+class TestShapeProperties:
+    def test_perlbench_is_icall_heavy(self, analyses):
+        """Every hot call edge is indirect: both dispatch layers must
+        resolve — main reaches the op handlers only through the op
+        table, and each handler reaches the matchers only through the
+        threaded function value."""
+        callgraph = analyses["400.perlbench"].prepared.callgraph
+        handlers = {"op_match", "op_skip", "op_count"}
+        matchers = {"m_lit", "m_any", "m_cls"}
+        assert handlers <= callgraph.successors("main")
+        for handler in handlers:
+            assert matchers <= callgraph.successors(handler), handler
+
+    def test_gobmk_call_graph_is_cyclic(self, analyses):
+        """evaluate <-> search: the mutual recursion the summaries
+        must close over instead of unrolling."""
+        callgraph = analyses["445.gobmk"].prepared.callgraph
+        assert "search" in callgraph.successors("evaluate")
+        assert "evaluate" in callgraph.successors("search")
+        assert "search" in callgraph.successors("search")
+        assert {"search", "evaluate"} <= callgraph.recursive
+
+    def test_astar_growth_is_recursive_over_heap_records(self, analyses):
+        callgraph = analyses["473.astar"].prepared.callgraph
+        assert "grow" in callgraph.successors("grow")
+        assert "grow" in callgraph.recursive
+
+    def test_hmmer_copy_chains_reward_the_full_pipeline(self, analyses):
+        """The deep copy chains are exactly what Opt I collapses and
+        Opt II then elides: each pipeline stage must keep buying a
+        real reduction in dynamic cost."""
+        analysis = analyses["456.hmmer"]
+        opt1 = analysis.slowdown("usher_opt1")
+        full = analysis.slowdown("usher")
+        assert opt1 < analysis.slowdown("usher_tl_at")
+        # Opt II is the star on this shape: collapsing the chains only
+        # pays off once their propagations are elided outright.
+        assert full < 0.65 * opt1
+        props_opt1 = analysis.static_propagations("usher_opt1")
+        props_full = analysis.static_propagations("usher")
+        assert props_full < 0.6 * props_opt1
+
+    def test_astar_is_cheap_once_fully_optimized(self, analyses):
+        """Recursion + heap records, but every value is defined along
+        all paths: the full pipeline proves nearly everything away."""
+        analysis = analyses["473.astar"]
+        assert analysis.slowdown("usher") < 10.0

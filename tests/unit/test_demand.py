@@ -214,6 +214,25 @@ class TestThunkedVFG:
         assert calls == [True]
         assert engine.vfg is result.vfg
 
+    def test_thunk_forced_in_parent_before_parallel_fanout(self, setup):
+        """With jobs > 1 the batch forks workers; the thunk must still
+        run exactly once *in the parent* (the workers inherit the built
+        graph copy-on-write), not once per worker and never here."""
+        _prepared, result = setup
+        calls = []
+
+        def thunk():
+            calls.append(True)
+            return result.vfg
+
+        engine = DemandEngine(thunk)
+        verdicts = engine.query_sites(result.vfg.check_sites, jobs=2)
+        assert calls == [True]
+        assert engine.vfg is result.vfg
+        assert verdicts == DemandEngine(result.vfg).query_sites(
+            result.vfg.check_sites
+        )
+
 
 class TestDemandExplain:
     def test_same_path_length_as_oracle_bfs(self, setup):

@@ -340,3 +340,153 @@ def test_wall_gate_counters_still_gated_when_opted_out(tmp_path):
     result = _run_gate(tmp_path, records, "--no-wall-gate")
     assert result.returncode == 1
     assert "pops" in result.stdout
+
+
+# -- bench records (repro bench cell rows) ------------------------------
+
+
+def _bench_record(**overrides):
+    payload = {
+        "schema": "repro.stats/1",
+        "kind": "bench",
+        "benchmark": "164.gzip",
+        "seed": 0,
+        "factor": 1,
+        "cell": "164.gzip/tl/full/int/wave/j1",
+        "workload": "164.gzip",
+        "config": "tl",
+        "tier": "full",
+        "storage": "int",
+        "schedule": "wave",
+        "jobs": 1,
+        "scale": 0.1,
+        "status": "ok",
+        "warned_uids": [12, 40],
+        "checks": 5,
+        "propagations": 59,
+        "pops": 100,
+        "facts_propagated": 80,
+        "elapsed": 0.4,
+    }
+    payload.update(overrides)
+    return payload
+
+
+def test_bench_rows_pass_when_identical(tmp_path):
+    result = _run_gate(tmp_path, [_bench_record(), _bench_record(elapsed=9.9)])
+    assert result.returncode == 0
+    assert "bench-stats gate passed" in result.stdout
+
+
+def test_bench_rows_fail_on_warned_uids_drift(tmp_path):
+    result = _run_gate(
+        tmp_path, [_bench_record(), _bench_record(warned_uids=[12])]
+    )
+    assert result.returncode == 1
+    assert "warned_uids" in result.stdout
+
+
+def test_bench_rows_fail_on_status_flip(tmp_path):
+    result = _run_gate(
+        tmp_path, [_bench_record(), _bench_record(status="error")]
+    )
+    assert result.returncode == 1
+    assert "status" in result.stdout
+
+
+def test_bench_rows_fail_on_check_count_drift_either_direction(tmp_path):
+    # Exact gate: fewer checks is as much a finding as more.
+    result = _run_gate(tmp_path, [_bench_record(), _bench_record(checks=4)])
+    assert result.returncode == 1
+    assert "checks" in result.stdout
+
+
+def test_bench_rows_ratio_gate_solver_work(tmp_path):
+    result = _run_gate(tmp_path, [_bench_record(), _bench_record(pops=300)])
+    assert result.returncode == 1
+    assert "pops" in result.stdout
+    # Within the ratio passes.
+    result = _run_gate(tmp_path, [_bench_record(), _bench_record(pops=150)])
+    assert result.returncode == 0
+
+
+def test_bench_rows_never_wall_gated(tmp_path):
+    # Schema-stamped with a 10x elapsed jump: committed baselines are
+    # diffed across machines, so wall time must not gate bench rows.
+    result = _run_gate(
+        tmp_path, [_bench_record(elapsed=0.3), _bench_record(elapsed=3.0)]
+    )
+    assert result.returncode == 0
+
+
+def test_bench_rows_group_by_cell(tmp_path):
+    # Different cells never compare against each other.
+    result = _run_gate(
+        tmp_path,
+        [
+            _bench_record(),
+            _bench_record(
+                cell="164.gzip/full/full/int/wave/j1",
+                config="full",
+                checks=3,
+                warned_uids=[],
+                pops=900,
+            ),
+        ],
+    )
+    assert result.returncode == 0
+
+
+def test_baseline_flag_gates_single_run_log(tmp_path):
+    baseline = tmp_path / "baseline.jsonl"
+    baseline.write_text(json.dumps(_bench_record()) + "\n")
+    # A matching fresh run passes...
+    result = _run_gate(
+        tmp_path, [_bench_record(elapsed=1.2)], "--baseline", str(baseline)
+    )
+    assert result.returncode == 0
+    # ...a drifted one fails.
+    result = _run_gate(
+        tmp_path,
+        [_bench_record(warned_uids=[])],
+        "--baseline",
+        str(baseline),
+    )
+    assert result.returncode == 1
+    assert "warned_uids" in result.stdout
+
+
+def test_baseline_flag_fails_on_missing_cell(tmp_path):
+    baseline = tmp_path / "baseline.jsonl"
+    baseline.write_text(
+        json.dumps(_bench_record()) + "\n"
+        + json.dumps(
+            _bench_record(cell="164.gzip/full/full/int/wave/j1")
+        )
+        + "\n"
+    )
+    result = _run_gate(
+        tmp_path, [_bench_record()], "--baseline", str(baseline)
+    )
+    assert result.returncode == 1
+    assert "coverage shrank" in result.stdout
+
+
+def test_baseline_flag_missing_file_is_an_error(tmp_path):
+    result = _run_gate(
+        tmp_path,
+        [_bench_record()],
+        "--baseline",
+        str(tmp_path / "absent.jsonl"),
+    )
+    assert result.returncode == 2
+
+
+def test_baseline_flag_works_for_solver_records_too(tmp_path):
+    baseline = tmp_path / "baseline.jsonl"
+    baseline.write_text(json.dumps(_record(100, 200)) + "\n")
+    result = _run_gate(
+        tmp_path, [_record(900, 200)], "--baseline", str(baseline)
+    )
+    assert result.returncode == 1
+    assert "pops" in result.stdout

@@ -44,12 +44,28 @@ noisy):
   ``resident_seconds`` field) are gated *within* the newest entry:
   the resident worker pool's batched ``query_sites`` must beat the
   serial path (``resident_seconds < serial_seconds``), or the pool
-  lost its point.
+  lost its point;
+- bench records (``repro bench`` →
+  ``benchmarks/results/bench_stats.jsonl``, stamped ``"kind":
+  "bench"``, grouped by their ``cell`` name) gate ``status``,
+  ``warned_uids``, ``checks`` and ``propagations`` for **exact
+  equality** — detection results are bit-identical run to run, so any
+  drift is a finding — plus the usual ratio gate on ``pops`` /
+  ``facts_propagated``.  Bench rows are never wall-gated: their
+  baselines are committed and diffed across machines.
+
+``--baseline OTHER.jsonl`` prepends another log's histories group by
+group, so a fresh single-run log can be gated against a committed
+baseline: the newest-vs-previous comparison then runs current-vs-
+baseline.  A group present in the baseline but absent from the
+current log fails the gate (coverage must not silently shrink).
 
 Usage (the CI invocations)::
 
     python tools/diff_solver_stats.py benchmarks/results/solver_stats.jsonl
     python tools/diff_solver_stats.py benchmarks/results/query_stats.jsonl
+    python tools/diff_solver_stats.py benchmarks/results/bench_stats.jsonl \
+        --baseline benchmarks/baselines/bench_smoke_baseline.jsonl
 
 Exit status: 0 when every group is within bounds (or has fewer than two
 entries — nothing to compare), 1 on any regression, 2 on a missing or
@@ -76,6 +92,11 @@ MEM_METRICS = ("bytes_pts", "peak_rss")
 #: Counters where *shrinking* is the regression (gated only on
 #: ``solver_tier_*`` benchmark rows, where the pre-collapse runs).
 TIER_INVERTED_METRICS = ("unified_nodes",)
+
+#: Bench-cell fields gated for exact equality (deterministic detection
+#: results and static instrumentation), and for the work ratio.
+BENCH_EXACT_FIELDS = ("status", "warned_uids", "checks", "propagations")
+BENCH_METRICS = ("pops", "facts_propagated")
 
 #: Backwards-compatible alias (the original solver-only gate).
 GATED_METRICS = SOLVER_METRICS
@@ -141,8 +162,11 @@ def check_wall(
 
 
 def record_kind(record: dict) -> str:
-    """``"service"`` for resident-pool benchmark records, ``"query"``
-    for demand-query records, ``"solver"`` otherwise."""
+    """``"bench"`` for ``repro bench`` cell rows (explicitly stamped),
+    ``"service"`` for resident-pool benchmark records, ``"query"`` for
+    demand-query records, ``"solver"`` otherwise."""
+    if record.get("kind") == "bench":
+        return "bench"
     if "resident_seconds" in record:
         return "service"
     return "query" if "resolver" in record else "solver"
@@ -167,6 +191,10 @@ def load_groups(path: Path, kind: str = "auto") -> Dict[GroupKey, List[dict]]:
                 raise ValueError(f"{path}:{lineno}: bad JSON ({error})")
             this_kind = record_kind(record)
             if kind != "auto" and this_kind != kind:
+                continue
+            if this_kind == "bench":
+                key: GroupKey = (this_kind, record.get("cell"))
+                groups.setdefault(key, []).append(record)
                 continue
             if this_kind == "service":
                 key: GroupKey = (
@@ -220,6 +248,34 @@ def check_group(
     pool must beat the serial path, or the pool lost its point).
     ``wall_ratio``, when given, additionally wall-gates schema-stamped
     rows via :func:`check_wall`."""
+    if key[0] == "bench":
+        # Bench cells: exact equality on detection/instrumentation
+        # fields, ratio on solver work, never wall-gated (committed
+        # baselines are diffed across machines).
+        if len(history) < 2:
+            return []
+        previous, latest = history[-2], history[-1]
+        label = str(key[1])
+        problems = []
+        for field in BENCH_EXACT_FIELDS:
+            if previous.get(field) != latest.get(field):
+                problems.append(
+                    f"{label}: {field} changed "
+                    f"{previous.get(field)!r} -> {latest.get(field)!r}"
+                )
+        for metric in BENCH_METRICS:
+            before = previous.get(metric)
+            after = latest.get(metric)
+            if not isinstance(before, (int, float)) or not isinstance(
+                after, (int, float)
+            ):
+                continue
+            if after > max(before, 1) * max_ratio:
+                problems.append(
+                    f"{label}: {metric} regressed {before} -> {after} "
+                    f"(> {max_ratio:.2f}x allowed)"
+                )
+        return problems
     if key[0] == "service":
         latest = history[-1]
         label = "/".join(str(part) for part in key[1:])
@@ -305,10 +361,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--kind",
-        choices=("auto", "solver", "query", "service"),
+        choices=("auto", "solver", "query", "service", "bench"),
         default="auto",
         help="restrict to one record kind (default: auto-detect per "
         "line and gate all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="prepend another log's histories group by group before "
+        "gating — lets a single fresh run be diffed against a "
+        "committed baseline; baseline groups missing from the "
+        "current log fail the gate",
     )
     parser.add_argument(
         "--max-wall-ratio",
@@ -341,16 +406,42 @@ def main(argv=None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    wall_ratio = None if args.no_wall_gate else args.max_wall_ratio
+    problems: List[str] = []
+
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"error: {args.baseline} not found", file=sys.stderr)
+            return 2
+        try:
+            base_groups = load_groups(args.baseline, kind=args.kind)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        for key, history in base_groups.items():
+            if key in groups:
+                groups[key] = history + groups[key]
+            else:
+                label = (
+                    str(key[1])
+                    if key[0] == "bench"
+                    else "/".join(str(part) for part in key[1:])
+                )
+                problems.append(
+                    f"{label}: in baseline {args.baseline} but missing "
+                    "from this run (coverage shrank)"
+                )
+
     kinds = {key[0] for key in groups}
     if kinds == {"query"}:
         label = "query-stats"
     elif kinds == {"service"}:
         label = "service-stats"
+    elif kinds == {"bench"}:
+        label = "bench-stats"
     else:
         label = "solver-stats"
 
-    wall_ratio = None if args.no_wall_gate else args.max_wall_ratio
-    problems: List[str] = []
     comparable = 0
     for key in sorted(groups, key=str):
         history = groups[key]
